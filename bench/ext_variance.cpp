@@ -1,0 +1,36 @@
+// Extension EXT-VAR — seed sensitivity of the headline comparison.
+//
+// Figure 11's "minimal margin" between ADC and hashing only means
+// something if it exceeds the run-to-run noise.  This bench replays the
+// same trace under 8 simulation seeds (entry-proxy choices and random
+// forwarding differ; the workload stays fixed) and reports mean ± sd for
+// both schemes.
+#include <iostream>
+#include <vector>
+
+#include "bench_common.h"
+#include "driver/analysis.h"
+
+int main() {
+  using namespace adc;
+
+  const double scale = bench::bench_scale();
+  const workload::Trace trace = bench::paper_trace(scale);
+  bench::print_run_banner("Extension: seed variance of the ADC vs CARP comparison", scale,
+                          trace);
+
+  const std::vector<std::uint64_t> seeds = {1, 2, 3, 4, 5, 6, 7, 8};
+
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"scheme", "runs", "hit_rate_mean", "hit_rate_sd", "hops_mean", "hops_sd"});
+  for (const auto scheme : {driver::Scheme::kAdc, driver::Scheme::kCarp}) {
+    driver::ExperimentConfig config = bench::paper_config(scale);
+    config.scheme = scheme;
+    const driver::ReplicationSummary summary = driver::run_seeds(config, trace, seeds);
+    rows.push_back({std::string(driver::scheme_name(scheme)), std::to_string(summary.runs),
+                    driver::fmt(summary.hit_rate_mean), driver::fmt(summary.hit_rate_sd),
+                    driver::fmt(summary.hops_mean, 3), driver::fmt(summary.hops_sd, 4)});
+  }
+  driver::print_table(std::cout, rows);
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Figure 15 — Processing time vs table size (google-benchmark wall time).
+//
+// Runs the same sweep as Figures 13/14 in the paper's *faithful* table
+// mode: the single-table is a linked list searched element-wise and the
+// ordered tables are contiguous arrays maintained by binary search — the
+// structures whose cost the paper measured.  Paper's shape: growing the
+// single and multiple tables slows the run down; growing the caching table
+// has no significant impact.  (Our indexed mode removes the growth — see
+// bench/ablation_table_impl.)
+//
+// Each (table, size) point is one google-benchmark benchmark so the wall
+// times come with benchmark's reporting; iterations are pinned to 1
+// because a full trace replay is already a long, deterministic run.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "bench_common.h"
+
+namespace {
+
+using namespace adc;
+
+// The trace is shared by all registered benchmarks (generated once).
+std::unique_ptr<workload::Trace> g_trace;
+double g_scale = 0.1;
+
+void run_point(benchmark::State& state, driver::SweptTable table, std::size_t size) {
+  driver::ExperimentConfig config = bench::paper_config(g_scale);
+  config.adc.table_impl = cache::TableImpl::kFaithful;
+  config.sample_every = 0;  // no series needed; keep the loop lean
+  switch (table) {
+    case driver::SweptTable::kCaching:
+      config.adc.caching_table_size = size;
+      break;
+    case driver::SweptTable::kMultiple:
+      config.adc.multiple_table_size = size;
+      break;
+    case driver::SweptTable::kSingle:
+      config.adc.single_table_size = size;
+      break;
+  }
+  for (auto _ : state) {
+    const driver::ExperimentResult result = driver::run_experiment(config, *g_trace);
+    state.counters["hit_rate"] = result.summary.hit_rate();
+    state.counters["avg_hops"] = result.summary.avg_hops();
+    state.counters["wall_seconds"] = result.wall_seconds;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  g_scale = bench::bench_scale();
+  g_trace = std::make_unique<workload::Trace>(bench::paper_trace(g_scale));
+  bench::print_run_banner("Figure 15: processing time by table size (faithful structures)",
+                          g_scale, *g_trace);
+
+  const auto sizes = driver::paper_sweep_sizes(g_scale);
+  for (const auto table : {driver::SweptTable::kCaching, driver::SweptTable::kMultiple,
+                           driver::SweptTable::kSingle}) {
+    for (const std::size_t size : sizes) {
+      const std::string name = std::string("fig15/") +
+                               std::string(driver::swept_table_name(table)) + "/" +
+                               std::to_string(size);
+      benchmark::RegisterBenchmark(name.c_str(),
+                                   [table, size](benchmark::State& state) {
+                                     run_point(state, table, size);
+                                   })
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(1);
+    }
+  }
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

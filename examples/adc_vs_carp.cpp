@@ -1,0 +1,85 @@
+// ADC vs CARP head-to-head on the same trace — the paper's central
+// comparison (Figures 11/12) as a runnable example with adjustable scale.
+//
+//   ./adc_vs_carp [--scale 0.05] [--proxies 5] [--csv]
+//
+// With --csv the full moving-average series is printed (plot it to
+// recreate Figure 11); otherwise a compact phase-by-phase table is shown.
+#include <iostream>
+
+#include "driver/experiment.h"
+#include "driver/report.h"
+#include "util/cli.h"
+#include "workload/polygraph.h"
+
+int main(int argc, char** argv) {
+  using namespace adc;
+
+  util::CliParser cli("ADC vs CARP hashing on a PolyMix-like trace.");
+  cli.option("scale", "0.05", "workload scale relative to the paper's 3.99M requests")
+      .option("proxies", "5", "number of cooperating proxies")
+      .option("csv", "", "print the moving-average series as CSV", /*is_flag=*/true);
+  std::string error;
+  if (!cli.parse(argc, argv, &error)) {
+    std::cerr << error << '\n' << cli.help_text();
+    return 1;
+  }
+  if (cli.help_requested()) {
+    std::cout << cli.help_text();
+    return 0;
+  }
+
+  const double scale = cli.config().get_double("scale", 0.05);
+  const bool csv = cli.config().get_bool("csv", false);
+
+  const workload::Trace trace =
+      workload::generate_polygraph_trace(workload::PolygraphConfig::scaled(scale));
+
+  driver::ExperimentConfig adc_config;
+  adc_config.scheme = driver::Scheme::kAdc;
+  adc_config.proxies = static_cast<int>(cli.config().get_int("proxies", 5));
+  adc_config.adc.single_table_size = std::max<std::size_t>(
+      static_cast<std::size_t>(20000 * scale), 64);
+  adc_config.adc.multiple_table_size = adc_config.adc.single_table_size;
+  adc_config.adc.caching_table_size = std::max<std::size_t>(
+      static_cast<std::size_t>(10000 * scale), 32);
+  adc_config.ma_window = std::max<std::size_t>(static_cast<std::size_t>(5000 * scale), 200);
+  adc_config.sample_every = adc_config.ma_window;
+
+  driver::ExperimentConfig carp_config = adc_config;
+  carp_config.scheme = driver::Scheme::kCarp;
+
+  const driver::ExperimentResult adc_result = driver::run_experiment(adc_config, trace);
+  const driver::ExperimentResult carp_result = driver::run_experiment(carp_config, trace);
+
+  if (csv) {
+    driver::print_series_csv(std::cout, "adc", adc_result.series);
+    driver::print_series_csv(std::cout, "carp", carp_result.series);
+    return 0;
+  }
+
+  const auto& phases = trace.phases();
+  const auto phase_of = [&phases](std::uint64_t request) {
+    if (request <= phases.fill_end) return "fill";
+    if (request <= phases.phase2_end) return "phase-I";
+    return "phase-II";
+  };
+
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"requests", "phase", "adc_hit_ma", "carp_hit_ma", "adc_hops_ma",
+                  "carp_hops_ma"});
+  const std::size_t points = std::min(adc_result.series.size(), carp_result.series.size());
+  const std::size_t stride = std::max<std::size_t>(points / 12, 1);
+  for (std::size_t i = 0; i < points; i += stride) {
+    const auto& a = adc_result.series[i];
+    const auto& c = carp_result.series[i];
+    rows.push_back({std::to_string(a.requests), phase_of(a.requests),
+                    driver::fmt(a.hit_rate, 3), driver::fmt(c.hit_rate, 3),
+                    driver::fmt(a.hops, 2), driver::fmt(c.hops, 2)});
+  }
+  driver::print_table(std::cout, rows);
+  std::cout << '\n';
+  driver::print_summary(std::cout, "adc ", adc_result);
+  driver::print_summary(std::cout, "carp", carp_result);
+  return 0;
+}

@@ -1,0 +1,136 @@
+// Flash crowd: a sudden hotspot — the scenario the paper's introduction
+// motivates (hot published documents overwhelming a single location).
+//
+// The workload runs a steady Zipf mix, then a "flash" window where a
+// handful of objects take over most of the request stream, then returns
+// to the steady mix.  ADC replicates hot objects along backwarding paths
+// (multiple copies, load spread), while CARP pins each object to one
+// owner; the example prints per-phase hit rates and the load split across
+// proxies during the flash.
+//
+//   ./flash_crowd [--requests 150000] [--flash-objects 8] [--seed 7]
+#include <algorithm>
+#include <iostream>
+
+#include "driver/experiment.h"
+#include "driver/report.h"
+#include "util/cli.h"
+#include "util/rng.h"
+#include "workload/trace.h"
+
+namespace {
+
+using namespace adc;
+
+workload::Trace make_flash_trace(std::uint64_t requests, std::size_t flash_objects,
+                                 std::uint64_t seed) {
+  util::Rng rng(seed);
+  const std::size_t universe = 20000;
+  const util::ZipfSampler zipf(universe, 0.8);
+
+  std::vector<ObjectId> stream;
+  stream.reserve(requests);
+  const std::uint64_t flash_begin = requests / 3;
+  const std::uint64_t flash_end = 2 * requests / 3;
+  for (std::uint64_t i = 0; i < requests; ++i) {
+    const bool in_flash = i >= flash_begin && i < flash_end;
+    if (in_flash && rng.chance(0.85)) {
+      // The crowd: a tiny set of ids far outside the steady working set.
+      stream.push_back(1'000'000 + rng.below(flash_objects));
+    } else {
+      stream.push_back(static_cast<ObjectId>(zipf.sample(rng)));
+    }
+  }
+  // Treat the pre-flash third as "fill" so phase slicing lines up.
+  return workload::Trace(std::move(stream), workload::TracePhases{flash_begin, flash_end});
+}
+
+double phase_hit_rate(const std::vector<sim::SeriesPoint>& series, std::uint64_t begin,
+                      std::uint64_t end) {
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (const auto& point : series) {
+    if (point.requests > begin && point.requests <= end) {
+      sum += point.hit_rate;
+      ++n;
+    }
+  }
+  return n == 0 ? 0.0 : sum / static_cast<double>(n);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::CliParser cli("Flash-crowd scenario: ADC vs CARP under a sudden hotspot.");
+  cli.option("requests", "150000", "total requests in the scenario")
+      .option("flash-objects", "8", "number of objects the crowd requests")
+      .option("seed", "7", "workload and simulation seed");
+  std::string error;
+  if (!cli.parse(argc, argv, &error)) {
+    std::cerr << error << '\n' << cli.help_text();
+    return 1;
+  }
+  if (cli.help_requested()) {
+    std::cout << cli.help_text();
+    return 0;
+  }
+
+  const std::uint64_t requests = cli.config().get_size("requests", 150000);
+  const auto flash_objects =
+      static_cast<std::size_t>(cli.config().get_size("flash-objects", 8));
+  const std::uint64_t seed = cli.config().get_size("seed", 7);
+
+  const workload::Trace trace = make_flash_trace(requests, flash_objects, seed);
+
+  driver::ExperimentConfig base;
+  base.proxies = 5;
+  base.seed = seed;
+  base.adc.single_table_size = 2000;
+  base.adc.multiple_table_size = 2000;
+  base.adc.caching_table_size = 1000;
+  base.ma_window = 1000;
+  base.sample_every = 1000;
+
+  driver::ExperimentConfig carp = base;
+  carp.scheme = driver::Scheme::kCarp;
+
+  const driver::ExperimentResult adc_result = driver::run_experiment(base, trace);
+  const driver::ExperimentResult carp_result = driver::run_experiment(carp, trace);
+
+  const auto& phases = trace.phases();
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"phase", "adc_hit_rate", "carp_hit_rate"});
+  rows.push_back({"steady (before)",
+                  driver::fmt(phase_hit_rate(adc_result.series, 0, phases.fill_end), 3),
+                  driver::fmt(phase_hit_rate(carp_result.series, 0, phases.fill_end), 3)});
+  rows.push_back({"flash crowd",
+                  driver::fmt(phase_hit_rate(adc_result.series, phases.fill_end,
+                                             phases.phase2_end), 3),
+                  driver::fmt(phase_hit_rate(carp_result.series, phases.fill_end,
+                                             phases.phase2_end), 3)});
+  rows.push_back({"steady (after)",
+                  driver::fmt(phase_hit_rate(adc_result.series, phases.phase2_end,
+                                             trace.size()), 3),
+                  driver::fmt(phase_hit_rate(carp_result.series, phases.phase2_end,
+                                             trace.size()), 3)});
+  driver::print_table(std::cout, rows);
+
+  // Load split: how evenly the request burden landed across proxies.
+  const auto load_split = [](const driver::ExperimentResult& result) {
+    std::uint64_t total = 0;
+    std::uint64_t peak = 0;
+    for (const auto& proxy : result.proxies) {
+      total += proxy.requests_received;
+      peak = std::max(peak, proxy.requests_received);
+    }
+    return total == 0 ? 0.0
+                      : static_cast<double>(peak) / static_cast<double>(total);
+  };
+  std::cout << "\npeak_proxy_load_share adc=" << driver::fmt(load_split(adc_result), 3)
+            << " carp=" << driver::fmt(load_split(carp_result), 3)
+            << "  (1/proxies = " << driver::fmt(1.0 / 5.0, 3) << " is perfectly even)\n\n";
+
+  driver::print_summary(std::cout, "adc ", adc_result);
+  driver::print_summary(std::cout, "carp", carp_result);
+  return 0;
+}

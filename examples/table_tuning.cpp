@@ -1,0 +1,76 @@
+// Table-size tuning: sweep one ADC mapping table and watch hit rate and
+// hops respond — the interactive version of the paper's Figures 13/14.
+//
+//   ./table_tuning --table caching --sizes 250,500,1000,2000 [--scale 0.02]
+#include <iostream>
+
+#include "driver/report.h"
+#include "driver/sweep.h"
+#include "util/cli.h"
+#include "util/string_util.h"
+#include "workload/polygraph.h"
+
+int main(int argc, char** argv) {
+  using namespace adc;
+
+  util::CliParser cli("Sweep one ADC mapping table's size.");
+  cli.option("table", "caching", "table to sweep: caching | multiple | single")
+      .option("sizes", "250,500,1000,1500,2000,3000", "comma-separated entry counts")
+      .option("scale", "0.02", "workload scale relative to the paper's 3.99M requests")
+      .option("proxies", "5", "number of cooperating proxies");
+  std::string error;
+  if (!cli.parse(argc, argv, &error)) {
+    std::cerr << error << '\n' << cli.help_text();
+    return 1;
+  }
+  if (cli.help_requested()) {
+    std::cout << cli.help_text();
+    return 0;
+  }
+
+  const std::string table_name = cli.config().get_string("table", "caching");
+  driver::SweptTable table = driver::SweptTable::kCaching;
+  if (table_name == "multiple") {
+    table = driver::SweptTable::kMultiple;
+  } else if (table_name == "single") {
+    table = driver::SweptTable::kSingle;
+  } else if (table_name != "caching") {
+    std::cerr << "unknown table '" << table_name << "' (caching|multiple|single)\n";
+    return 1;
+  }
+
+  std::vector<std::size_t> sizes;
+  const std::string sizes_arg = cli.config().get_string("sizes", "");
+  for (const auto field : util::split(sizes_arg, ',')) {
+    if (const auto v = util::parse_size(util::trim(field)); v && *v > 0) {
+      sizes.push_back(static_cast<std::size_t>(*v));
+    } else {
+      std::cerr << "bad size '" << field << "'\n";
+      return 1;
+    }
+  }
+
+  const double scale = cli.config().get_double("scale", 0.02);
+  const workload::Trace trace =
+      workload::generate_polygraph_trace(workload::PolygraphConfig::scaled(scale));
+
+  driver::ExperimentConfig base;
+  base.scheme = driver::Scheme::kAdc;
+  base.proxies = static_cast<int>(cli.config().get_int("proxies", 5));
+  base.adc.single_table_size = std::max<std::size_t>(static_cast<std::size_t>(20000 * scale), 64);
+  base.adc.multiple_table_size = base.adc.single_table_size;
+  base.adc.caching_table_size = std::max<std::size_t>(static_cast<std::size_t>(10000 * scale), 32);
+  base.sample_every = 0;
+
+  const auto points = driver::run_table_sweep(base, trace, {table}, sizes);
+
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"table", "size", "hit_rate", "avg_hops", "wall_s"});
+  for (const auto& point : points) {
+    rows.push_back({std::string(driver::swept_table_name(point.table)),
+                    std::to_string(point.size), driver::fmt(point.hit_rate),
+                    driver::fmt(point.avg_hops, 3), driver::fmt(point.wall_seconds, 3)});
+  }
+  driver::print_table(std::cout, rows);
+  return 0;
+}

@@ -1,0 +1,156 @@
+#include "cache/ordered_table.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <unordered_map>
+
+namespace adc::cache {
+namespace {
+
+/// Faithful variant: sorted vector (ascending skew; ties by insertion
+/// order, new equal keys placed after existing ones), linear object lookup.
+class VectorOrderedTable final : public OrderedTable {
+ public:
+  explicit VectorOrderedTable(std::size_t capacity) : OrderedTable(capacity) {
+    entries_.reserve(capacity);
+  }
+
+  std::size_t size() const noexcept override { return entries_.size(); }
+
+  bool contains(ObjectId object) const noexcept override {
+    return locate(object) != entries_.size();
+  }
+
+  const TableEntry* find(ObjectId object) const noexcept override {
+    const std::size_t i = locate(object);
+    return i == entries_.size() ? nullptr : &entries_[i];
+  }
+
+  std::optional<TableEntry> remove(ObjectId object) override {
+    const std::size_t i = locate(object);
+    if (i == entries_.size()) return std::nullopt;
+    TableEntry out = entries_[i];
+    entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(i));
+    return out;
+  }
+
+  void insert(TableEntry entry) override {
+    assert(!full());
+    // Binary search for the first position with a strictly larger skew;
+    // equal keys keep insertion order (new entry goes after).
+    const auto pos = std::upper_bound(
+        entries_.begin(), entries_.end(), entry.skew(),
+        [](SimTime skew, const TableEntry& e) { return skew < e.skew(); });
+    entries_.insert(pos, entry);
+  }
+
+  std::optional<TableEntry> remove_worst() override {
+    if (entries_.empty()) return std::nullopt;
+    TableEntry out = entries_.back();
+    entries_.pop_back();
+    return out;
+  }
+
+  const TableEntry* worst() const noexcept override {
+    return entries_.empty() ? nullptr : &entries_.back();
+  }
+
+  const TableEntry* best() const noexcept override {
+    return entries_.empty() ? nullptr : &entries_.front();
+  }
+
+  void clear() override { entries_.clear(); }
+
+  void for_each(const std::function<void(const TableEntry&)>& fn) const override {
+    for (const TableEntry& e : entries_) fn(e);
+  }
+
+ private:
+  std::size_t locate(ObjectId object) const noexcept {
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      if (entries_[i].object == object) return i;
+    }
+    return entries_.size();
+  }
+
+  std::vector<TableEntry> entries_;  // ascending skew
+};
+
+/// Indexed variant: multimap ordered by skew + hash index by object id.
+class IndexedOrderedTable final : public OrderedTable {
+ public:
+  explicit IndexedOrderedTable(std::size_t capacity) : OrderedTable(capacity) {
+    index_.reserve(capacity);
+  }
+
+  std::size_t size() const noexcept override { return tree_.size(); }
+
+  bool contains(ObjectId object) const noexcept override {
+    return index_.find(object) != index_.end();
+  }
+
+  const TableEntry* find(ObjectId object) const noexcept override {
+    const auto it = index_.find(object);
+    return it == index_.end() ? nullptr : &it->second->second;
+  }
+
+  std::optional<TableEntry> remove(ObjectId object) override {
+    const auto it = index_.find(object);
+    if (it == index_.end()) return std::nullopt;
+    TableEntry out = it->second->second;
+    tree_.erase(it->second);
+    index_.erase(it);
+    return out;
+  }
+
+  void insert(TableEntry entry) override {
+    assert(!full());
+    assert(!contains(entry.object));
+    // multimap::insert places equal keys after existing ones — the same
+    // tie-break as the faithful variant.
+    const auto node = tree_.emplace(entry.skew(), entry);
+    index_.emplace(entry.object, node);
+  }
+
+  std::optional<TableEntry> remove_worst() override {
+    if (tree_.empty()) return std::nullopt;
+    const auto node = std::prev(tree_.end());
+    TableEntry out = node->second;
+    index_.erase(out.object);
+    tree_.erase(node);
+    return out;
+  }
+
+  const TableEntry* worst() const noexcept override {
+    return tree_.empty() ? nullptr : &std::prev(tree_.end())->second;
+  }
+
+  const TableEntry* best() const noexcept override {
+    return tree_.empty() ? nullptr : &tree_.begin()->second;
+  }
+
+  void clear() override {
+    tree_.clear();
+    index_.clear();
+  }
+
+  void for_each(const std::function<void(const TableEntry&)>& fn) const override {
+    for (const auto& [skew, entry] : tree_) fn(entry);
+  }
+
+ private:
+  using Tree = std::multimap<SimTime, TableEntry>;
+  Tree tree_;
+  std::unordered_map<ObjectId, Tree::iterator> index_;
+};
+
+}  // namespace
+
+std::unique_ptr<OrderedTable> make_ordered_table(std::size_t capacity, TableImpl impl) {
+  assert(capacity > 0);
+  if (impl == TableImpl::kFaithful) return std::make_unique<VectorOrderedTable>(capacity);
+  return std::make_unique<IndexedOrderedTable>(capacity);
+}
+
+}  // namespace adc::cache

@@ -1,0 +1,179 @@
+#include "cache/policies.h"
+
+#include <cassert>
+#include <optional>
+
+#include "util/string_util.h"
+
+namespace adc::cache {
+namespace {
+
+/// LRU and FIFO share the list+index layout; FIFO simply ignores touches.
+class ListCache final : public CacheSet {
+ public:
+  ListCache(std::size_t capacity, bool bump_on_touch)
+      : CacheSet(capacity), bump_on_touch_(bump_on_touch) {
+    index_.reserve(capacity);
+  }
+
+  std::size_t size() const noexcept override { return order_.size(); }
+
+  bool contains(ObjectId object) const noexcept override {
+    return index_.find(object) != index_.end();
+  }
+
+  void touch(ObjectId object) override {
+    if (!bump_on_touch_) return;
+    const auto it = index_.find(object);
+    if (it == index_.end()) return;
+    order_.splice(order_.begin(), order_, it->second);
+  }
+
+  std::optional<ObjectId> insert(ObjectId object) override {
+    const auto it = index_.find(object);
+    if (it != index_.end()) {
+      touch(object);
+      return std::nullopt;
+    }
+    std::optional<ObjectId> evicted;
+    if (full() && capacity() > 0) {
+      evicted = order_.back();
+      index_.erase(order_.back());
+      order_.pop_back();
+    }
+    order_.push_front(object);
+    index_.emplace(object, order_.begin());
+    return evicted;
+  }
+
+  bool erase(ObjectId object) override {
+    const auto it = index_.find(object);
+    if (it == index_.end()) return false;
+    order_.erase(it->second);
+    index_.erase(it);
+    return true;
+  }
+
+  void clear() override {
+    order_.clear();
+    index_.clear();
+  }
+
+  std::vector<ObjectId> eviction_order() const override {
+    return std::vector<ObjectId>(order_.rbegin(), order_.rend());
+  }
+
+ private:
+  bool bump_on_touch_;
+  std::list<ObjectId> order_;  // front = most recently used/inserted
+  std::unordered_map<ObjectId, std::list<ObjectId>::iterator> index_;
+};
+
+/// LFU with FIFO tie-breaking among equal frequencies (classic frequency
+/// list structure; O(log n) via ordered key (freq, seq)).
+class LfuCache final : public CacheSet {
+ public:
+  explicit LfuCache(std::size_t capacity) : CacheSet(capacity) { index_.reserve(capacity); }
+
+  std::size_t size() const noexcept override { return index_.size(); }
+
+  bool contains(ObjectId object) const noexcept override {
+    return index_.find(object) != index_.end();
+  }
+
+  void touch(ObjectId object) override {
+    const auto it = index_.find(object);
+    if (it == index_.end()) return;
+    Meta meta = it->second;
+    tree_.erase({meta.freq, meta.seq});
+    ++meta.freq;
+    meta.seq = next_seq_++;
+    tree_.emplace(Key{meta.freq, meta.seq}, object);
+    it->second = meta;
+  }
+
+  std::optional<ObjectId> insert(ObjectId object) override {
+    if (contains(object)) {
+      touch(object);
+      return std::nullopt;
+    }
+    std::optional<ObjectId> evicted;
+    if (full() && capacity() > 0) {
+      const auto victim = tree_.begin();
+      evicted = victim->second;
+      index_.erase(victim->second);
+      tree_.erase(victim);
+    }
+    const Meta meta{1, next_seq_++};
+    tree_.emplace(Key{meta.freq, meta.seq}, object);
+    index_.emplace(object, meta);
+    return evicted;
+  }
+
+  bool erase(ObjectId object) override {
+    const auto it = index_.find(object);
+    if (it == index_.end()) return false;
+    tree_.erase({it->second.freq, it->second.seq});
+    index_.erase(it);
+    return true;
+  }
+
+  void clear() override {
+    tree_.clear();
+    index_.clear();
+  }
+
+  std::vector<ObjectId> eviction_order() const override {
+    std::vector<ObjectId> out;
+    out.reserve(tree_.size());
+    for (const auto& [key, object] : tree_) out.push_back(object);
+    return out;
+  }
+
+ private:
+  using Key = std::pair<std::uint64_t, std::uint64_t>;  // (freq, insertion seq)
+  struct Meta {
+    std::uint64_t freq;
+    std::uint64_t seq;
+  };
+
+  std::map<Key, ObjectId> tree_;
+  std::unordered_map<ObjectId, Meta> index_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace
+
+Policy parse_policy(std::string_view name) noexcept {
+  const std::string lowered = util::to_lower(name);
+  if (lowered == "fifo") return Policy::kFifo;
+  if (lowered == "lfu") return Policy::kLfu;
+  return Policy::kLru;
+}
+
+std::string_view policy_name(Policy policy) noexcept {
+  switch (policy) {
+    case Policy::kLru:
+      return "lru";
+    case Policy::kFifo:
+      return "fifo";
+    case Policy::kLfu:
+      return "lfu";
+  }
+  return "lru";
+}
+
+std::unique_ptr<CacheSet> make_cache(std::size_t capacity, Policy policy) {
+  assert(capacity > 0);
+  switch (policy) {
+    case Policy::kLru:
+      return std::make_unique<ListCache>(capacity, /*bump_on_touch=*/true);
+    case Policy::kFifo:
+      return std::make_unique<ListCache>(capacity, /*bump_on_touch=*/false);
+    case Policy::kLfu:
+      return std::make_unique<LfuCache>(capacity);
+  }
+  return std::make_unique<ListCache>(capacity, true);
+}
+
+}  // namespace adc::cache

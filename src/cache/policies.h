@@ -1,0 +1,83 @@
+// Classic cache replacement policies for the baseline proxies.
+//
+// The paper's hashing baseline caches with LRU; FIFO and LFU are provided
+// so the baseline-comparison ablation can show how sensitive the hashing
+// results are to the replacement policy.  These caches store object ids
+// only (the simulation never materializes payloads).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "util/types.h"
+
+namespace adc::cache {
+
+enum class Policy {
+  kLru,
+  kFifo,
+  kLfu,
+};
+
+/// Parses "lru" / "fifo" / "lfu" (case-insensitive); defaults to LRU.
+Policy parse_policy(std::string_view name) noexcept;
+std::string_view policy_name(Policy policy) noexcept;
+
+/// A bounded set of cached object ids under some replacement policy.
+class CacheSet {
+ public:
+  explicit CacheSet(std::size_t capacity) : capacity_(capacity) {}
+  virtual ~CacheSet() = default;
+
+  CacheSet(const CacheSet&) = delete;
+  CacheSet& operator=(const CacheSet&) = delete;
+
+  std::size_t capacity() const noexcept { return capacity_; }
+  virtual std::size_t size() const noexcept = 0;
+  bool full() const noexcept { return size() >= capacity_; }
+
+  virtual bool contains(ObjectId object) const noexcept = 0;
+
+  /// Records a cache hit (LRU recency bump / LFU frequency bump).
+  virtual void touch(ObjectId object) = 0;
+
+  /// Inserts an object, evicting per policy when full.  Returns the evicted
+  /// object id, if any.  Inserting a present object behaves like touch().
+  virtual std::optional<ObjectId> insert(ObjectId object) = 0;
+
+  /// Removes a specific object; true if it was present.
+  virtual bool erase(ObjectId object) = 0;
+
+  virtual void clear() = 0;
+
+  /// Eviction-order snapshot, victim first (tests).
+  virtual std::vector<ObjectId> eviction_order() const = 0;
+
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+
+  /// Combined lookup + bookkeeping: true and touch on hit.
+  bool lookup(ObjectId object) {
+    if (contains(object)) {
+      ++hits;
+      touch(object);
+      return true;
+    }
+    ++misses;
+    return false;
+  }
+
+ private:
+  std::size_t capacity_;
+};
+
+std::unique_ptr<CacheSet> make_cache(std::size_t capacity, Policy policy);
+
+}  // namespace adc::cache

@@ -1,0 +1,87 @@
+#include "cache/single_table.h"
+
+#include <cassert>
+
+namespace adc::cache {
+
+SingleTable::SingleTable(std::size_t capacity, TableImpl impl)
+    : capacity_(capacity), impl_(impl) {
+  assert(capacity > 0);
+  if (impl_ == TableImpl::kIndexed) index_.reserve(capacity);
+}
+
+SingleTable::List::iterator SingleTable::locate(ObjectId object) {
+  if (impl_ == TableImpl::kIndexed) {
+    const auto it = index_.find(object);
+    return it == index_.end() ? entries_.end() : it->second;
+  }
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    if (it->object == object) return it;
+  }
+  return entries_.end();
+}
+
+SingleTable::List::const_iterator SingleTable::locate(ObjectId object) const {
+  if (impl_ == TableImpl::kIndexed) {
+    const auto it = index_.find(object);
+    return it == index_.end() ? entries_.cend() : List::const_iterator(it->second);
+  }
+  for (auto it = entries_.cbegin(); it != entries_.cend(); ++it) {
+    if (it->object == object) return it;
+  }
+  return entries_.cend();
+}
+
+bool SingleTable::contains(ObjectId object) const noexcept {
+  return locate(object) != entries_.cend();
+}
+
+const TableEntry* SingleTable::find(ObjectId object) const noexcept {
+  const auto it = locate(object);
+  return it == entries_.cend() ? nullptr : &*it;
+}
+
+std::optional<TableEntry> SingleTable::remove(ObjectId object) {
+  const auto it = locate(object);
+  if (it == entries_.end()) return std::nullopt;
+  TableEntry out = *it;
+  if (impl_ == TableImpl::kIndexed) index_.erase(object);
+  entries_.erase(it);
+  return out;
+}
+
+std::optional<TableEntry> SingleTable::insert_on_top(TableEntry entry) {
+  assert(locate(entry.object) == entries_.end() && "duplicate object in single-table");
+  std::optional<TableEntry> evicted;
+  if (full()) evicted = remove_last();
+  entries_.push_front(entry);
+  if (impl_ == TableImpl::kIndexed) index_.emplace(entry.object, entries_.begin());
+  return evicted;
+}
+
+std::optional<TableEntry> SingleTable::remove_last() {
+  if (entries_.empty()) return std::nullopt;
+  TableEntry out = entries_.back();
+  if (impl_ == TableImpl::kIndexed) index_.erase(out.object);
+  entries_.pop_back();
+  return out;
+}
+
+const TableEntry* SingleTable::top() const noexcept {
+  return entries_.empty() ? nullptr : &entries_.front();
+}
+
+const TableEntry* SingleTable::bottom() const noexcept {
+  return entries_.empty() ? nullptr : &entries_.back();
+}
+
+void SingleTable::clear() {
+  entries_.clear();
+  index_.clear();
+}
+
+std::vector<TableEntry> SingleTable::snapshot() const {
+  return std::vector<TableEntry>(entries_.begin(), entries_.end());
+}
+
+}  // namespace adc::cache

@@ -1,0 +1,75 @@
+// The ADC single-table: a capacity-bounded LRU list of mapping entries
+// (paper Section III.3.1).
+//
+// New or re-inserted entries go on top; the bottom entry drops out when
+// the table overflows.  The paper implemented the lookup as an element-wise
+// scan of a linked list and identifies that scan as a dominant cost of
+// large tables (Section V.3.3); `TableImpl::kFaithful` reproduces it, while
+// `TableImpl::kIndexed` adds a hash index for O(1) lookups — the ablation
+// bench quantifies the difference.
+#pragma once
+
+#include <cstddef>
+#include <list>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/table_entry.h"
+#include "util/types.h"
+
+namespace adc::cache {
+
+/// Internal data-structure strategy for the mapping tables.
+enum class TableImpl {
+  kFaithful,  // the paper's structures: linear scans / position shifting
+  kIndexed,   // hash-indexed production variant
+};
+
+class SingleTable {
+ public:
+  explicit SingleTable(std::size_t capacity, TableImpl impl = TableImpl::kIndexed);
+
+  std::size_t capacity() const noexcept { return capacity_; }
+  std::size_t size() const noexcept { return entries_.size(); }
+  bool empty() const noexcept { return entries_.empty(); }
+  bool full() const noexcept { return entries_.size() >= capacity_; }
+  TableImpl impl() const noexcept { return impl_; }
+
+  bool contains(ObjectId object) const noexcept;
+
+  /// Read-only view of an entry; nullptr when absent.  Does not touch
+  /// recency (the ADC algorithm only reorders through remove + insert).
+  const TableEntry* find(ObjectId object) const noexcept;
+
+  /// Removes and returns the entry (the paper's RemoveEntry).
+  std::optional<TableEntry> remove(ObjectId object);
+
+  /// Inserts on top (most recent); if the table is full the bottom entry
+  /// drops out and is returned (paper: "the last element ... drops out").
+  std::optional<TableEntry> insert_on_top(TableEntry entry);
+
+  /// Removes and returns the bottom (least recent) entry.
+  std::optional<TableEntry> remove_last();
+
+  const TableEntry* top() const noexcept;
+  const TableEntry* bottom() const noexcept;
+
+  void clear();
+
+  /// Entries from most to least recent (tests / diagnostics).
+  std::vector<TableEntry> snapshot() const;
+
+ private:
+  using List = std::list<TableEntry>;
+
+  List::iterator locate(ObjectId object);
+  List::const_iterator locate(ObjectId object) const;
+
+  std::size_t capacity_;
+  TableImpl impl_;
+  List entries_;  // front = most recent
+  std::unordered_map<ObjectId, List::iterator> index_;  // kIndexed only
+};
+
+}  // namespace adc::cache

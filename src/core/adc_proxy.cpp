@@ -1,0 +1,175 @@
+#include "core/adc_proxy.h"
+
+#include <cassert>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace adc::core {
+
+using sim::Message;
+using sim::MessageKind;
+using sim::Simulator;
+
+AdcProxy::AdcProxy(NodeId id, std::string name, const AdcConfig& config,
+                   std::vector<NodeId> proxies, NodeId origin)
+    : Node(id, sim::NodeKind::kProxy, std::move(name)),
+      config_(config),
+      tables_(config),
+      proxies_(std::move(proxies)),
+      origin_(origin) {
+  assert(!proxies_.empty());
+  if (!config_.selective_caching) {
+    lru_cache_ = cache::make_cache(config_.caching_table_size, cache::Policy::kLru);
+  }
+}
+
+void AdcProxy::flush() {
+  tables_.clear();
+  if (lru_cache_ != nullptr) lru_cache_->clear();
+  lru_versions_.clear();
+}
+
+void AdcProxy::warm_cache(ObjectId object, std::uint64_t version) {
+  if (config_.selective_caching) {
+    tables_.warm_cache(object, id(), local_time_, version);
+    return;
+  }
+  if (const auto evicted = lru_cache_->insert(object)) lru_versions_.erase(*evicted);
+  lru_versions_[object] = version;
+}
+
+std::uint64_t AdcProxy::stored_version(ObjectId object) const noexcept {
+  if (config_.selective_caching) {
+    const cache::TableEntry* entry = tables_.caching().find(object);
+    return entry != nullptr ? entry->version : 0;
+  }
+  const auto it = lru_versions_.find(object);
+  return it == lru_versions_.end() ? 0 : it->second;
+}
+
+bool AdcProxy::is_locally_cached(ObjectId object) const noexcept {
+  if (config_.selective_caching) return tables_.is_cached(object);
+  return lru_cache_->contains(object);
+}
+
+void AdcProxy::on_message(Simulator& sim, const Message& msg) {
+  if (msg.kind == MessageKind::kRequest) {
+    receive_request(sim, msg);
+  } else {
+    receive_reply(sim, msg);
+  }
+}
+
+// Paper Figure 5 (Receive_Request).
+void AdcProxy::receive_request(Simulator& sim, const Message& msg) {
+  ++local_time_;
+  ++stats_.requests_received;
+  const ObjectId object = msg.object;
+
+  if (is_locally_cached(object)) {
+    ++stats_.local_hits;
+    if (!config_.selective_caching) lru_cache_->touch(object);
+    tables_.update_entry(object, id(), local_time_);
+
+    Message reply = msg;
+    reply.kind = MessageKind::kReply;
+    reply.sender = id();
+    reply.target = msg.sender;
+    reply.resolver = id();
+    reply.cached = true;
+    reply.proxy_hit = true;
+    reply.version = stored_version(object);
+    sim.send(std::move(reply));
+    return;
+  }
+
+  // Loop detection must precede storing the new backwarding record: a
+  // request id already pending here means the random walk revisited us.
+  const auto pending_it = pending_.find(msg.request_id);
+  const bool loop = pending_it != pending_.end() && !pending_it->second.empty();
+  pending_[msg.request_id].push_back(msg.sender);
+
+  Message forward = msg;
+  forward.sender = id();
+  forward.forward_count = msg.forward_count + 1;
+
+  const bool max_hops = msg.forward_count >= config_.max_forwards;
+  if (loop || max_hops) {
+    if (loop) ++stats_.loops_detected;
+    if (max_hops) ++stats_.max_forwards_hit;
+    ++stats_.forwards_origin;
+    forward.target = origin_;
+  } else {
+    forward.target = forward_address(sim, object);
+  }
+  sim.send(std::move(forward));
+}
+
+// Paper Figure 6 (Forward_Addr).
+NodeId AdcProxy::forward_address(Simulator& sim, ObjectId object) {
+  const auto location = tables_.forward_location(object);
+  if (!location.has_value()) {
+    // Unknown object: random peer over the full membership, self included.
+    ++stats_.forwards_random;
+    return proxies_[sim.rng().index(proxies_.size())];
+  }
+  if (*location == id()) {
+    // THIS marker: we are responsible but do not hold the data — the
+    // search terminates at the origin server (paper Section III.3.2).
+    ++stats_.forwards_origin;
+    return origin_;
+  }
+  ++stats_.forwards_learned;
+  return *location;
+}
+
+// Paper Figure 7 (Receive_Reply).
+void AdcProxy::receive_reply(Simulator& sim, const Message& msg) {
+  Message reply = msg;
+
+  // NULL resolver == the data came straight from the origin server; the
+  // first proxy on the backwarding path claims responsibility.
+  if (reply.resolver == kInvalidNode) {
+    reply.resolver = id();
+    ++stats_.resolver_claims;
+  }
+
+  const bool learn = config_.backward_multicast || reply.resolver == id();
+  if (learn) {
+    const UpdateResult update =
+        tables_.update_entry(reply.object, reply.resolver, local_time_, reply.version);
+    if (update.promoted_to_cache) ++stats_.cache_admissions;
+  }
+
+  if (!config_.selective_caching) {
+    // ABL-SEL: admit every passing object, evicting per LRU.
+    if (!lru_cache_->contains(reply.object)) ++stats_.cache_admissions;
+    if (const auto evicted = lru_cache_->insert(reply.object)) lru_versions_.erase(*evicted);
+    lru_versions_[reply.object] = reply.version;
+  }
+
+  // If the update admitted the object into our cache and nobody on the
+  // path cached it yet, we become the official location for upstream
+  // proxies (focus on a single caching location, Section IV.2).
+  if (is_locally_cached(reply.object) && !reply.cached) {
+    reply.resolver = id();
+    reply.cached = true;
+    ++stats_.resolver_claims;
+  }
+
+  // Backward along the stored path (LIFO per request id).
+  const auto it = pending_.find(reply.request_id);
+  assert(it != pending_.end() && !it->second.empty() &&
+         "reply without a pending backwarding record");
+  const NodeId previous_hop = it->second.back();
+  it->second.pop_back();
+  if (it->second.empty()) pending_.erase(it);
+
+  ++stats_.replies_relayed;
+  reply.sender = id();
+  reply.target = previous_hop;
+  sim.send(std::move(reply));
+}
+
+}  // namespace adc::core

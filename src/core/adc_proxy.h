@@ -1,0 +1,93 @@
+// The ADC proxy agent (paper Section IV): reacts to incoming requests and
+// replies, maintains the three mapping tables, and self-organizes with its
+// peers purely through request forwarding and backwarding.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/adc_config.h"
+#include "core/mapping_tables.h"
+#include "cache/policies.h"
+#include "sim/node.h"
+#include "sim/simulator.h"
+#include "util/types.h"
+
+namespace adc::core {
+
+struct AdcProxyStats {
+  std::uint64_t requests_received = 0;
+  std::uint64_t local_hits = 0;
+  std::uint64_t forwards_learned = 0;   // table lookup produced a peer
+  std::uint64_t forwards_random = 0;    // no entry: random peer selection
+  std::uint64_t forwards_origin = 0;    // THIS entry, loop or max-forwards
+  std::uint64_t loops_detected = 0;
+  std::uint64_t max_forwards_hit = 0;
+  std::uint64_t replies_relayed = 0;
+  std::uint64_t resolver_claims = 0;    // times this proxy set itself as resolver
+  std::uint64_t cache_admissions = 0;   // objects newly admitted to the cache
+};
+
+class AdcProxy final : public sim::Node {
+ public:
+  /// `proxies` is the full membership (including this proxy's own id) used
+  /// for random forwarding; `origin` terminates unresolved searches.
+  AdcProxy(NodeId id, std::string name, const AdcConfig& config,
+           std::vector<NodeId> proxies, NodeId origin);
+
+  void on_message(sim::Simulator& sim, const sim::Message& msg) override;
+
+  const AdcConfig& config() const noexcept { return config_; }
+  const MappingTables& tables() const noexcept { return tables_; }
+  const AdcProxyStats& stats() const noexcept { return stats_; }
+  SimTime local_time() const noexcept { return local_time_; }
+
+  /// True when the proxy holds the object's data: the selective caching
+  /// table in normal mode, the LRU cache in the ABL-SEL ablation.
+  bool is_locally_cached(ObjectId object) const noexcept;
+
+  /// Outstanding backwarding records (must drain to 0 when idle).
+  std::size_t pending_backwards() const noexcept { return pending_.size(); }
+
+  /// Fault injection: wipes all learned state (mapping tables and cache)
+  /// as if the proxy cold-restarted.  In-flight backwarding records are
+  /// preserved — connectivity survives, data does not — so outstanding
+  /// journeys still complete.
+  void flush();
+
+  /// Cache warming: makes this proxy a holder of the object without any
+  /// message traffic (so peers learn nothing).
+  void warm_cache(ObjectId object, std::uint64_t version = 0);
+
+ private:
+  void receive_request(sim::Simulator& sim, const sim::Message& msg);
+  void receive_reply(sim::Simulator& sim, const sim::Message& msg);
+
+  /// Paper Figure 6: table lookup, THIS -> origin, unknown -> random peer.
+  NodeId forward_address(sim::Simulator& sim, ObjectId object);
+
+  AdcConfig config_;
+  MappingTables tables_;
+  std::vector<NodeId> proxies_;
+  NodeId origin_;
+
+  /// Local logical clock: ticks once per received request (Figure 5).
+  SimTime local_time_ = 0;
+
+  /// Pending-backwarding records per request id; a stack because a looping
+  /// request can traverse this proxy more than once.
+  std::unordered_map<RequestId, std::vector<NodeId>> pending_;
+
+  /// Version of the locally cached copy (0 when absent or versioning off).
+  std::uint64_t stored_version(ObjectId object) const noexcept;
+
+  /// ABL-SEL mode: admit-all LRU cache replacing the ordered caching table,
+  /// plus the data versions of its contents.
+  std::unique_ptr<cache::CacheSet> lru_cache_;
+  std::unordered_map<ObjectId, std::uint64_t> lru_versions_;
+
+  AdcProxyStats stats_;
+};
+
+}  // namespace adc::core

@@ -1,0 +1,300 @@
+#include "driver/experiment.h"
+
+#include <cassert>
+#include <chrono>
+#include <memory>
+
+#include "hash/carp.h"
+#include "hash/consistent_hash.h"
+#include "hash/rendezvous.h"
+#include "proxy/coordinator.h"
+#include "proxy/hashing_proxy.h"
+#include "proxy/hierarchical_proxy.h"
+#include "proxy/origin_server.h"
+#include "proxy/soap_proxy.h"
+#include "sim/simulator.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace adc::driver {
+namespace {
+
+std::string proxy_name(int index) { return "proxy[" + std::to_string(index) + "]"; }
+
+std::size_t baseline_capacity(const ExperimentConfig& config) {
+  return config.baseline_cache_capacity != 0 ? config.baseline_cache_capacity
+                                             : config.adc.caching_table_size;
+}
+
+}  // namespace
+
+std::string_view scheme_name(Scheme scheme) noexcept {
+  switch (scheme) {
+    case Scheme::kAdc:
+      return "adc";
+    case Scheme::kCarp:
+      return "carp";
+    case Scheme::kConsistent:
+      return "consistent";
+    case Scheme::kRendezvous:
+      return "rendezvous";
+    case Scheme::kHierarchical:
+      return "hierarchical";
+    case Scheme::kCoordinator:
+      return "coordinator";
+    case Scheme::kSoap:
+      return "soap";
+  }
+  return "adc";
+}
+
+std::optional<Scheme> parse_scheme(std::string_view name) noexcept {
+  const std::string lowered = util::to_lower(name);
+  if (lowered == "adc") return Scheme::kAdc;
+  if (lowered == "carp" || lowered == "hash" || lowered == "hashing") return Scheme::kCarp;
+  if (lowered == "consistent" || lowered == "ring") return Scheme::kConsistent;
+  if (lowered == "rendezvous" || lowered == "hrw") return Scheme::kRendezvous;
+  if (lowered == "hierarchical" || lowered == "hier") return Scheme::kHierarchical;
+  if (lowered == "coordinator" || lowered == "central") return Scheme::kCoordinator;
+  if (lowered == "soap") return Scheme::kSoap;
+  return std::nullopt;
+}
+
+ExperimentResult run_experiment(const ExperimentConfig& config, const workload::Trace& trace) {
+  assert(config.proxies >= 1);
+
+  sim::Simulator sim(config.seed, config.latency);
+  sim.set_metrics(sim::MetricsCollector(config.ma_window, config.sample_every));
+
+  const int p = config.proxies;
+  std::vector<NodeId> proxy_ids;
+  proxy_ids.reserve(static_cast<std::size_t>(p));
+  for (int i = 0; i < p; ++i) proxy_ids.push_back(static_cast<NodeId>(i));
+
+  // Node id layout: proxies [0, p), then scheme-specific extras, then the
+  // origin, then the client.  Entry proxies are what the client targets.
+  std::vector<NodeId> entry_proxies = proxy_ids;
+  NodeId next_id = static_cast<NodeId>(p);
+  NodeId root_id = kInvalidNode;
+  NodeId coordinator_id = kInvalidNode;
+  if (config.scheme == Scheme::kHierarchical) root_id = next_id++;
+  if (config.scheme == Scheme::kCoordinator) coordinator_id = next_id++;
+  const NodeId origin_id = next_id++;
+  const NodeId client_id = next_id++;
+
+  switch (config.scheme) {
+    case Scheme::kAdc: {
+      for (int i = 0; i < p; ++i) {
+        sim.add_node(std::make_unique<core::AdcProxy>(proxy_ids[static_cast<std::size_t>(i)],
+                                                      proxy_name(i), config.adc, proxy_ids,
+                                                      origin_id));
+      }
+      break;
+    }
+    case Scheme::kCarp: {
+      assert(config.carp_load_factors.empty() ||
+             config.carp_load_factors.size() == static_cast<std::size_t>(p));
+      std::vector<hash::CarpArray::Member> members;
+      for (int i = 0; i < p; ++i) {
+        const double load_factor =
+            config.carp_load_factors.empty() ? 1.0
+                                             : config.carp_load_factors[static_cast<std::size_t>(i)];
+        members.push_back({proxy_name(i), proxy_ids[static_cast<std::size_t>(i)], load_factor});
+      }
+      auto owners = std::make_shared<proxy::CarpOwnerMap>(hash::CarpArray(std::move(members)));
+      for (int i = 0; i < p; ++i) {
+        sim.add_node(std::make_unique<proxy::HashingProxy>(
+            proxy_ids[static_cast<std::size_t>(i)], proxy_name(i), owners, origin_id,
+            baseline_capacity(config), config.baseline_policy, config.entry_caching));
+      }
+      break;
+    }
+    case Scheme::kConsistent: {
+      hash::ConsistentHashRing ring;
+      for (int i = 0; i < p; ++i) {
+        ring.add_member(proxy_ids[static_cast<std::size_t>(i)], proxy_name(i));
+      }
+      auto owners = std::make_shared<proxy::RingOwnerMap>(std::move(ring));
+      for (int i = 0; i < p; ++i) {
+        sim.add_node(std::make_unique<proxy::HashingProxy>(
+            proxy_ids[static_cast<std::size_t>(i)], proxy_name(i), owners, origin_id,
+            baseline_capacity(config), config.baseline_policy, config.entry_caching));
+      }
+      break;
+    }
+    case Scheme::kRendezvous: {
+      hash::RendezvousHash hrw;
+      for (int i = 0; i < p; ++i) {
+        hrw.add_member(proxy_ids[static_cast<std::size_t>(i)], proxy_name(i));
+      }
+      auto owners = std::make_shared<proxy::RendezvousOwnerMap>(std::move(hrw));
+      for (int i = 0; i < p; ++i) {
+        sim.add_node(std::make_unique<proxy::HashingProxy>(
+            proxy_ids[static_cast<std::size_t>(i)], proxy_name(i), owners, origin_id,
+            baseline_capacity(config), config.baseline_policy, config.entry_caching));
+      }
+      break;
+    }
+    case Scheme::kHierarchical: {
+      for (int i = 0; i < p; ++i) {
+        sim.add_node(std::make_unique<proxy::CacheNode>(proxy_ids[static_cast<std::size_t>(i)],
+                                                        proxy_name(i), root_id,
+                                                        baseline_capacity(config),
+                                                        config.baseline_policy));
+      }
+      const std::size_t root_capacity = config.root_cache_capacity != 0
+                                            ? config.root_cache_capacity
+                                            : baseline_capacity(config);
+      sim.add_node(std::make_unique<proxy::CacheNode>(root_id, "root", origin_id, root_capacity,
+                                                      config.baseline_policy));
+      break;
+    }
+    case Scheme::kCoordinator: {
+      for (int i = 0; i < p; ++i) {
+        sim.add_node(std::make_unique<proxy::CacheNode>(proxy_ids[static_cast<std::size_t>(i)],
+                                                        proxy_name(i), origin_id,
+                                                        baseline_capacity(config),
+                                                        config.baseline_policy));
+      }
+      sim.add_node(std::make_unique<proxy::Coordinator>(coordinator_id, "coordinator",
+                                                        proxy_ids));
+      entry_proxies = {coordinator_id};
+      break;
+    }
+    case Scheme::kSoap: {
+      auto categories = std::make_shared<proxy::CategoryMap>(config.soap_categories);
+      for (int i = 0; i < p; ++i) {
+        sim.add_node(std::make_unique<proxy::SoapProxy>(
+            proxy_ids[static_cast<std::size_t>(i)], proxy_name(i), categories, proxy_ids,
+            origin_id, baseline_capacity(config)));
+      }
+      break;
+    }
+  }
+
+  sim::VersionOraclePtr oracle;
+  if (config.object_update_interval > 0) {
+    oracle = std::make_shared<sim::VersionOracle>(config.object_update_interval);
+  }
+  sim.add_node(std::make_unique<proxy::OriginServer>(origin_id, "origin", oracle));
+
+  TraceStream stream(trace);
+  auto client_ptr = std::make_unique<proxy::Client>(client_id, "client", stream, entry_proxies,
+                                                    config.entry_policy, config.concurrency);
+  proxy::Client& client = *client_ptr;
+  client.set_version_oracle(oracle);
+  sim.add_node(std::move(client_ptr));
+
+  if (config.slow_proxy_delay > 0 && config.slow_proxy_index >= 0 &&
+      config.slow_proxy_index < p) {
+    sim.network().set_node_delay(proxy_ids[static_cast<std::size_t>(config.slow_proxy_index)],
+                                 config.slow_proxy_delay);
+  }
+
+  if (config.fault.at_completed > 0) {
+    const int index = config.fault.proxy_index;
+    assert(index >= 0 && index < p && "fault.proxy_index out of range");
+    const NodeId victim = proxy_ids[static_cast<std::size_t>(index)];
+    const Scheme scheme = config.scheme;
+    client.at_completed(config.fault.at_completed, [&sim, victim, scheme]() {
+      sim::Node& node = sim.node(victim);
+      switch (scheme) {
+        case Scheme::kAdc:
+          static_cast<core::AdcProxy&>(node).flush();
+          break;
+        case Scheme::kCarp:
+        case Scheme::kConsistent:
+        case Scheme::kRendezvous:
+          static_cast<proxy::HashingProxy&>(node).flush();
+          break;
+        case Scheme::kHierarchical:
+        case Scheme::kCoordinator:
+          static_cast<proxy::CacheNode&>(node).flush();
+          break;
+        case Scheme::kSoap:
+          static_cast<proxy::SoapProxy&>(node).flush();
+          break;
+      }
+      ADC_LOG_INFO << "fault injected: flushed " << node.name() << " at t=" << sim.now();
+    });
+  }
+
+  client.start(sim);
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  const std::uint64_t events = sim.run();
+  const auto wall_end = std::chrono::steady_clock::now();
+
+  if (!client.drained()) {
+    ADC_LOG_WARN << "experiment ended with " << (client.issued() - client.completed())
+                 << " requests still in flight";
+  }
+
+  ExperimentResult result;
+  result.summary = sim.metrics().summary();
+  result.series = sim.metrics().series();
+  result.wall_seconds = std::chrono::duration<double>(wall_end - wall_start).count();
+  result.events = events;
+  result.messages = sim.network().messages_sent();
+  result.sim_end_time = sim.now();
+  result.origin_served =
+      static_cast<const proxy::OriginServer&>(sim.node(origin_id)).requests_served();
+  result.hops_p50 = sim.metrics().hop_histogram().percentile(0.50);
+  result.hops_p95 = sim.metrics().hop_histogram().percentile(0.95);
+  result.hops_max = sim.metrics().hop_histogram().max_seen();
+
+  for (int i = 0; i < p; ++i) {
+    const sim::Node& node = sim.node(proxy_ids[static_cast<std::size_t>(i)]);
+    ProxySnapshot snapshot;
+    snapshot.name = node.name();
+    if (config.scheme == Scheme::kAdc) {
+      const auto& adc = static_cast<const core::AdcProxy&>(node);
+      snapshot.requests_received = adc.stats().requests_received;
+      snapshot.local_hits = adc.stats().local_hits;
+      snapshot.cached_objects = adc.config().selective_caching
+                                    ? adc.tables().caching().size()
+                                    : adc.stats().cache_admissions;
+      snapshot.table_entries = adc.tables().total_entries();
+      if (config.collect_cache_contents && adc.config().selective_caching) {
+        adc.tables().caching().for_each([&snapshot](const cache::TableEntry& entry) {
+          snapshot.cached_ids.push_back(entry.object);
+        });
+      }
+
+      result.adc_totals.requests_received += adc.stats().requests_received;
+      result.adc_totals.local_hits += adc.stats().local_hits;
+      result.adc_totals.forwards_learned += adc.stats().forwards_learned;
+      result.adc_totals.forwards_random += adc.stats().forwards_random;
+      result.adc_totals.forwards_origin += adc.stats().forwards_origin;
+      result.adc_totals.loops_detected += adc.stats().loops_detected;
+      result.adc_totals.max_forwards_hit += adc.stats().max_forwards_hit;
+      result.adc_totals.replies_relayed += adc.stats().replies_relayed;
+      result.adc_totals.resolver_claims += adc.stats().resolver_claims;
+      result.adc_totals.cache_admissions += adc.stats().cache_admissions;
+    } else if (config.scheme == Scheme::kHierarchical ||
+               config.scheme == Scheme::kCoordinator) {
+      const auto& cn = static_cast<const proxy::CacheNode&>(node);
+      snapshot.requests_received = cn.stats().requests_received;
+      snapshot.local_hits = cn.stats().local_hits;
+      snapshot.cached_objects = cn.cache().size();
+      if (config.collect_cache_contents) snapshot.cached_ids = cn.cache().eviction_order();
+    } else if (config.scheme == Scheme::kSoap) {
+      const auto& sp = static_cast<const proxy::SoapProxy&>(node);
+      snapshot.requests_received = sp.stats().requests_received;
+      snapshot.local_hits = sp.stats().local_hits;
+      snapshot.cached_objects = sp.cache().size();
+      if (config.collect_cache_contents) snapshot.cached_ids = sp.cache().eviction_order();
+    } else {
+      const auto& hp = static_cast<const proxy::HashingProxy&>(node);
+      snapshot.requests_received = hp.stats().requests_received;
+      snapshot.local_hits = hp.stats().local_hits;
+      snapshot.cached_objects = hp.cache().size();
+      if (config.collect_cache_contents) snapshot.cached_ids = hp.cache().eviction_order();
+    }
+    result.proxies.push_back(std::move(snapshot));
+  }
+
+  return result;
+}
+
+}  // namespace adc::driver

@@ -1,0 +1,163 @@
+// Experiment driver: builds a proxy deployment for a scheme, replays a
+// trace through it, and collects the metrics the paper reports.  Every
+// bench binary and example is a thin wrapper around run_experiment().
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cache/policies.h"
+#include "core/adc_config.h"
+#include "core/adc_proxy.h"
+#include "proxy/client.h"
+#include "sim/metrics.h"
+#include "sim/network.h"
+#include "workload/trace.h"
+
+namespace adc::driver {
+
+/// Distributed-caching schemes the testbed can run.
+enum class Scheme {
+  kAdc,           // the paper's contribution
+  kCarp,          // the paper's hashing baseline (CARP v1.1)
+  kConsistent,    // consistent-hashing ring baseline
+  kRendezvous,    // rendezvous (HRW) baseline
+  kHierarchical,  // 2-level admit-all hierarchy baseline
+  kCoordinator,   // central-coordinator load balancer (paper Section II.1)
+  kSoap,          // self-organized adaptive proxies (paper Section II.2)
+};
+
+std::string_view scheme_name(Scheme scheme) noexcept;
+std::optional<Scheme> parse_scheme(std::string_view name) noexcept;
+
+struct ExperimentConfig {
+  Scheme scheme = Scheme::kAdc;
+
+  /// Number of cooperating proxies (paper default: 5).
+  int proxies = 5;
+
+  /// ADC parameters (table sizes, max forwards, ablation switches).
+  core::AdcConfig adc;
+
+  /// Baseline proxies' cache capacity; 0 means "same as the ADC caching
+  /// table" so aggregate storage is comparable across schemes.
+  std::size_t baseline_cache_capacity = 0;
+  cache::Policy baseline_policy = cache::Policy::kLru;
+
+  /// CARP/hashing: route replies through the entry proxy so it caches too
+  /// (the paper's baseline bypasses the entry proxy).
+  bool entry_caching = false;
+
+  /// CARP only: per-proxy relative load factors (empty = all equal).  The
+  /// CARP draft's knob for heterogeneous members: a proxy with factor 0.5
+  /// owns roughly half the URL space of a factor-1.0 peer.
+  std::vector<double> carp_load_factors;
+
+  /// Hierarchical: root cache capacity; 0 means same as a leaf.
+  std::size_t root_cache_capacity = 0;
+
+  /// SOAP: number of URL categories (domains) its mapping tables cover.
+  std::size_t soap_categories = 256;
+
+  /// Fault injection ("changes of the infrastructure", paper Section
+  /// V.1): when `at_completed` > 0, proxy `proxy_index` cold-restarts —
+  /// losing its cache and learned tables — the moment that many requests
+  /// have completed.  Connectivity survives, so the run still finishes.
+  struct FaultSpec {
+    std::uint64_t at_completed = 0;  // 0 disables
+    int proxy_index = 0;
+  };
+  FaultSpec fault;
+
+  /// When true, each ProxySnapshot also lists the object ids cached at
+  /// the end of the run (for duplication/partitioning analysis); costs
+  /// memory proportional to the aggregate cache, so off by default.
+  bool collect_cache_contents = false;
+
+  /// Heterogeneous hardware: proxy `slow_proxy_index` takes an extra
+  /// `slow_proxy_delay` time units to process every delivered message
+  /// (disabled when the delay is 0).  The coordinator's response-time
+  /// learning reacts to this; content-addressed schemes cannot.
+  int slow_proxy_index = -1;
+  SimTime slow_proxy_delay = 0;
+
+  /// Cache consistency: mean simulated-time interval between origin-side
+  /// object updates (0 = objects never change).  When enabled, hits that
+  /// serve data older than the origin's current version are counted in
+  /// MetricsSummary::stale_hits.
+  SimTime object_update_interval = 0;
+
+  proxy::EntryPolicy entry_policy = proxy::EntryPolicy::kRandom;
+
+  /// Closed-loop request streams kept in flight by the client.
+  int concurrency = 1;
+
+  std::uint64_t seed = 1;
+
+  /// Metrics: moving-average window and series sampling stride (paper
+  /// Figure 11 uses a 5000-request moving average).
+  std::size_t ma_window = 5000;
+  std::uint64_t sample_every = 5000;
+
+  sim::LatencyModel latency;
+};
+
+struct ProxySnapshot {
+  std::string name;
+  std::uint64_t requests_received = 0;
+  std::uint64_t local_hits = 0;
+  std::uint64_t cached_objects = 0;
+  std::uint64_t table_entries = 0;
+  /// Filled only when ExperimentConfig::collect_cache_contents is set.
+  std::vector<ObjectId> cached_ids;
+};
+
+struct ExperimentResult {
+  sim::MetricsSummary summary;
+  std::vector<sim::SeriesPoint> series;
+
+  /// Host wall-clock seconds spent inside the simulation loop (the paper's
+  /// Figure-15 "processing time" analogue).
+  double wall_seconds = 0.0;
+
+  std::uint64_t events = 0;
+  std::uint64_t messages = 0;
+  std::uint64_t origin_served = 0;
+  SimTime sim_end_time = 0;
+
+  /// Whole-run per-request hop distribution (median / tail / worst).
+  int hops_p50 = -1;
+  int hops_p95 = -1;
+  int hops_max = -1;
+
+  std::vector<ProxySnapshot> proxies;
+
+  /// ADC only: aggregated algorithm counters over all proxies.
+  core::AdcProxyStats adc_totals;
+};
+
+/// Adapts a workload::Trace to the client's pull interface.
+class TraceStream final : public proxy::RequestStream {
+ public:
+  explicit TraceStream(const workload::Trace& trace) : trace_(&trace) {}
+
+  std::optional<ObjectId> next() override {
+    if (cursor_ >= trace_->size()) return std::nullopt;
+    return (*trace_)[cursor_++];
+  }
+
+  std::uint64_t cursor() const noexcept { return cursor_; }
+
+ private:
+  const workload::Trace* trace_;
+  std::uint64_t cursor_ = 0;
+};
+
+/// Runs the full trace through a freshly built deployment and returns the
+/// collected metrics.  Deterministic in (config, trace).
+ExperimentResult run_experiment(const ExperimentConfig& config, const workload::Trace& trace);
+
+}  // namespace adc::driver

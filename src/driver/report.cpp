@@ -1,0 +1,80 @@
+#include "driver/report.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "util/csv.h"
+#include "util/string_util.h"
+
+namespace adc::driver {
+
+std::string fmt(double value, int precision) {
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(precision) << value;
+  return out.str();
+}
+
+void print_table(std::ostream& out, const std::vector<std::vector<std::string>>& rows) {
+  if (rows.empty()) return;
+  std::vector<std::size_t> widths;
+  for (const auto& row : rows) {
+    if (row.size() > widths.size()) widths.resize(row.size(), 0);
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    out << "  ";
+    for (std::size_t c = 0; c < rows[r].size(); ++c) {
+      out << std::left << std::setw(static_cast<int>(widths[c]) + 2) << rows[r][c];
+    }
+    out << '\n';
+    if (r == 0) {
+      out << "  ";
+      for (std::size_t c = 0; c < widths.size(); ++c) {
+        out << std::string(widths[c], '-') << "  ";
+      }
+      out << '\n';
+    }
+  }
+}
+
+void print_summary(std::ostream& out, std::string_view label, const ExperimentResult& result) {
+  out << label << ": requests=" << util::with_thousands(result.summary.completed)
+      << " hit_rate=" << fmt(result.summary.hit_rate()) << " avg_hops="
+      << fmt(result.summary.avg_hops(), 3) << " avg_latency="
+      << fmt(result.summary.avg_latency(), 2) << " origin_fetches="
+      << util::with_thousands(result.origin_served) << " wall=" << fmt(result.wall_seconds, 3)
+      << "s\n";
+}
+
+void print_series_csv(std::ostream& out, std::string_view label,
+                      const std::vector<sim::SeriesPoint>& series) {
+  util::CsvWriter csv(out);
+  csv.header({"label", "requests", "hit_rate_ma", "hops_ma", "latency_ma"});
+  for (const auto& point : series) {
+    csv.field(label)
+        .field(point.requests)
+        .field(point.hit_rate)
+        .field(point.hops, 4)
+        .field(point.latency, 4);
+    csv.end_row();
+  }
+}
+
+void print_sweep_csv(std::ostream& out, const std::vector<SweepPoint>& points) {
+  util::CsvWriter csv(out);
+  csv.header({"table", "size", "hit_rate", "avg_hops", "wall_seconds", "avg_latency"});
+  for (const auto& point : points) {
+    csv.field(swept_table_name(point.table))
+        .field(static_cast<std::uint64_t>(point.size))
+        .field(point.hit_rate)
+        .field(point.avg_hops, 4)
+        .field(point.wall_seconds, 4)
+        .field(point.avg_latency, 4);
+    csv.end_row();
+  }
+}
+
+}  // namespace adc::driver

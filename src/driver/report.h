@@ -1,0 +1,30 @@
+// Human-readable experiment reporting: aligned tables on stdout plus CSV
+// series dumps, shared by the bench binaries and examples.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "driver/experiment.h"
+#include "driver/sweep.h"
+
+namespace adc::driver {
+
+/// Renders rows as an aligned ASCII table (first row = header).
+void print_table(std::ostream& out, const std::vector<std::vector<std::string>>& rows);
+
+/// One-paragraph summary of a run (scheme, hit rate, hops, time).
+void print_summary(std::ostream& out, std::string_view label, const ExperimentResult& result);
+
+/// The moving-average series as CSV (x = completed requests).
+void print_series_csv(std::ostream& out, std::string_view label,
+                      const std::vector<sim::SeriesPoint>& series);
+
+/// Sweep points as CSV rows: table,size,hit_rate,avg_hops,wall_seconds.
+void print_sweep_csv(std::ostream& out, const std::vector<SweepPoint>& points);
+
+/// Formats a double with fixed precision (helper for tables).
+std::string fmt(double value, int precision = 4);
+
+}  // namespace adc::driver

@@ -1,0 +1,64 @@
+#include "driver/sweep.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace adc::driver {
+
+std::string_view swept_table_name(SweptTable table) noexcept {
+  switch (table) {
+    case SweptTable::kCaching:
+      return "caching";
+    case SweptTable::kMultiple:
+      return "multiple";
+    case SweptTable::kSingle:
+      return "single";
+  }
+  return "caching";
+}
+
+std::vector<std::size_t> paper_sweep_sizes(double scale) {
+  std::vector<std::size_t> sizes;
+  for (int k = 5; k <= 30; k += 5) {
+    const auto scaled = static_cast<std::size_t>(
+        std::llround(static_cast<double>(k) * 1000.0 * scale));
+    sizes.push_back(std::max<std::size_t>(scaled, 1));
+  }
+  return sizes;
+}
+
+std::vector<SweepPoint> run_table_sweep(const ExperimentConfig& base,
+                                        const workload::Trace& trace,
+                                        const std::vector<SweptTable>& tables,
+                                        const std::vector<std::size_t>& sizes) {
+  std::vector<SweepPoint> points;
+  points.reserve(tables.size() * sizes.size());
+  for (const SweptTable table : tables) {
+    for (const std::size_t size : sizes) {
+      ExperimentConfig config = base;
+      switch (table) {
+        case SweptTable::kCaching:
+          config.adc.caching_table_size = size;
+          break;
+        case SweptTable::kMultiple:
+          config.adc.multiple_table_size = size;
+          break;
+        case SweptTable::kSingle:
+          config.adc.single_table_size = size;
+          break;
+      }
+      const ExperimentResult result = run_experiment(config, trace);
+      SweepPoint point;
+      point.table = table;
+      point.size = size;
+      point.hit_rate = result.summary.hit_rate();
+      point.avg_hops = result.summary.avg_hops();
+      point.wall_seconds = result.wall_seconds;
+      point.avg_latency = result.summary.avg_latency();
+      points.push_back(point);
+    }
+  }
+  return points;
+}
+
+}  // namespace adc::driver

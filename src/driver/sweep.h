@@ -1,0 +1,43 @@
+// Parameter sweeps for the Figure 13-15 reproduction: vary one mapping
+// table's size while the others stay at their defaults (paper Section V.3).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "driver/experiment.h"
+#include "workload/trace.h"
+
+namespace adc::driver {
+
+enum class SweptTable {
+  kCaching,
+  kMultiple,
+  kSingle,
+};
+
+std::string_view swept_table_name(SweptTable table) noexcept;
+
+struct SweepPoint {
+  SweptTable table = SweptTable::kCaching;
+  std::size_t size = 0;
+  double hit_rate = 0.0;
+  double avg_hops = 0.0;
+  double wall_seconds = 0.0;
+  double avg_latency = 0.0;
+};
+
+/// The paper's sweep grid: 5k..30k in 5k steps, scaled by the same factor
+/// as the workload.
+std::vector<std::size_t> paper_sweep_sizes(double scale);
+
+/// Runs `base` once per (table, size) combination; the swept table's size
+/// is overridden, everything else kept.  Points come back grouped by table
+/// in the order given, sizes ascending.
+std::vector<SweepPoint> run_table_sweep(const ExperimentConfig& base,
+                                        const workload::Trace& trace,
+                                        const std::vector<SweptTable>& tables,
+                                        const std::vector<std::size_t>& sizes);
+
+}  // namespace adc::driver

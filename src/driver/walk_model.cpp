@@ -1,0 +1,100 @@
+#include "driver/walk_model.h"
+
+#include <cassert>
+#include <utility>
+#include <vector>
+
+namespace adc::driver {
+namespace {
+
+/// Value of a walk state: probability of eventually hitting, and expected
+/// *additional* forward messages from this state on.
+struct StateValue {
+  double p_hit = 0.0;
+  double extra_messages = 0.0;
+};
+
+class WalkChain {
+ public:
+  explicit WalkChain(const WalkModelParams& params)
+      : n_(params.proxies), r_(params.replicas), f_(params.max_forwards) {
+    // memo_[k][j]: k distinct non-holders visited (1..n-r), j forwards
+    // consumed (0..F).
+    memo_.assign(static_cast<std::size_t>(n_ + 1),
+                 std::vector<std::pair<bool, StateValue>>(
+                     static_cast<std::size_t>(f_ + 1), {false, {}}));
+  }
+
+  /// State (k, j): the walk sits at a non-holder proxy, k distinct
+  /// non-holders visited so far (including this one), j forwards consumed.
+  StateValue evaluate(int k, int j) {
+    if (j >= f_) {
+      // Budget exhausted: this proxy sends the request to the origin.
+      return {0.0, 1.0};
+    }
+    auto& slot = memo_[static_cast<std::size_t>(k)][static_cast<std::size_t>(j)];
+    if (slot.first) return slot.second;
+
+    const double n = static_cast<double>(n_);
+    const double p_holder = static_cast<double>(r_) / n;
+    const double p_visited = static_cast<double>(k) / n;
+    const int fresh = n_ - r_ - k;
+    const double p_fresh = fresh > 0 ? static_cast<double>(fresh) / n : 0.0;
+    // Self is part of the visited set, so p_holder + p_visited + p_fresh
+    // covers the whole membership.
+    assert(p_holder + p_visited + p_fresh > 0.999999);
+
+    StateValue value;
+    // Branch 1 — forward reaches a holder: one message, hit.
+    value.p_hit += p_holder;
+    value.extra_messages += p_holder * 1.0;
+    // Branch 2 — forward revisits: one message to the revisited proxy,
+    // which detects the loop and sends one more to the origin.
+    value.extra_messages += p_visited * 2.0;
+    // Branch 3 — forward reaches a fresh non-holder: one message, then
+    // the walk continues from (k+1, j+1).
+    if (p_fresh > 0.0) {
+      const StateValue next = evaluate(k + 1, j + 1);
+      value.p_hit += p_fresh * next.p_hit;
+      value.extra_messages += p_fresh * (1.0 + next.extra_messages);
+    }
+
+    slot = {true, value};
+    return value;
+  }
+
+ private:
+  int n_;
+  int r_;
+  int f_;
+  std::vector<std::vector<std::pair<bool, StateValue>>> memo_;
+};
+
+}  // namespace
+
+WalkPrediction predict_walk(const WalkModelParams& params) {
+  assert(params.proxies >= 1);
+  assert(params.replicas >= 0 && params.replicas <= params.proxies);
+  assert(params.max_forwards >= 0);
+
+  const double n = static_cast<double>(params.proxies);
+  const double p_entry_holder = static_cast<double>(params.replicas) / n;
+
+  WalkPrediction out;
+  // Entry proxy is a holder: the journey is client -> proxy -> client.
+  out.hit_probability = p_entry_holder;
+  out.expected_forward_messages = p_entry_holder * 1.0;
+
+  if (params.replicas < params.proxies) {
+    WalkChain chain(params);
+    const StateValue walk = chain.evaluate(/*k=*/1, /*j=*/0);
+    const double p_walk = 1.0 - p_entry_holder;
+    out.hit_probability += p_walk * walk.p_hit;
+    out.expected_forward_messages += p_walk * (1.0 + walk.extra_messages);
+  }
+
+  out.expected_hops = 2.0 * out.expected_forward_messages;
+  return out;
+}
+
+}  // namespace adc::driver

@@ -1,0 +1,39 @@
+// Analytical model of the ADC random search walk — a first cut of the
+// "theoretical framework to explain emerging attributes" the paper's
+// conclusion calls for.
+//
+// Setting: n proxies; r of them hold the object ("replicas"); nobody has
+// a mapping-table entry for it (pure random forwarding, the cold-search
+// regime).  A request enters a uniformly random proxy and then performs
+// the paper's walk: forward to a uniformly random proxy (self included)
+// until it reaches a holder (hit), revisits any proxy (loop → origin), or
+// exhausts the forward budget F (→ origin).  The reply retraces the path,
+// so a journey of m forward-path messages costs exactly 2m hops.
+//
+// The walk is a small absorbing Markov chain over (distinct proxies
+// visited, forwards used); predict_walk() evaluates it exactly.  The
+// validation tests drive the *real* simulator into this regime (unknown
+// objects; warmed caches) and check the predictions.
+#pragma once
+
+namespace adc::driver {
+
+struct WalkModelParams {
+  int proxies = 5;       // n >= 1
+  int replicas = 0;      // 0 <= r <= n proxies currently holding the object
+  int max_forwards = 8;  // F >= 0, the paper's termination budget
+};
+
+struct WalkPrediction {
+  /// Probability the request is served by a proxy (vs the origin).
+  double hit_probability = 0.0;
+  /// Expected messages on the forward path (client hop included).
+  double expected_forward_messages = 0.0;
+  /// Expected total hops for the journey: 2 x forward messages.
+  double expected_hops = 0.0;
+};
+
+/// Exact evaluation of the walk chain.  O(n * F) states.
+WalkPrediction predict_walk(const WalkModelParams& params);
+
+}  // namespace adc::driver

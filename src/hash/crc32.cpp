@@ -1,0 +1,35 @@
+#include "hash/crc32.h"
+
+#include <array>
+
+namespace adc::hash {
+namespace {
+
+constexpr std::uint32_t kPoly = 0xedb88320u;  // reflected 0x04C11DB7
+
+constexpr std::array<std::uint32_t, 256> make_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1) ? (kPoly ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr auto kTable = make_table();
+
+}  // namespace
+
+std::uint32_t crc32(const void* data, std::size_t len, std::uint32_t seed) noexcept {
+  const auto* bytes = static_cast<const std::uint8_t*>(data);
+  std::uint32_t crc = seed ^ 0xffffffffu;
+  for (std::size_t i = 0; i < len; ++i) {
+    crc = kTable[(crc ^ bytes[i]) & 0xff] ^ (crc >> 8);
+  }
+  return crc ^ 0xffffffffu;
+}
+
+}  // namespace adc::hash

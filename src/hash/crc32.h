@@ -1,0 +1,17 @@
+// CRC-32 (IEEE 802.3 polynomial, reflected) — used for trace-file
+// checksumming and available as an alternative URL mixer.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace adc::hash {
+
+/// CRC of a buffer, starting from `seed` (pass the previous CRC to chain).
+std::uint32_t crc32(const void* data, std::size_t len, std::uint32_t seed = 0) noexcept;
+
+inline std::uint32_t crc32(std::string_view s, std::uint32_t seed = 0) noexcept {
+  return crc32(s.data(), s.size(), seed);
+}
+
+}  // namespace adc::hash

@@ -1,0 +1,43 @@
+// FNV-1a hashing (32- and 64-bit) — the cheap string hash used on hot
+// paths where cryptographic mixing is unnecessary.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace adc::hash {
+
+constexpr std::uint64_t kFnv64Offset = 0xcbf29ce484222325ULL;
+constexpr std::uint64_t kFnv64Prime = 0x100000001b3ULL;
+constexpr std::uint32_t kFnv32Offset = 0x811c9dc5u;
+constexpr std::uint32_t kFnv32Prime = 0x01000193u;
+
+constexpr std::uint64_t fnv1a64(std::string_view s) noexcept {
+  std::uint64_t h = kFnv64Offset;
+  for (char c : s) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= kFnv64Prime;
+  }
+  return h;
+}
+
+constexpr std::uint32_t fnv1a32(std::string_view s) noexcept {
+  std::uint32_t h = kFnv32Offset;
+  for (char c : s) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= kFnv32Prime;
+  }
+  return h;
+}
+
+/// FNV-1a over the bytes of an integer (little-endian), for hashing ids.
+constexpr std::uint64_t fnv1a64_u64(std::uint64_t value) noexcept {
+  std::uint64_t h = kFnv64Offset;
+  for (int i = 0; i < 8; ++i) {
+    h ^= (value >> (8 * i)) & 0xff;
+    h *= kFnv64Prime;
+  }
+  return h;
+}
+
+}  // namespace adc::hash

@@ -1,0 +1,52 @@
+// MD5 message digest (RFC 1321), implemented from scratch.
+//
+// The paper (Section V.3.3) proposes digesting request URLs with MD5 to cut
+// the memory the mapping tables spend on raw URL strings; the workload layer
+// uses this implementation to intern URLs into 64-bit object ids.  MD5 is
+// used here strictly as a non-cryptographic mixing function.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace adc::hash {
+
+class Md5 {
+ public:
+  using Digest = std::array<std::uint8_t, 16>;
+
+  Md5() noexcept { reset(); }
+
+  /// Restores the initial state so the instance can be reused.
+  void reset() noexcept;
+
+  /// Absorbs more input; may be called repeatedly.
+  void update(const void* data, std::size_t len) noexcept;
+  void update(std::string_view s) noexcept { update(s.data(), s.size()); }
+
+  /// Finalizes and returns the 16-byte digest.  The instance must be
+  /// reset() before further use.
+  Digest finish() noexcept;
+
+  /// One-shot digest of a buffer.
+  static Digest digest(std::string_view s) noexcept;
+
+  /// Lower-case hex rendering of a digest.
+  static std::string hex(const Digest& d);
+
+  /// First 8 digest bytes as a little-endian 64-bit value — the URL
+  /// interning key used across the system.
+  static std::uint64_t digest64(std::string_view s) noexcept;
+
+ private:
+  void process_block(const std::uint8_t* block) noexcept;
+
+  std::uint32_t state_[4];
+  std::uint64_t total_len_ = 0;
+  std::uint8_t buffer_[64];
+  std::size_t buffer_len_ = 0;
+};
+
+}  // namespace adc::hash

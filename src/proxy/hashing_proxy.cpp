@@ -1,0 +1,108 @@
+#include "proxy/hashing_proxy.h"
+
+#include <cassert>
+#include <utility>
+
+namespace adc::proxy {
+
+using sim::Message;
+using sim::MessageKind;
+using sim::Simulator;
+
+HashingProxy::HashingProxy(NodeId id, std::string name,
+                           std::shared_ptr<const OwnerMap> owners, NodeId origin,
+                           std::size_t cache_capacity, cache::Policy policy,
+                           bool entry_caching)
+    : Node(id, sim::NodeKind::kProxy, std::move(name)),
+      owners_(std::move(owners)),
+      origin_(origin),
+      cache_(cache::make_cache(cache_capacity, policy)),
+      entry_caching_(entry_caching) {
+  assert(owners_ != nullptr);
+}
+
+void HashingProxy::on_message(Simulator& sim, const Message& msg) {
+  if (msg.kind == MessageKind::kRequest) {
+    receive_request(sim, msg);
+  } else {
+    receive_reply(sim, msg);
+  }
+}
+
+void HashingProxy::send_reply_toward_client(Simulator& sim, Message reply, NodeId entry) {
+  reply.kind = MessageKind::kReply;
+  reply.sender = id();
+  // Entry-caching mode routes the reply through the entry proxy so it can
+  // cache too; the paper's CARP baseline bypasses it.
+  reply.target = (entry_caching_ && entry != kInvalidNode) ? entry : reply.client;
+  sim.send(std::move(reply));
+}
+
+void HashingProxy::receive_request(Simulator& sim, const Message& msg) {
+  ++stats_.requests_received;
+  const ObjectId object = msg.object;
+  const bool from_client = msg.sender == msg.client;
+
+  if (cache_->lookup(object)) {
+    ++stats_.local_hits;
+    if (!from_client) ++stats_.owned_objects_served;
+    Message reply = msg;
+    reply.resolver = id();
+    reply.cached = true;
+    reply.proxy_hit = true;
+    const auto version = versions_.find(object);
+    reply.version = version == versions_.end() ? 0 : version->second;
+    // A hit at the owner is returned directly to the client (bypassing the
+    // entry proxy) unless entry caching is on; a hit at the entry proxy
+    // goes straight back anyway.
+    send_reply_toward_client(sim, std::move(reply), from_client ? kInvalidNode : msg.sender);
+    return;
+  }
+
+  const NodeId owner = owners_->owner(object);
+  if (from_client && owner != id()) {
+    // Entry proxy miss: hand the request to the hash owner.
+    ++stats_.forwards_to_owner;
+    Message forward = msg;
+    forward.sender = id();
+    forward.target = owner;
+    forward.forward_count = msg.forward_count + 1;
+    sim.send(std::move(forward));
+    return;
+  }
+
+  // We are the owner (or the entry proxy owns the object): resolve at the
+  // origin and remember where the reply must go.
+  ++stats_.forwards_to_origin;
+  pending_.emplace(msg.request_id,
+                   Route{msg.client, from_client ? kInvalidNode : msg.sender});
+  Message forward = msg;
+  forward.sender = id();
+  forward.target = origin_;
+  sim.send(std::move(forward));
+}
+
+void HashingProxy::receive_reply(Simulator& sim, const Message& msg) {
+  const auto it = pending_.find(msg.request_id);
+  if (it != pending_.end()) {
+    // Origin answered our fetch: cache as owner, then route.
+    const Route route = it->second;
+    pending_.erase(it);
+    remember_version(msg.object, msg.version, cache_->insert(msg.object));
+    Message reply = msg;
+    reply.resolver = id();
+    reply.cached = true;
+    send_reply_toward_client(sim, std::move(reply), route.entry);
+    return;
+  }
+
+  // A relayed reply passing through the entry proxy (entry-caching mode).
+  assert(entry_caching_ && "unexpected relayed reply with entry caching disabled");
+  remember_version(msg.object, msg.version, cache_->insert(msg.object));
+  Message reply = msg;
+  reply.sender = id();
+  reply.target = msg.client;
+  sim.send(std::move(reply));
+}
+
+}  // namespace adc::proxy

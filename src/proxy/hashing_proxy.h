@@ -1,0 +1,125 @@
+// Hashing-based distributed caching baselines (paper Section V.1.1).
+//
+// One proxy class covers CARP, consistent hashing and rendezvous hashing:
+// the allocation scheme is abstracted behind OwnerMap.  Protocol, following
+// the paper's description of its CARP baseline:
+//   1. the entry proxy checks its local cache;
+//   2. on miss it forwards to the hash owner;
+//   3. the owner checks its cache; on miss it fetches from the origin and
+//      caches under LRU (policy configurable);
+//   4. the reply goes *directly to the client, bypassing the first proxy*.
+// An optional entry-caching mode routes the reply through the entry proxy
+// (which then caches too) for the baseline ablation.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/policies.h"
+#include "hash/carp.h"
+#include "hash/consistent_hash.h"
+#include "hash/rendezvous.h"
+#include "sim/node.h"
+#include "sim/simulator.h"
+#include "util/types.h"
+
+namespace adc::proxy {
+
+/// Global object-to-proxy allocation function shared by all members.
+class OwnerMap {
+ public:
+  virtual ~OwnerMap() = default;
+  virtual NodeId owner(ObjectId object) const = 0;
+};
+
+class CarpOwnerMap final : public OwnerMap {
+ public:
+  explicit CarpOwnerMap(hash::CarpArray array) : array_(std::move(array)) {}
+  NodeId owner(ObjectId object) const override { return array_.owner(object); }
+  const hash::CarpArray& array() const noexcept { return array_; }
+
+ private:
+  hash::CarpArray array_;
+};
+
+class RingOwnerMap final : public OwnerMap {
+ public:
+  explicit RingOwnerMap(hash::ConsistentHashRing ring) : ring_(std::move(ring)) {}
+  NodeId owner(ObjectId object) const override { return ring_.owner(object); }
+
+ private:
+  hash::ConsistentHashRing ring_;
+};
+
+class RendezvousOwnerMap final : public OwnerMap {
+ public:
+  explicit RendezvousOwnerMap(hash::RendezvousHash hrw) : hrw_(std::move(hrw)) {}
+  NodeId owner(ObjectId object) const override { return hrw_.owner(object); }
+
+ private:
+  hash::RendezvousHash hrw_;
+};
+
+struct HashingProxyStats {
+  std::uint64_t requests_received = 0;
+  std::uint64_t local_hits = 0;
+  std::uint64_t forwards_to_owner = 0;
+  std::uint64_t forwards_to_origin = 0;
+  std::uint64_t owned_objects_served = 0;
+};
+
+class HashingProxy final : public sim::Node {
+ public:
+  /// `owners` is shared by every member proxy.  `cache_capacity` matches
+  /// the ADC caching-table size for a fair hit-rate comparison.
+  HashingProxy(NodeId id, std::string name, std::shared_ptr<const OwnerMap> owners,
+               NodeId origin, std::size_t cache_capacity,
+               cache::Policy policy = cache::Policy::kLru, bool entry_caching = false);
+
+  void on_message(sim::Simulator& sim, const sim::Message& msg) override;
+
+  const HashingProxyStats& stats() const noexcept { return stats_; }
+  const cache::CacheSet& cache() const noexcept { return *cache_; }
+  std::size_t pending() const noexcept { return pending_.size(); }
+
+  /// Fault injection: drops every cached object (cold restart; in-flight
+  /// fetch routes survive).
+  void flush() {
+    cache_->clear();
+    versions_.clear();
+  }
+
+ private:
+  void receive_request(sim::Simulator& sim, const sim::Message& msg);
+  void receive_reply(sim::Simulator& sim, const sim::Message& msg);
+  void send_reply_toward_client(sim::Simulator& sim, sim::Message reply, NodeId entry);
+
+  std::shared_ptr<const OwnerMap> owners_;
+  NodeId origin_;
+  std::unique_ptr<cache::CacheSet> cache_;
+  bool entry_caching_;
+
+  /// Owner-side state for in-flight origin fetches: where the reply must
+  /// be routed once the origin answers.
+  struct Route {
+    NodeId client = kInvalidNode;
+    NodeId entry = kInvalidNode;  // kInvalidNode when we were the entry
+  };
+  std::unordered_map<RequestId, Route> pending_;
+
+  /// Data versions of cached objects (staleness accounting).
+  std::unordered_map<ObjectId, std::uint64_t> versions_;
+
+  void remember_version(ObjectId object, std::uint64_t version,
+                        const std::optional<ObjectId>& evicted) {
+    if (evicted.has_value()) versions_.erase(*evicted);
+    versions_[object] = version;
+  }
+
+  HashingProxyStats stats_;
+};
+
+}  // namespace adc::proxy

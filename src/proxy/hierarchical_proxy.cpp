@@ -1,0 +1,61 @@
+#include "proxy/hierarchical_proxy.h"
+
+#include <cassert>
+#include <utility>
+
+namespace adc::proxy {
+
+using sim::Message;
+using sim::MessageKind;
+using sim::Simulator;
+
+CacheNode::CacheNode(NodeId id, std::string name, NodeId upstream,
+                     std::size_t cache_capacity, cache::Policy policy)
+    : Node(id, sim::NodeKind::kProxy, std::move(name)),
+      upstream_(upstream),
+      cache_(cache::make_cache(cache_capacity, policy)) {}
+
+void CacheNode::on_message(Simulator& sim, const Message& msg) {
+  if (msg.kind == MessageKind::kRequest) {
+    ++stats_.requests_received;
+    if (cache_->lookup(msg.object)) {
+      ++stats_.local_hits;
+      Message reply = msg;
+      reply.kind = MessageKind::kReply;
+      reply.sender = id();
+      reply.target = msg.sender;
+      reply.resolver = id();
+      reply.cached = true;
+      reply.proxy_hit = true;
+      const auto version = versions_.find(msg.object);
+      reply.version = version == versions_.end() ? 0 : version->second;
+      sim.send(std::move(reply));
+      return;
+    }
+    ++stats_.forwards_upstream;
+    pending_[msg.request_id].push_back(msg.sender);
+    Message forward = msg;
+    forward.sender = id();
+    forward.target = upstream_;
+    forward.forward_count = msg.forward_count + 1;
+    sim.send(std::move(forward));
+    return;
+  }
+
+  // Reply from upstream: admit-all caching, then relay to the requester.
+  const auto it = pending_.find(msg.request_id);
+  assert(it != pending_.end() && !it->second.empty());
+  const NodeId requester = it->second.back();
+  it->second.pop_back();
+  if (it->second.empty()) pending_.erase(it);
+
+  if (const auto evicted = cache_->insert(msg.object)) versions_.erase(*evicted);
+  versions_[msg.object] = msg.version;
+  Message reply = msg;
+  reply.sender = id();
+  reply.target = requester;
+  if (reply.resolver == kInvalidNode) reply.resolver = id();
+  sim.send(std::move(reply));
+}
+
+}  // namespace adc::proxy

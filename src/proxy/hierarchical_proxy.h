@@ -1,0 +1,63 @@
+// Hierarchical caching node (paper Section I / the hierarchical family the
+// paper positions ADC against).
+//
+// A CacheNode caches every object that passes through it (admit-all, LRU by
+// default) and forwards misses to a fixed upstream node — its parent in a
+// cache hierarchy, or the origin server at the top.  Chaining CacheNodes
+// builds arbitrary-depth hierarchies; the driver uses one root over leaf
+// proxies for the classic 2-level setup.  The coordinator baseline reuses
+// this class for its backend proxies (upstream = origin).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/policies.h"
+#include "sim/node.h"
+#include "sim/simulator.h"
+#include "util/types.h"
+
+namespace adc::proxy {
+
+struct CacheNodeStats {
+  std::uint64_t requests_received = 0;
+  std::uint64_t local_hits = 0;
+  std::uint64_t forwards_upstream = 0;
+};
+
+class CacheNode final : public sim::Node {
+ public:
+  CacheNode(NodeId id, std::string name, NodeId upstream, std::size_t cache_capacity,
+            cache::Policy policy = cache::Policy::kLru);
+
+  void on_message(sim::Simulator& sim, const sim::Message& msg) override;
+
+  const CacheNodeStats& stats() const noexcept { return stats_; }
+  const cache::CacheSet& cache() const noexcept { return *cache_; }
+  std::size_t pending() const noexcept { return pending_.size(); }
+
+  /// Fault injection: drops every cached object (cold restart; in-flight
+  /// fetch routes survive).
+  void flush() {
+    cache_->clear();
+    versions_.clear();
+  }
+
+ private:
+  NodeId upstream_;
+  std::unique_ptr<cache::CacheSet> cache_;
+
+  /// Requesters awaiting a reply, per request id (a stack for the corner
+  /// case of the same id traversing twice, which cannot happen in a tree
+  /// but keeps the invariant local).
+  std::unordered_map<RequestId, std::vector<NodeId>> pending_;
+
+  /// Data versions of cached objects (staleness accounting).
+  std::unordered_map<ObjectId, std::uint64_t> versions_;
+
+  CacheNodeStats stats_;
+};
+
+}  // namespace adc::proxy

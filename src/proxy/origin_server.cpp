@@ -1,0 +1,25 @@
+#include "proxy/origin_server.h"
+
+#include <cassert>
+
+namespace adc::proxy {
+
+void OriginServer::on_message(sim::Simulator& sim, const sim::Message& msg) {
+  assert(msg.kind == sim::MessageKind::kRequest && "origin only receives requests");
+  ++requests_served_;
+
+  sim::Message reply = msg;
+  reply.kind = sim::MessageKind::kReply;
+  reply.sender = id();
+  reply.target = msg.sender;
+  // Resolver stays NULL (kInvalidNode): the first proxy on the backwarding
+  // path claims responsibility (paper Figure 7).  Origin resolutions are
+  // misses by definition.
+  reply.resolver = kInvalidNode;
+  reply.cached = false;
+  reply.proxy_hit = false;
+  reply.version = oracle_ != nullptr ? oracle_->version_at(msg.object, sim.now()) : 0;
+  sim.send(std::move(reply));
+}
+
+}  // namespace adc::proxy

@@ -1,0 +1,30 @@
+// The origin server: resolves every request that reaches it (the paper
+// assumes no message loss and guaranteed resolution at the origin).
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+#include "sim/node.h"
+#include "sim/simulator.h"
+#include "sim/version.h"
+
+namespace adc::proxy {
+
+class OriginServer final : public sim::Node {
+ public:
+  /// `oracle` (optional) stamps every reply with the object's current
+  /// version for staleness accounting.
+  OriginServer(NodeId id, std::string name, sim::VersionOraclePtr oracle = nullptr)
+      : Node(id, sim::NodeKind::kOrigin, std::move(name)), oracle_(std::move(oracle)) {}
+
+  void on_message(sim::Simulator& sim, const sim::Message& msg) override;
+
+  std::uint64_t requests_served() const noexcept { return requests_served_; }
+
+ private:
+  sim::VersionOraclePtr oracle_;
+  std::uint64_t requests_served_ = 0;
+};
+
+}  // namespace adc::proxy

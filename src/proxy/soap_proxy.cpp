@@ -1,0 +1,153 @@
+#include "proxy/soap_proxy.h"
+
+#include <cassert>
+#include <utility>
+
+namespace adc::proxy {
+
+using sim::Message;
+using sim::MessageKind;
+using sim::Simulator;
+
+SoapProxy::SoapProxy(NodeId id, std::string name,
+                     std::shared_ptr<const CategoryMap> categories,
+                     std::vector<NodeId> proxies, NodeId origin,
+                     std::size_t cache_capacity, SoapConfig config)
+    : Node(id, sim::NodeKind::kProxy, std::move(name)),
+      categories_(std::move(categories)),
+      proxies_(std::move(proxies)),
+      origin_(origin),
+      cache_(cache::make_cache(cache_capacity, cache::Policy::kLru)),
+      config_(config) {
+  assert(categories_ != nullptr);
+  assert(!proxies_.empty());
+  scores_.assign(categories_->categories() * proxies_.size(), 0.5);
+}
+
+double SoapProxy::score(std::size_t category, NodeId peer) const noexcept {
+  for (std::size_t i = 0; i < proxies_.size(); ++i) {
+    if (proxies_[i] == peer) return scores_[category * proxies_.size() + i];
+  }
+  return 0.0;
+}
+
+NodeId SoapProxy::pick_location(Simulator& sim, std::size_t category) {
+  if (sim.rng().chance(config_.epsilon)) {
+    ++stats_.forwards_explored;
+    return proxies_[sim.rng().index(proxies_.size())];
+  }
+  ++stats_.forwards_learned;
+  std::size_t best = 0;
+  double best_score = -1.0;
+  for (std::size_t i = 0; i < proxies_.size(); ++i) {
+    const double s = scores_[category * proxies_.size() + i];
+    if (s > best_score) {
+      best_score = s;
+      best = i;
+    }
+  }
+  return proxies_[best];
+}
+
+void SoapProxy::reinforce(std::size_t category, NodeId peer, SimTime response_time) {
+  const double reward = 1.0 / (1.0 + static_cast<double>(response_time));
+  for (std::size_t i = 0; i < proxies_.size(); ++i) {
+    if (proxies_[i] != peer) continue;
+    double& s = scores_[category * proxies_.size() + i];
+    s = (1.0 - config_.learning_rate) * s + config_.learning_rate * reward;
+    return;
+  }
+}
+
+void SoapProxy::on_message(Simulator& sim, const Message& msg) {
+  if (msg.kind == MessageKind::kRequest) {
+    receive_request(sim, msg);
+  } else {
+    receive_reply(sim, msg);
+  }
+}
+
+void SoapProxy::receive_request(Simulator& sim, const Message& msg) {
+  ++stats_.requests_received;
+  const bool from_client = msg.sender == msg.client;
+
+  if (cache_->lookup(msg.object)) {
+    ++stats_.local_hits;
+    Message reply = msg;
+    reply.kind = MessageKind::kReply;
+    reply.sender = id();
+    // A forwarded request returns via the entry proxy so it can observe
+    // the response time and reinforce its category mapping.
+    reply.target = msg.sender;
+    reply.resolver = id();
+    reply.cached = true;
+    reply.proxy_hit = true;
+    const auto version = versions_.find(msg.object);
+    reply.version = version == versions_.end() ? 0 : version->second;
+    sim.send(std::move(reply));
+    return;
+  }
+
+  if (from_client) {
+    const std::size_t category = categories_->category_of(msg.object);
+    const NodeId location = pick_location(sim, category);
+    pending_.emplace(msg.request_id,
+                     PendingFetch{msg.client, location, category, sim.now()});
+    Message forward = msg;
+    forward.sender = id();
+    forward.forward_count = msg.forward_count + 1;
+    if (location == id()) {
+      // The table says THIS: we are the category's home; resolve upstream.
+      ++stats_.forwards_to_origin;
+      forward.target = origin_;
+    } else {
+      forward.target = location;
+    }
+    sim.send(std::move(forward));
+    return;
+  }
+
+  // Forwarded to us as the category home but we miss: fetch from the
+  // origin and remember to answer the entry proxy (one-level forwarding,
+  // no further peer hops).
+  ++stats_.forwards_to_origin;
+  pending_.emplace(msg.request_id, PendingFetch{msg.sender, kInvalidNode,
+                                                categories_->category_of(msg.object),
+                                                sim.now()});
+  Message forward = msg;
+  forward.sender = id();
+  forward.target = origin_;
+  sim.send(std::move(forward));
+}
+
+void SoapProxy::receive_reply(Simulator& sim, const Message& msg) {
+  const auto it = pending_.find(msg.request_id);
+  assert(it != pending_.end() && "reply without pending record");
+  const PendingFetch fetch = it->second;
+  pending_.erase(it);
+
+  Message reply = msg;
+  reply.sender = id();
+  reply.target = fetch.requester;
+
+  if (fetch.forwarded_to == kInvalidNode) {
+    // Our own origin fetch (as the category home): cache admit-all and
+    // answer whoever asked (entry proxy or client).
+    remember_version(msg.object, msg.version, cache_->insert(msg.object));
+    if (reply.resolver == kInvalidNode) reply.resolver = id();
+    sim.send(std::move(reply));
+    return;
+  }
+
+  // A reply to a request we routed (possibly to ourselves via the origin):
+  // learn from the response time, then relay to the client.
+  reinforce(fetch.category, fetch.forwarded_to, sim.now() - fetch.sent_at);
+  if (fetch.forwarded_to == id()) {
+    // Self-route resolved at the origin: we are the category home.
+    remember_version(msg.object, msg.version, cache_->insert(msg.object));
+    if (reply.resolver == kInvalidNode) reply.resolver = id();
+  }
+  sim.send(std::move(reply));
+}
+
+}  // namespace adc::proxy

@@ -1,0 +1,34 @@
+#include "sim/event_queue.h"
+
+#include <cassert>
+#include <utility>
+
+namespace adc::sim {
+
+void EventQueue::schedule(SimTime at, Action action) {
+  assert(at >= last_popped_ && "cannot schedule into the past");
+  heap_.push(Entry{at, next_seq_++, std::move(action)});
+}
+
+SimTime EventQueue::next_time() const noexcept {
+  return heap_.empty() ? kSimTimeMax : heap_.top().time;
+}
+
+EventQueue::Popped EventQueue::pop_next() {
+  assert(!heap_.empty());
+  // priority_queue::top() is const; moving the action out requires a copy
+  // otherwise, so take it via const_cast — the entry is popped immediately.
+  Entry entry = std::move(const_cast<Entry&>(heap_.top()));
+  heap_.pop();
+  last_popped_ = entry.time;
+  ++executed_;
+  return Popped{entry.time, std::move(entry.action)};
+}
+
+SimTime EventQueue::run_next() {
+  Popped popped = pop_next();
+  popped.action();
+  return popped.time;
+}
+
+}  // namespace adc::sim

@@ -1,0 +1,66 @@
+// Deterministic discrete-event queue.
+//
+// Events at equal simulated times are delivered in scheduling order (a
+// monotone sequence number breaks ties), so a fixed seed reproduces the
+// exact same simulation — the property all replay tests rely on.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "util/types.h"
+
+namespace adc::sim {
+
+class EventQueue {
+ public:
+  using Action = std::function<void()>;
+
+  /// Schedules `action` at absolute time `at` (must be >= the time of the
+  /// most recently popped event).
+  void schedule(SimTime at, Action action);
+
+  bool empty() const noexcept { return heap_.empty(); }
+  std::size_t size() const noexcept { return heap_.size(); }
+
+  /// Time of the next event; kSimTimeMax when empty.
+  SimTime next_time() const noexcept;
+
+  /// Pops and runs the earliest event; returns its time.  Requires
+  /// !empty().
+  SimTime run_next();
+
+  /// Pops the earliest event without running it (callers that need to
+  /// advance a clock before executing, e.g. the Simulator).  Requires
+  /// !empty().
+  struct Popped {
+    SimTime time;
+    Action action;
+  };
+  Popped pop_next();
+
+  /// Total events executed so far.
+  std::uint64_t executed() const noexcept { return executed_; }
+
+ private:
+  struct Entry {
+    SimTime time;
+    std::uint64_t seq;
+    Action action;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const noexcept {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+  SimTime last_popped_ = 0;
+};
+
+}  // namespace adc::sim

@@ -1,0 +1,69 @@
+// Messages exchanged by simulated nodes.
+//
+// The paper's system moves exactly two kinds of traffic: object *requests*
+// travelling away from the client and *replies* carrying the object (plus
+// the resolver annotation used by multicasting-by-backwarding) toward it.
+// Objects themselves are never materialized — the paper simulates URL
+// handling only — so a reply carries metadata, not payload bytes.
+#pragma once
+
+#include "util/types.h"
+
+namespace adc::sim {
+
+enum class MessageKind : std::uint8_t {
+  kRequest,
+  kReply,
+};
+
+struct Message {
+  MessageKind kind = MessageKind::kRequest;
+
+  /// Globally unique per client request; proxies use it for loop detection
+  /// and to index their pending-backwarding records (paper Section III.1).
+  RequestId request_id = 0;
+
+  ObjectId object = 0;
+
+  /// Immediate sender (updated at every forwarding step: the paper's
+  /// Request.setSender(this)) and delivery target.
+  NodeId sender = kInvalidNode;
+  NodeId target = kInvalidNode;
+
+  /// The client that issued the request; replies terminate here.
+  NodeId client = kInvalidNode;
+
+  /// Number of proxy-to-proxy forwards so far (for the max-hops cutoff).
+  int forward_count = 0;
+
+  /// Total message transfers on this request's journey so far, maintained
+  /// by the simulator on every send (client-proxy, proxy-proxy,
+  /// proxy-origin and every backwarding transfer each count one hop).
+  int hops = 0;
+
+  // --- Reply-only fields -------------------------------------------------
+
+  /// The proxy all backwarding participants should agree on as the
+  /// object's location.  kInvalidNode encodes the paper's NULL ("the data
+  /// came straight from the origin server").
+  NodeId resolver = kInvalidNode;
+
+  /// True once some proxy on the path holds the object in its cache
+  /// (the paper's Reply.notCached() test inverted).
+  bool cached = false;
+
+  /// True when a proxy (as opposed to the origin server) resolved the
+  /// request; drives the hit-rate metric.
+  bool proxy_hit = false;
+
+  /// Version of the object data this reply carries (stamped by the origin
+  /// from the VersionOracle; cache hits carry the version the proxy
+  /// stored).  The client compares it against the oracle to count stale
+  /// hits.  Always 0 when versioning is disabled.
+  std::uint64_t version = 0;
+
+  /// Simulated issue time, for latency accounting.
+  SimTime issued_at = 0;
+};
+
+}  // namespace adc::sim

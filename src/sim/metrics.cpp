@@ -1,0 +1,90 @@
+#include "sim/metrics.h"
+
+namespace adc::sim {
+
+void IntHistogram::add(int value) noexcept {
+  if (value < 0) value = 0;
+  ++total_;
+  sum_ += static_cast<std::uint64_t>(value);
+  if (value > max_seen_) max_seen_ = value;
+  const auto index = static_cast<std::size_t>(value);
+  if (index < counts_.size() - 1) {
+    ++counts_[index];
+  } else {
+    ++counts_.back();
+  }
+}
+
+std::uint64_t IntHistogram::count_of(int value) const noexcept {
+  if (value < 0 || static_cast<std::size_t>(value) >= counts_.size() - 1) return 0;
+  return counts_[static_cast<std::size_t>(value)];
+}
+
+int IntHistogram::percentile(double q) const noexcept {
+  if (total_ == 0) return -1;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  auto threshold = static_cast<std::uint64_t>(q * static_cast<double>(total_) + 0.999999);
+  if (threshold == 0) threshold = 1;  // q == 0 means "the minimum value"
+  std::uint64_t cumulative = 0;
+  for (std::size_t v = 0; v < counts_.size() - 1; ++v) {
+    cumulative += counts_[v];
+    if (cumulative >= threshold) return static_cast<int>(v);
+  }
+  return static_cast<int>(counts_.size() - 1);  // overflow bucket
+}
+
+double IntHistogram::mean() const noexcept {
+  return total_ == 0 ? 0.0 : static_cast<double>(sum_) / static_cast<double>(total_);
+}
+
+void MovingAverage::add(double value) noexcept {
+  values_.push_back(value);
+  sum_ += value;
+  if (values_.size() > window_) {
+    sum_ -= values_.front();
+    values_.pop_front();
+  }
+}
+
+double MovingAverage::value() const noexcept {
+  if (values_.empty()) return 0.0;
+  return sum_ / static_cast<double>(values_.size());
+}
+
+MetricsCollector::MetricsCollector(std::size_t ma_window, std::uint64_t sample_every)
+    : hit_ma_(ma_window), hops_ma_(ma_window), latency_ma_(ma_window),
+      sample_every_(sample_every) {}
+
+void MetricsCollector::on_request_completed(bool proxy_hit, int hops, SimTime latency,
+                                             bool stale) {
+  ++summary_.completed;
+  if (proxy_hit) {
+    ++summary_.hits;
+    if (stale) ++summary_.stale_hits;
+  }
+  summary_.total_hops += static_cast<std::uint64_t>(hops);
+  summary_.total_latency += latency;
+
+  hit_ma_.add(proxy_hit ? 1.0 : 0.0);
+  hops_ma_.add(static_cast<double>(hops));
+  latency_ma_.add(static_cast<double>(latency));
+  hops_hist_.add(hops);
+
+  if (sample_every_ != 0 && summary_.completed % sample_every_ == 0) {
+    series_.push_back(SeriesPoint{summary_.completed, hit_ma_.value(), hops_ma_.value(),
+                                  latency_ma_.value()});
+  }
+}
+
+void MetricsCollector::reset() {
+  const std::size_t window = hit_ma_.window();
+  summary_ = MetricsSummary{};
+  hit_ma_ = MovingAverage(window);
+  hops_ma_ = MovingAverage(window);
+  latency_ma_ = MovingAverage(window);
+  hops_hist_ = IntHistogram();
+  series_.clear();
+}
+
+}  // namespace adc::sim

@@ -1,0 +1,126 @@
+// Request-level metric collection.
+//
+// Reproduces the paper's measurement methodology: hit rate and hops as
+// moving averages over a trailing request window (Figure 11 uses 5000
+// requests), plus whole-run totals for the sweep figures (13-15).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "util/types.h"
+
+namespace adc::sim {
+
+/// Histogram over small non-negative integers (hop counts): exact counts
+/// up to `max_value`, an overflow bucket beyond.
+class IntHistogram {
+ public:
+  explicit IntHistogram(int max_value = 64) : counts_(static_cast<std::size_t>(max_value) + 2) {}
+
+  void add(int value) noexcept;
+  std::uint64_t total() const noexcept { return total_; }
+  std::uint64_t count_of(int value) const noexcept;
+  std::uint64_t overflow() const noexcept { return counts_.back(); }
+
+  /// Smallest value v with P(X <= v) >= q; -1 on an empty histogram.
+  /// Overflowed samples count as the largest tracked value + 1.
+  int percentile(double q) const noexcept;
+  int max_seen() const noexcept { return max_seen_; }
+  double mean() const noexcept;
+
+ private:
+  std::vector<std::uint64_t> counts_;  // [0..max_value] + overflow
+  std::uint64_t total_ = 0;
+  std::uint64_t sum_ = 0;
+  int max_seen_ = -1;
+};
+
+/// Fixed-window moving average over doubles.
+class MovingAverage {
+ public:
+  explicit MovingAverage(std::size_t window) : window_(window) {}
+
+  void add(double value) noexcept;
+  double value() const noexcept;
+  std::size_t count() const noexcept { return values_.size(); }
+  std::size_t window() const noexcept { return window_; }
+
+ private:
+  std::size_t window_;
+  std::deque<double> values_;
+  double sum_ = 0.0;
+};
+
+/// One sampled point of the Figure-11/12 time series.
+struct SeriesPoint {
+  std::uint64_t requests = 0;   // x axis: total completed requests
+  double hit_rate = 0.0;        // moving-average hit rate
+  double hops = 0.0;            // moving-average hops
+  double latency = 0.0;         // moving-average simulated latency
+};
+
+struct MetricsSummary {
+  std::uint64_t completed = 0;
+  std::uint64_t hits = 0;
+  /// Hits that served data older than the origin's current version
+  /// (always 0 when versioning is disabled).
+  std::uint64_t stale_hits = 0;
+  std::uint64_t total_hops = 0;
+  std::uint64_t total_forwards = 0;
+  SimTime total_latency = 0;
+
+  double hit_rate() const noexcept {
+    return completed == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(completed);
+  }
+  double avg_hops() const noexcept {
+    return completed == 0 ? 0.0
+                          : static_cast<double>(total_hops) / static_cast<double>(completed);
+  }
+  double avg_latency() const noexcept {
+    return completed == 0 ? 0.0
+                          : static_cast<double>(total_latency) / static_cast<double>(completed);
+  }
+  /// Fraction of hits that were stale.
+  double stale_rate() const noexcept {
+    return hits == 0 ? 0.0 : static_cast<double>(stale_hits) / static_cast<double>(hits);
+  }
+};
+
+class MetricsCollector {
+ public:
+  /// `ma_window`: trailing window of the moving averages (paper: 5000).
+  /// `sample_every`: a series point is recorded each time this many
+  /// requests complete (0 disables series collection).
+  explicit MetricsCollector(std::size_t ma_window = 5000,
+                            std::uint64_t sample_every = 5000);
+
+  /// Called by the client when a reply arrives.  `stale` marks a hit that
+  /// served outdated data (ignored for misses).
+  void on_request_completed(bool proxy_hit, int hops, SimTime latency, bool stale = false);
+
+  const MetricsSummary& summary() const noexcept { return summary_; }
+  const std::vector<SeriesPoint>& series() const noexcept { return series_; }
+
+  double moving_hit_rate() const noexcept { return hit_ma_.value(); }
+  double moving_hops() const noexcept { return hops_ma_.value(); }
+
+  /// Whole-run distribution of per-request hop counts.
+  const IntHistogram& hop_histogram() const noexcept { return hops_hist_; }
+
+  /// Resets counters (summary + series + windows), e.g. to exclude a warmup
+  /// phase from the reported totals.
+  void reset();
+
+ private:
+  MetricsSummary summary_;
+  MovingAverage hit_ma_;
+  MovingAverage hops_ma_;
+  MovingAverage latency_ma_;
+  IntHistogram hops_hist_;
+  std::uint64_t sample_every_;
+  std::vector<SeriesPoint> series_;
+};
+
+}  // namespace adc::sim

@@ -1,0 +1,25 @@
+#include "sim/network.h"
+
+namespace adc::sim {
+
+void Network::set_node_delay(NodeId node, SimTime extra) {
+  if (extra <= 0) {
+    node_delays_.erase(node);
+    return;
+  }
+  node_delays_[node] = extra;
+}
+
+SimTime Network::node_delay(NodeId node) const noexcept {
+  const auto it = node_delays_.find(node);
+  return it == node_delays_.end() ? 0 : it->second;
+}
+
+SimTime Network::latency(NodeKind from, NodeKind to, bool self_message) const noexcept {
+  if (self_message) return model_.self;
+  if (from == NodeKind::kOrigin || to == NodeKind::kOrigin) return model_.proxy_origin;
+  if (from == NodeKind::kClient || to == NodeKind::kClient) return model_.client_proxy;
+  return model_.proxy_proxy;
+}
+
+}  // namespace adc::sim

@@ -1,0 +1,51 @@
+// Latency model for the simulated network.
+//
+// Link classes mirror the paper's hop taxonomy (client-proxy, proxy-proxy,
+// proxy-server).  Latencies only order events — hit/hop results do not
+// depend on their absolute values — but distinct values make backwarding
+// timelines realistic and let the latency metric distinguish a local hit
+// from an origin round trip.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "sim/node.h"
+#include "util/types.h"
+
+namespace adc::sim {
+
+struct LatencyModel {
+  SimTime client_proxy = 1;
+  SimTime proxy_proxy = 2;
+  SimTime proxy_origin = 10;
+  /// Self-addressed messages (a proxy random-forwarding to itself) still
+  /// take one queueing step so event ordering stays strictly causal.
+  SimTime self = 1;
+};
+
+class Network {
+ public:
+  explicit Network(LatencyModel model = {}) : model_(model) {}
+
+  const LatencyModel& model() const noexcept { return model_; }
+
+  /// One-way delay between two node kinds.
+  SimTime latency(NodeKind from, NodeKind to, bool self_message) const noexcept;
+
+  /// Heterogeneous hardware: extra processing delay added to every message
+  /// *delivered to* the given node (a slow Pentium among fast ones — the
+  /// scenario the paper's coordinator predecessor was built to absorb).
+  void set_node_delay(NodeId node, SimTime extra);
+  SimTime node_delay(NodeId node) const noexcept;
+
+  std::uint64_t messages_sent() const noexcept { return messages_sent_; }
+  void count_message() noexcept { ++messages_sent_; }
+
+ private:
+  LatencyModel model_;
+  std::unordered_map<NodeId, SimTime> node_delays_;
+  std::uint64_t messages_sent_ = 0;
+};
+
+}  // namespace adc::sim

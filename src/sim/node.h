@@ -1,0 +1,44 @@
+// Simulated node interface.
+#pragma once
+
+#include <string>
+
+#include "sim/message.h"
+#include "util/types.h"
+
+namespace adc::sim {
+
+class Simulator;
+
+enum class NodeKind : std::uint8_t {
+  kClient,
+  kProxy,
+  kOrigin,
+};
+
+/// A participant in the simulation.  Nodes communicate exclusively through
+/// Simulator::send(); direct calls between nodes are not allowed, keeping
+/// hop accounting and delivery ordering in one place.
+class Node {
+ public:
+  Node(NodeId id, NodeKind kind, std::string name)
+      : id_(id), kind_(kind), name_(std::move(name)) {}
+  virtual ~Node() = default;
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  NodeId id() const noexcept { return id_; }
+  NodeKind kind() const noexcept { return kind_; }
+  const std::string& name() const noexcept { return name_; }
+
+  /// Delivery callback; `msg` is the node's to own.
+  virtual void on_message(Simulator& sim, const Message& msg) = 0;
+
+ private:
+  NodeId id_;
+  NodeKind kind_;
+  std::string name_;
+};
+
+}  // namespace adc::sim

@@ -1,0 +1,66 @@
+#include "sim/simulator.h"
+
+#include <cassert>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace adc::sim {
+
+Simulator::Simulator(std::uint64_t seed, LatencyModel latency)
+    : rng_(seed), network_(latency) {}
+
+NodeId Simulator::add_node(std::unique_ptr<Node> node) {
+  assert(node != nullptr);
+  const auto id = static_cast<NodeId>(nodes_.size());
+  assert(node->id() == id && "node must be constructed with its assigned id");
+  nodes_.push_back(std::move(node));
+  return id;
+}
+
+void Simulator::send(Message msg) {
+  assert(msg.sender >= 0 && static_cast<std::size_t>(msg.sender) < nodes_.size());
+  assert(msg.target >= 0 && static_cast<std::size_t>(msg.target) < nodes_.size());
+
+  msg.hops += 1;
+  network_.count_message();
+  if (observer_) observer_(msg, now_);
+
+  const bool self_message = msg.sender == msg.target;
+  const SimTime delay = network_.latency(node(msg.sender).kind(), node(msg.target).kind(),
+                                         self_message) +
+                        network_.node_delay(msg.target);
+  const NodeId target = msg.target;
+  ADC_LOG_TRACE << "send t=" << now_ << " " << node(msg.sender).name() << " -> "
+                << node(target).name() << " req=" << msg.request_id
+                << " kind=" << (msg.kind == MessageKind::kRequest ? "REQ" : "RPL")
+                << " hops=" << msg.hops;
+  queue_.schedule(now_ + delay, [this, msg = std::move(msg), target]() {
+    ++messages_delivered_;
+    nodes_[static_cast<std::size_t>(target)]->on_message(*this, msg);
+  });
+}
+
+void Simulator::schedule(SimTime at, std::function<void()> action) {
+  assert(at >= now_);
+  queue_.schedule(at, std::move(action));
+}
+
+void Simulator::schedule_after(SimTime delay, std::function<void()> action) {
+  schedule(now_ + delay, std::move(action));
+}
+
+std::uint64_t Simulator::run(std::uint64_t max_events) {
+  std::uint64_t executed = 0;
+  while (!queue_.empty() && executed < max_events) {
+    // Advance the clock before executing so actions observe the correct
+    // current time when they send follow-up messages.
+    auto popped = queue_.pop_next();
+    now_ = popped.time;
+    popped.action();
+    ++executed;
+  }
+  return executed;
+}
+
+}  // namespace adc::sim

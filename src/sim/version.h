@@ -1,0 +1,57 @@
+// Object versioning for cache-consistency measurement.
+//
+// The paper's system (like most of the 2000s distributed-caching work it
+// cites, e.g. Gwertzman & Seltzer on web cache consistency) treats objects
+// as immutable.  Real objects change; replicated copies then serve *stale*
+// data until refreshed.  The VersionOracle models origin-side updates
+// deterministically: each object has a jittered update interval and its
+// authoritative version at time t is t / interval.  The origin stamps
+// replies, proxies remember the version they stored, and the client counts
+// a hit as stale when the served version lags the oracle — no extra
+// protocol, pure measurement.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "hash/fnv.h"
+#include "util/types.h"
+
+namespace adc::sim {
+
+class VersionOracle {
+ public:
+  /// `mean_update_interval` in simulated time units; 0 disables updates
+  /// (every object stays at version 0 forever).  Per-object intervals are
+  /// jittered to [0.5, 1.5) of the mean so updates do not synchronize.
+  explicit VersionOracle(SimTime mean_update_interval, std::uint64_t seed = 0x5ea1)
+      : mean_interval_(mean_update_interval), seed_(seed) {}
+
+  SimTime mean_interval() const noexcept { return mean_interval_; }
+  bool enabled() const noexcept { return mean_interval_ > 0; }
+
+  /// The object's own update interval (deterministic).
+  SimTime interval_of(ObjectId object) const noexcept {
+    if (!enabled()) return 0;
+    const std::uint64_t mixed = hash::fnv1a64_u64(object ^ seed_);
+    // Jitter factor in [0.5, 1.5): mean/2 + mean * (mixed fraction).
+    const auto jitter = static_cast<SimTime>(
+        (static_cast<double>(mixed >> 11) * 0x1.0p-53) * static_cast<double>(mean_interval_));
+    return mean_interval_ / 2 + jitter + 1;
+  }
+
+  /// Authoritative version of the object at simulated time `now`;
+  /// monotone non-decreasing in `now`.
+  std::uint64_t version_at(ObjectId object, SimTime now) const noexcept {
+    if (!enabled() || now <= 0) return 0;
+    return static_cast<std::uint64_t>(now / interval_of(object));
+  }
+
+ private:
+  SimTime mean_interval_;
+  std::uint64_t seed_;
+};
+
+using VersionOraclePtr = std::shared_ptr<const VersionOracle>;
+
+}  // namespace adc::sim

@@ -1,0 +1,86 @@
+#include "util/cli.h"
+
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace adc::util {
+
+CliParser::CliParser(std::string_view program_description)
+    : description_(program_description) {}
+
+CliParser& CliParser::option(std::string_view key, std::string_view default_value,
+                             std::string_view help, bool is_flag) {
+  options_.push_back(Option{std::string(key), std::string(default_value), std::string(help), is_flag});
+  config_.set(key, default_value);
+  return *this;
+}
+
+const CliParser::Option* CliParser::find(std::string_view key) const noexcept {
+  for (const auto& opt : options_) {
+    if (opt.key == key) return &opt;
+  }
+  return nullptr;
+}
+
+bool CliParser::parse(int argc, const char* const* argv, std::string* error) {
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      help_requested_ = true;
+      return true;
+    }
+    if (!starts_with(arg, "--")) {
+      positional_.emplace_back(arg);
+      continue;
+    }
+    arg.remove_prefix(2);
+    std::string_view key = arg;
+    std::string_view value;
+    bool has_value = false;
+    const std::size_t eq = arg.find('=');
+    if (eq != std::string_view::npos) {
+      key = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+      has_value = true;
+    }
+    const Option* opt = find(key);
+    if (opt == nullptr) {
+      if (error) *error = "unknown option --" + std::string(key);
+      return false;
+    }
+    if (opt->is_flag) {
+      if (has_value) {
+        config_.set(key, value);
+      } else {
+        config_.set(key, "true");
+      }
+      continue;
+    }
+    if (!has_value) {
+      if (i + 1 >= argc) {
+        if (error) *error = "option --" + std::string(key) + " expects a value";
+        return false;
+      }
+      value = argv[++i];
+    }
+    config_.set(key, value);
+  }
+  return true;
+}
+
+std::string CliParser::help_text() const {
+  std::ostringstream out;
+  out << description_ << "\n\nOptions:\n";
+  for (const auto& opt : options_) {
+    out << "  --" << opt.key;
+    if (!opt.is_flag) out << " <value>";
+    out << "\n      " << opt.help;
+    if (!opt.default_value.empty()) out << " (default: " << opt.default_value << ")";
+    out << '\n';
+  }
+  out << "  --help\n      Show this message.\n";
+  return out.str();
+}
+
+}  // namespace adc::util

@@ -1,0 +1,59 @@
+// Declarative command-line parser for examples and bench binaries.
+//
+// Supports `--flag value`, `--flag=value`, boolean flags (`--verbose`),
+// repeated positional arguments, and auto-generated `--help` text.  Parsed
+// values land in an adc::util::Config so downstream code has one settings
+// source regardless of whether a value came from a file or the CLI.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/config.h"
+
+namespace adc::util {
+
+class CliParser {
+ public:
+  explicit CliParser(std::string_view program_description);
+
+  /// Registers an option.  `key` doubles as the config key and the flag
+  /// name (`--key`).  `is_flag` options take no value and store "true".
+  CliParser& option(std::string_view key, std::string_view default_value,
+                    std::string_view help, bool is_flag = false);
+
+  /// Parses argv.  Unknown flags or missing values produce false plus a
+  /// diagnostic in `error`.  `--help` sets help_requested() and returns
+  /// true without error.
+  bool parse(int argc, const char* const* argv, std::string* error = nullptr);
+
+  bool help_requested() const noexcept { return help_requested_; }
+
+  /// Usage text listing every registered option with its default.
+  std::string help_text() const;
+
+  /// Settings after parse(): defaults overlaid with given flags.
+  const Config& config() const noexcept { return config_; }
+
+  /// Non-flag arguments in order.
+  const std::vector<std::string>& positional() const noexcept { return positional_; }
+
+ private:
+  struct Option {
+    std::string key;
+    std::string default_value;
+    std::string help;
+    bool is_flag = false;
+  };
+
+  const Option* find(std::string_view key) const noexcept;
+
+  std::string description_;
+  std::vector<Option> options_;
+  Config config_;
+  std::vector<std::string> positional_;
+  bool help_requested_ = false;
+};
+
+}  // namespace adc::util

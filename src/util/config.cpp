@@ -1,0 +1,134 @@
+#include "util/config.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace adc::util {
+
+bool Config::parse(std::string_view text, std::string* error) {
+  std::size_t line_no = 0;
+  for (std::string_view line : split(text, '\n')) {
+    ++line_no;
+    const std::size_t comment = line.find_first_of("#;");
+    if (comment != std::string_view::npos) line = line.substr(0, comment);
+    line = trim(line);
+    if (line.empty()) continue;
+    const std::size_t eq = line.find('=');
+    if (eq == std::string_view::npos) {
+      if (error) *error = "line " + std::to_string(line_no) + ": expected key = value";
+      return false;
+    }
+    const std::string_view key = trim(line.substr(0, eq));
+    const std::string_view value = trim(line.substr(eq + 1));
+    if (key.empty()) {
+      if (error) *error = "line " + std::to_string(line_no) + ": empty key";
+      return false;
+    }
+    set(key, value);
+  }
+  return true;
+}
+
+bool Config::load_file(const std::string& path, std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    if (error) *error = "cannot open " + path;
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse(buffer.str(), error);
+}
+
+void Config::set(std::string_view key, std::string_view value) {
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    entries_[it->second].second = std::string(value);
+    return;
+  }
+  entries_.emplace_back(std::string(key), std::string(value));
+  index_.emplace(std::string(key), entries_.size() - 1);
+}
+
+bool Config::contains(std::string_view key) const noexcept {
+  return index_.find(key) != index_.end();
+}
+
+std::optional<std::string_view> Config::raw(std::string_view key) const noexcept {
+  const auto it = index_.find(key);
+  if (it == index_.end()) return std::nullopt;
+  used_.insert(std::string(key));
+  return std::string_view(entries_[it->second].second);
+}
+
+std::string Config::get_string(std::string_view key, std::string_view fallback) const {
+  const auto value = raw(key);
+  return std::string(value.value_or(fallback));
+}
+
+std::int64_t Config::get_int(std::string_view key, std::int64_t fallback) const {
+  const auto value = raw(key);
+  if (!value) return fallback;
+  const auto parsed = parse_int(*value);
+  if (!parsed) {
+    bad_values_.emplace_back(key);
+    return fallback;
+  }
+  return *parsed;
+}
+
+std::uint64_t Config::get_size(std::string_view key, std::uint64_t fallback) const {
+  const auto value = raw(key);
+  if (!value) return fallback;
+  const auto parsed = parse_size(*value);
+  if (!parsed) {
+    bad_values_.emplace_back(key);
+    return fallback;
+  }
+  return *parsed;
+}
+
+double Config::get_double(std::string_view key, double fallback) const {
+  const auto value = raw(key);
+  if (!value) return fallback;
+  const auto parsed = parse_double(*value);
+  if (!parsed) {
+    bad_values_.emplace_back(key);
+    return fallback;
+  }
+  return *parsed;
+}
+
+bool Config::get_bool(std::string_view key, bool fallback) const {
+  const auto value = raw(key);
+  if (!value) return fallback;
+  const auto parsed = parse_bool(*value);
+  if (!parsed) {
+    bad_values_.emplace_back(key);
+    return fallback;
+  }
+  return *parsed;
+}
+
+std::vector<std::string> Config::unused_keys() const {
+  std::vector<std::string> out;
+  for (const auto& [key, value] : entries_) {
+    if (used_.find(key) == used_.end()) out.push_back(key);
+  }
+  return out;
+}
+
+std::string Config::dump() const {
+  std::string out;
+  for (const auto& [key, value] : entries_) {
+    out += key;
+    out += " = ";
+    out += value;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace adc::util

@@ -1,0 +1,59 @@
+// Key/value configuration store with typed accessors.
+//
+// Experiments are described by flat `key = value` files (comments with '#'
+// or ';'), optionally overridden from the command line.  The store keeps
+// insertion order for reproducible dumps and records which keys were read,
+// so drivers can flag unused (usually misspelled) settings.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace adc::util {
+
+class Config {
+ public:
+  Config() = default;
+
+  /// Parses `key = value` lines.  Returns false and fills `error` on the
+  /// first malformed line (missing '=', empty key).
+  bool parse(std::string_view text, std::string* error = nullptr);
+
+  /// Loads and parses a file; false if unreadable or malformed.
+  bool load_file(const std::string& path, std::string* error = nullptr);
+
+  void set(std::string_view key, std::string_view value);
+  bool contains(std::string_view key) const noexcept;
+
+  /// Typed getters.  A present-but-unparsable value returns the fallback
+  /// (and is reported by `bad_values()` for diagnostics).
+  std::string get_string(std::string_view key, std::string_view fallback) const;
+  std::int64_t get_int(std::string_view key, std::int64_t fallback) const;
+  std::uint64_t get_size(std::string_view key, std::uint64_t fallback) const;
+  double get_double(std::string_view key, double fallback) const;
+  bool get_bool(std::string_view key, bool fallback) const;
+
+  /// Keys present in the store but never read through a getter.
+  std::vector<std::string> unused_keys() const;
+
+  /// Keys whose values failed to parse as the requested type.
+  const std::vector<std::string>& bad_values() const noexcept { return bad_values_; }
+
+  /// Stable "key = value" dump in insertion order.
+  std::string dump() const;
+
+ private:
+  std::optional<std::string_view> raw(std::string_view key) const noexcept;
+
+  std::vector<std::pair<std::string, std::string>> entries_;  // insertion order
+  std::map<std::string, std::size_t, std::less<>> index_;
+  mutable std::set<std::string, std::less<>> used_;
+  mutable std::vector<std::string> bad_values_;
+};
+
+}  // namespace adc::util

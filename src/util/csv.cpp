@@ -1,0 +1,64 @@
+#include "util/csv.h"
+
+#include <iomanip>
+#include <sstream>
+
+namespace adc::util {
+
+std::string CsvWriter::escape(std::string_view value) {
+  const bool needs_quotes =
+      value.find_first_of(",\"\n\r") != std::string_view::npos;
+  if (!needs_quotes) return std::string(value);
+  std::string out;
+  out.reserve(value.size() + 2);
+  out.push_back('"');
+  for (char c : value) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+void CsvWriter::header(const std::vector<std::string>& columns) {
+  for (const auto& column : columns) field(column);
+  end_row();
+}
+
+CsvWriter& CsvWriter::field(std::string_view value) {
+  if (row_open_) *out_ << ',';
+  *out_ << escape(value);
+  row_open_ = true;
+  return *this;
+}
+
+CsvWriter& CsvWriter::field(std::int64_t value) {
+  if (row_open_) *out_ << ',';
+  *out_ << value;
+  row_open_ = true;
+  return *this;
+}
+
+CsvWriter& CsvWriter::field(std::uint64_t value) {
+  if (row_open_) *out_ << ',';
+  *out_ << value;
+  row_open_ = true;
+  return *this;
+}
+
+CsvWriter& CsvWriter::field(double value, int precision) {
+  if (row_open_) *out_ << ',';
+  std::ostringstream tmp;
+  tmp << std::fixed << std::setprecision(precision) << value;
+  *out_ << tmp.str();
+  row_open_ = true;
+  return *this;
+}
+
+void CsvWriter::end_row() {
+  *out_ << '\n';
+  row_open_ = false;
+  ++rows_;
+}
+
+}  // namespace adc::util

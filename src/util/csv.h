@@ -1,0 +1,44 @@
+// CSV emission for bench/experiment output.
+//
+// Every figure-reproduction bench prints the series the paper plots as CSV
+// rows (and optionally writes them to a file) so they can be re-plotted
+// directly.  Quoting follows RFC 4180: fields containing comma, quote or
+// newline are quoted, quotes doubled.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace adc::util {
+
+class CsvWriter {
+ public:
+  /// Writes to the given stream; the stream must outlive the writer.
+  explicit CsvWriter(std::ostream& out) : out_(&out) {}
+
+  void header(const std::vector<std::string>& columns);
+
+  CsvWriter& field(std::string_view value);
+  CsvWriter& field(std::int64_t value);
+  CsvWriter& field(std::uint64_t value);
+  CsvWriter& field(double value, int precision = 6);
+  /// int overload avoids int->uint64/int64 ambiguity at call sites.
+  CsvWriter& field(int value) { return field(static_cast<std::int64_t>(value)); }
+
+  /// Terminates the current row.
+  void end_row();
+
+  std::size_t rows_written() const noexcept { return rows_; }
+
+  static std::string escape(std::string_view value);
+
+ private:
+  std::ostream* out_;
+  bool row_open_ = false;
+  std::size_t rows_ = 0;
+};
+
+}  // namespace adc::util

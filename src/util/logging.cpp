@@ -1,0 +1,58 @@
+#include "util/logging.h"
+
+#include <atomic>
+#include <cctype>
+#include <iostream>
+
+namespace adc::util {
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+}  // namespace
+
+std::string_view log_level_name(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kTrace:
+      return "trace";
+    case LogLevel::kDebug:
+      return "debug";
+    case LogLevel::kInfo:
+      return "info";
+    case LogLevel::kWarn:
+      return "warn";
+    case LogLevel::kError:
+      return "error";
+    case LogLevel::kOff:
+      return "off";
+  }
+  return "unknown";
+}
+
+LogLevel parse_log_level(std::string_view name) noexcept {
+  std::string lowered;
+  lowered.reserve(name.size());
+  for (char c : name) lowered.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  if (lowered == "trace") return LogLevel::kTrace;
+  if (lowered == "debug") return LogLevel::kDebug;
+  if (lowered == "info") return LogLevel::kInfo;
+  if (lowered == "warn" || lowered == "warning") return LogLevel::kWarn;
+  if (lowered == "error") return LogLevel::kError;
+  if (lowered == "off" || lowered == "none") return LogLevel::kOff;
+  return LogLevel::kInfo;
+}
+
+void set_log_level(LogLevel level) noexcept { g_level.store(level, std::memory_order_relaxed); }
+
+LogLevel log_level() noexcept { return g_level.load(std::memory_order_relaxed); }
+
+bool log_enabled(LogLevel level) noexcept {
+  return static_cast<int>(level) >= static_cast<int>(log_level());
+}
+
+void log_line(LogLevel level, std::string_view message) {
+  if (!log_enabled(level)) return;
+  std::cerr << '[' << log_level_name(level) << "] " << message << '\n';
+}
+
+}  // namespace adc::util

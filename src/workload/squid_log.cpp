@@ -1,0 +1,61 @@
+#include "workload/squid_log.h"
+
+#include <fstream>
+#include <istream>
+
+#include "util/string_util.h"
+
+namespace adc::workload {
+
+std::optional<SquidLogEntry> parse_squid_line(std::string_view line) {
+  const auto fields = util::split_whitespace(line);
+  // Native format has 10 fields; tolerate trailing extras (some Squids
+  // append hierarchy data) but require the first 7.
+  if (fields.size() < 7) return std::nullopt;
+
+  SquidLogEntry entry;
+  const auto timestamp = util::parse_double(fields[0]);
+  const auto elapsed = util::parse_int(fields[1]);
+  const auto bytes = util::parse_int(fields[4]);
+  if (!timestamp || !elapsed || !bytes) return std::nullopt;
+
+  entry.timestamp = *timestamp;
+  entry.elapsed_ms = *elapsed;
+  entry.client = std::string(fields[2]);
+  entry.result_code = std::string(fields[3]);
+  entry.bytes = *bytes;
+  entry.method = std::string(fields[5]);
+  entry.url = std::string(fields[6]);
+  if (entry.url.empty() || entry.url == "-") return std::nullopt;
+  return entry;
+}
+
+SquidLoadResult load_squid_log(std::istream& in, UrlInterner& interner,
+                               const SquidLoadOptions& options) {
+  SquidLoadResult result;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (util::trim(line).empty()) continue;
+    const auto entry = parse_squid_line(line);
+    if (!entry || (options.gets_only && entry->method != "GET")) {
+      ++result.skipped;
+      continue;
+    }
+    result.trace.append(interner.intern(entry->url));
+    ++result.parsed;
+    if (options.limit != 0 && result.parsed >= options.limit) break;
+  }
+  // A replayed log is all "request phase": no fill prefix, no repeat tail.
+  result.trace.set_phases(TracePhases{0, result.trace.size()});
+  return result;
+}
+
+std::optional<SquidLoadResult> load_squid_log_file(const std::string& path,
+                                                   UrlInterner& interner,
+                                                   const SquidLoadOptions& options) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  return load_squid_log(in, interner, options);
+}
+
+}  // namespace adc::workload

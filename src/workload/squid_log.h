@@ -1,0 +1,59 @@
+// Squid native access.log ingestion.
+//
+// The paper's future work points at building the system on Squid; this
+// parser lets the reproduction replay real proxy logs instead of synthetic
+// traces.  Supports the classic squid native format:
+//   time elapsed remotehost code/status bytes method URL rfc931
+//   peerstatus/peerhost type
+// Lines that do not parse are counted and skipped, never fatal.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "workload/trace.h"
+#include "workload/url_space.h"
+
+namespace adc::workload {
+
+struct SquidLogEntry {
+  double timestamp = 0.0;     // unix seconds (fractional)
+  std::int64_t elapsed_ms = 0;
+  std::string client;
+  std::string result_code;    // e.g. TCP_MISS/200
+  std::int64_t bytes = 0;
+  std::string method;         // GET, POST, ...
+  std::string url;
+};
+
+/// Parses one native-format line; nullopt when malformed.
+std::optional<SquidLogEntry> parse_squid_line(std::string_view line);
+
+struct SquidLoadOptions {
+  /// Only replay these methods (empty = all).  The paper's system handles
+  /// cacheable fetches, so the default keeps GETs only.
+  bool gets_only = true;
+  /// Maximum number of requests to ingest (0 = unlimited).
+  std::uint64_t limit = 0;
+};
+
+struct SquidLoadResult {
+  Trace trace;                 // phases: everything in one request phase
+  std::uint64_t parsed = 0;    // lines converted into requests
+  std::uint64_t skipped = 0;   // malformed or filtered lines
+};
+
+/// Reads a log from a stream, interning URLs via `interner`.
+SquidLoadResult load_squid_log(std::istream& in, UrlInterner& interner,
+                               const SquidLoadOptions& options = {});
+
+/// Convenience: reads from a file path; nullopt when the file is
+/// unreadable.
+std::optional<SquidLoadResult> load_squid_log_file(const std::string& path,
+                                                   UrlInterner& interner,
+                                                   const SquidLoadOptions& options = {});
+
+}  // namespace adc::workload

@@ -1,0 +1,162 @@
+#include "workload/trace.h"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <unordered_set>
+
+#include "hash/crc32.h"
+#include "util/string_util.h"
+
+namespace adc::workload {
+namespace {
+
+constexpr char kMagic[8] = {'A', 'D', 'C', 'T', 'R', 'C', '0', '1'};
+
+template <typename T>
+void write_pod(std::ostream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+bool read_pod(std::istream& in, T* value) {
+  in.read(reinterpret_cast<char*>(value), sizeof(T));
+  return static_cast<bool>(in);
+}
+
+}  // namespace
+
+TraceStats Trace::stats() const {
+  TraceStats out;
+  out.requests = size();
+  std::unordered_set<ObjectId> seen;
+  seen.reserve(requests_.size());
+  std::uint64_t recurrences = 0;
+  for (ObjectId object : requests_) {
+    if (!seen.insert(object).second) ++recurrences;
+  }
+  out.unique_objects = seen.size();
+  out.recurrence_rate =
+      out.requests == 0 ? 0.0 : static_cast<double>(recurrences) / static_cast<double>(out.requests);
+  return out;
+}
+
+Trace Trace::slice(std::uint64_t begin, std::uint64_t end) const {
+  begin = std::min<std::uint64_t>(begin, size());
+  end = std::min<std::uint64_t>(std::max(begin, end), size());
+  std::vector<ObjectId> sub(requests_.begin() + static_cast<std::ptrdiff_t>(begin),
+                            requests_.begin() + static_cast<std::ptrdiff_t>(end));
+  TracePhases phases;
+  const auto clip = [&](std::uint64_t p) -> std::uint64_t {
+    if (p <= begin) return 0;
+    if (p >= end) return end - begin;
+    return p - begin;
+  };
+  phases.fill_end = clip(phases_.fill_end);
+  phases.phase2_end = clip(phases_.phase2_end);
+  return Trace(std::move(sub), phases);
+}
+
+bool Trace::save_text(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << "# adc-trace v1\n";
+  out << "# requests " << size() << '\n';
+  out << "# fill_end " << phases_.fill_end << '\n';
+  out << "# phase2_end " << phases_.phase2_end << '\n';
+  for (ObjectId object : requests_) out << object << '\n';
+  return static_cast<bool>(out);
+}
+
+bool Trace::load_text(const std::string& path, Trace* out, std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    if (error) *error = "cannot open " + path;
+    return false;
+  }
+  Trace trace;
+  TracePhases phases;
+  std::string line;
+  std::uint64_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::string_view trimmed = util::trim(line);
+    if (trimmed.empty()) continue;
+    if (trimmed.front() == '#') {
+      const auto fields = util::split_whitespace(trimmed.substr(1));
+      if (fields.size() == 2 && fields[0] == "fill_end") {
+        if (const auto v = util::parse_uint(fields[1])) phases.fill_end = *v;
+      } else if (fields.size() == 2 && fields[0] == "phase2_end") {
+        if (const auto v = util::parse_uint(fields[1])) phases.phase2_end = *v;
+      }
+      continue;
+    }
+    const auto id = util::parse_uint(trimmed);
+    if (!id) {
+      if (error) *error = "line " + std::to_string(line_no) + ": bad object id";
+      return false;
+    }
+    trace.append(*id);
+  }
+  trace.set_phases(phases);
+  *out = std::move(trace);
+  return true;
+}
+
+bool Trace::save_binary(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  out.write(kMagic, sizeof(kMagic));
+  write_pod(out, phases_.fill_end);
+  write_pod(out, phases_.phase2_end);
+  const std::uint64_t count = size();
+  write_pod(out, count);
+  const auto* payload = reinterpret_cast<const char*>(requests_.data());
+  const std::size_t payload_bytes = requests_.size() * sizeof(ObjectId);
+  out.write(payload, static_cast<std::streamsize>(payload_bytes));
+  const std::uint32_t crc = hash::crc32(payload, payload_bytes);
+  write_pod(out, crc);
+  return static_cast<bool>(out);
+}
+
+bool Trace::load_binary(const std::string& path, Trace* out, std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    if (error) *error = "cannot open " + path;
+    return false;
+  }
+  char magic[sizeof(kMagic)];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    if (error) *error = "bad magic (not an adc binary trace)";
+    return false;
+  }
+  TracePhases phases;
+  std::uint64_t count = 0;
+  if (!read_pod(in, &phases.fill_end) || !read_pod(in, &phases.phase2_end) ||
+      !read_pod(in, &count)) {
+    if (error) *error = "truncated header";
+    return false;
+  }
+  std::vector<ObjectId> requests(count);
+  const std::size_t payload_bytes = requests.size() * sizeof(ObjectId);
+  in.read(reinterpret_cast<char*>(requests.data()), static_cast<std::streamsize>(payload_bytes));
+  if (!in) {
+    if (error) *error = "truncated payload";
+    return false;
+  }
+  std::uint32_t stored_crc = 0;
+  if (!read_pod(in, &stored_crc)) {
+    if (error) *error = "missing checksum";
+    return false;
+  }
+  const std::uint32_t crc = hash::crc32(requests.data(), payload_bytes);
+  if (crc != stored_crc) {
+    if (error) *error = "checksum mismatch (corrupt trace)";
+    return false;
+  }
+  *out = Trace(std::move(requests), phases);
+  return true;
+}
+
+}  // namespace adc::workload

@@ -1,0 +1,71 @@
+// Request traces: the in-memory representation plus text and binary file
+// formats (binary carries a CRC-32 so truncated/corrupt files are caught).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "util/types.h"
+
+namespace adc::workload {
+
+/// Phase boundaries, as request counts into the trace (paper Section
+/// V.1.6): [0, fill_end) is the fill phase, [fill_end, phase2_end) the
+/// first request phase, [phase2_end, size) the repeat phase.
+struct TracePhases {
+  std::uint64_t fill_end = 0;
+  std::uint64_t phase2_end = 0;
+};
+
+struct TraceStats {
+  std::uint64_t requests = 0;
+  std::uint64_t unique_objects = 0;
+  double recurrence_rate = 0.0;  // fraction of requests to already-seen objects
+};
+
+class Trace {
+ public:
+  Trace() = default;
+  Trace(std::vector<ObjectId> requests, TracePhases phases)
+      : requests_(std::move(requests)), phases_(phases) {}
+
+  const std::vector<ObjectId>& requests() const noexcept { return requests_; }
+  std::vector<ObjectId>& requests() noexcept { return requests_; }
+  std::uint64_t size() const noexcept { return requests_.size(); }
+  bool empty() const noexcept { return requests_.empty(); }
+
+  const TracePhases& phases() const noexcept { return phases_; }
+  void set_phases(TracePhases phases) noexcept { phases_ = phases; }
+
+  ObjectId operator[](std::uint64_t i) const noexcept {
+    return requests_[static_cast<std::size_t>(i)];
+  }
+
+  void append(ObjectId object) { requests_.push_back(object); }
+
+  /// Single pass over the trace computing summary statistics.
+  TraceStats stats() const;
+
+  /// Subset view [begin, end) as a new trace (phases are clipped).
+  Trace slice(std::uint64_t begin, std::uint64_t end) const;
+
+  // --- File formats ------------------------------------------------------
+
+  /// Text: '#'-prefixed header lines (phases), then one object id per
+  /// line.  Human-inspectable; used in examples.
+  bool save_text(const std::string& path) const;
+  static bool load_text(const std::string& path, Trace* out, std::string* error = nullptr);
+
+  /// Binary: magic, version, phases, count, raw little-endian ids,
+  /// trailing CRC-32 of the payload.
+  bool save_binary(const std::string& path) const;
+  static bool load_binary(const std::string& path, Trace* out, std::string* error = nullptr);
+
+ private:
+  std::vector<ObjectId> requests_;
+  TracePhases phases_;
+};
+
+}  // namespace adc::workload

@@ -1,0 +1,44 @@
+#include "workload/url_space.h"
+
+#include "hash/md5.h"
+
+namespace adc::workload {
+
+std::string UrlSpace::url_for(ObjectId index) const {
+  // Polygraph-style naming: http://wNNN.polymix.test/wss/objNNN.html
+  std::string url = "http://w";
+  url += std::to_string(server_of(index));
+  url += ".polymix.test/wss/obj";
+  url += std::to_string(index);
+  url += ".html";
+  return url;
+}
+
+ObjectId UrlInterner::intern(std::string_view url) {
+  const std::uint64_t digest = hash::Md5::digest64(url);
+  auto& candidates = by_digest_[digest];
+  for (ObjectId id : candidates) {
+    if (urls_[static_cast<std::size_t>(id - 1)] == url) return id;
+  }
+  if (!candidates.empty()) ++collisions_;
+  urls_.emplace_back(url);
+  const auto id = static_cast<ObjectId>(urls_.size());
+  candidates.push_back(id);
+  return id;
+}
+
+ObjectId UrlInterner::find(std::string_view url) const noexcept {
+  const auto it = by_digest_.find(hash::Md5::digest64(url));
+  if (it == by_digest_.end()) return 0;
+  for (ObjectId id : it->second) {
+    if (urls_[static_cast<std::size_t>(id - 1)] == url) return id;
+  }
+  return 0;
+}
+
+const std::string& UrlInterner::url_of(ObjectId id) const noexcept {
+  if (id == 0 || id > urls_.size()) return empty_;
+  return urls_[static_cast<std::size_t>(id - 1)];
+}
+
+}  // namespace adc::workload

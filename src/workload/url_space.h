@@ -1,0 +1,66 @@
+// URL universe and interning.
+//
+// The simulation's hot path works on dense ObjectIds.  UrlSpace renders a
+// deterministic, Polygraph-flavoured URL for any object index (for trace
+// files and log-replay examples), and UrlInterner maps arbitrary URL
+// strings to dense ids — deduplicating via an MD5 digest so memory does not
+// scale with URL length, the exact mitigation the paper proposes for its
+// URL-dominated memory footprint (Section V.3.3).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/types.h"
+
+namespace adc::workload {
+
+/// Deterministic synthetic URL scheme mimicking Polygraph's server/object
+/// naming: objects spread over a fixed set of origin servers.
+class UrlSpace {
+ public:
+  explicit UrlSpace(std::size_t server_count = 256) : server_count_(server_count) {}
+
+  std::size_t server_count() const noexcept { return server_count_; }
+
+  /// URL of object `index` (stable for all time).
+  std::string url_for(ObjectId index) const;
+
+  /// Server ("domain") hosting the object.
+  std::size_t server_of(ObjectId index) const noexcept { return index % server_count_; }
+
+ private:
+  std::size_t server_count_;
+};
+
+/// Interns URL strings into dense ids 1..N (0 is reserved/invalid).
+/// Distinct URLs with colliding 64-bit digests are still assigned distinct
+/// ids (full-string confirmation on digest collision).
+class UrlInterner {
+ public:
+  /// Returns the id for the URL, assigning the next dense id when new.
+  ObjectId intern(std::string_view url);
+
+  /// Id for the URL if already interned; 0 otherwise.
+  ObjectId find(std::string_view url) const noexcept;
+
+  /// URL for a previously assigned id; empty when out of range.
+  const std::string& url_of(ObjectId id) const noexcept;
+
+  std::size_t size() const noexcept { return urls_.size(); }
+
+  /// Digest collisions detected so far (distinct URLs, same 64-bit MD5
+  /// prefix) — expected to be 0 in any realistic workload.
+  std::uint64_t collisions() const noexcept { return collisions_; }
+
+ private:
+  // digest64 -> list of candidate ids (almost always exactly one).
+  std::unordered_map<std::uint64_t, std::vector<ObjectId>> by_digest_;
+  std::vector<std::string> urls_;  // urls_[id - 1]
+  std::uint64_t collisions_ = 0;
+  std::string empty_;
+};
+
+}  // namespace adc::workload

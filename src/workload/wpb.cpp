@@ -1,0 +1,41 @@
+#include "workload/wpb.h"
+
+#include <cassert>
+#include <deque>
+
+namespace adc::workload {
+
+Trace generate_wpb_trace(const WpbConfig& config) {
+  assert(config.stack_depth > 0);
+  util::Rng rng(config.seed);
+  const util::ZipfSampler position(config.stack_depth, config.stack_theta);
+
+  std::vector<ObjectId> requests;
+  requests.reserve(config.requests);
+
+  // LRU stack of recently referenced objects; front = most recent.
+  std::deque<ObjectId> stack;
+  ObjectId next_object = 1;
+
+  for (std::uint64_t i = 0; i < config.requests; ++i) {
+    ObjectId object = 0;
+    if (!stack.empty() && rng.chance(config.recency_probability)) {
+      // Re-reference: stack position drawn with 1/i^theta decay, clamped
+      // to the currently filled depth.
+      std::size_t pos = position.sample(rng);
+      if (pos > stack.size()) pos = stack.size();
+      object = stack[pos - 1];
+      stack.erase(stack.begin() + static_cast<std::ptrdiff_t>(pos - 1));
+    } else {
+      object = next_object++;
+    }
+    requests.push_back(object);
+    stack.push_front(object);
+    if (stack.size() > config.stack_depth) stack.pop_back();
+  }
+
+  Trace trace(std::move(requests), TracePhases{0, config.requests});
+  return trace;
+}
+
+}  // namespace adc::workload

@@ -1,0 +1,43 @@
+// Wisconsin Proxy Benchmark (WPB)-style workload generator.
+//
+// The paper names "an evaluation based on the Wisconsin Proxy Benchmark
+// [1]" as future work; this generator provides it.  WPB's request stream
+// differs from Polygraph's in the *kind* of locality: instead of a global
+// Zipf popularity over a fixed hot set, WPB models *temporal* locality —
+// a request re-references a recently requested object with a probability
+// that decays with its depth in an LRU stack (Almeida & Cao 1998).  Cache
+// schemes that track recency (LRU baselines) and frequency (ADC's
+// averages) respond differently to the two models, which is exactly what
+// the workload-comparison bench probes.
+#pragma once
+
+#include <cstdint>
+
+#include "util/rng.h"
+#include "workload/trace.h"
+
+namespace adc::workload {
+
+struct WpbConfig {
+  std::uint64_t requests = 500'000;
+
+  /// Probability that a request re-references an object from the recency
+  /// stack instead of introducing a new one (WPB's default temporal
+  /// locality is around 50%).
+  double recency_probability = 0.5;
+
+  /// Depth of the LRU stack eligible for re-reference.
+  std::size_t stack_depth = 1000;
+
+  /// Exponent of the stack-position distribution: position i (1 = most
+  /// recent) is drawn with probability proportional to 1 / i^theta.
+  double stack_theta = 1.0;
+
+  std::uint64_t seed = 97;
+};
+
+/// Generates a WPB-style trace.  The whole stream is one request phase
+/// (no fill prefix, no repeat tail): phases = {0, size}.
+Trace generate_wpb_trace(const WpbConfig& config);
+
+}  // namespace adc::workload

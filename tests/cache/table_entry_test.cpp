@@ -1,0 +1,98 @@
+#include "cache/table_entry.h"
+
+#include <gtest/gtest.h>
+
+namespace adc::cache {
+namespace {
+
+TEST(TableEntry, FreshEntryMatchesPaperPart4) {
+  const TableEntry e = make_entry(42, 3, 100);
+  EXPECT_EQ(e.object, 42u);
+  EXPECT_EQ(e.location, 3);
+  EXPECT_EQ(e.last, 100);
+  EXPECT_EQ(e.average, 0);
+  EXPECT_EQ(e.hits, 1u);
+}
+
+TEST(TableEntry, SecondHitSetsAverageToGap) {
+  // Paper Figure 9: on the second access the raw time difference becomes
+  // the average.
+  TableEntry e = make_entry(1, 0, 100);
+  e.calc_average(150);
+  EXPECT_EQ(e.average, 50);
+  EXPECT_EQ(e.hits, 2u);
+  EXPECT_EQ(e.last, 150);
+}
+
+TEST(TableEntry, LaterHitsUseTwoPointMovingAverage) {
+  TableEntry e = make_entry(1, 0, 0);
+  e.calc_average(100);  // avg = 100
+  e.calc_average(120);  // avg = (100 + 20) / 2 = 60
+  EXPECT_EQ(e.average, 60);
+  EXPECT_EQ(e.hits, 3u);
+  e.calc_average(180);  // avg = (60 + 60) / 2 = 60
+  EXPECT_EQ(e.average, 60);
+  EXPECT_EQ(e.hits, 4u);
+}
+
+TEST(TableEntry, IntegerDivisionFloors) {
+  TableEntry e = make_entry(1, 0, 0);
+  e.calc_average(5);   // avg = 5
+  e.calc_average(9);   // avg = (5 + 4) / 2 = 4 (floor of 4.5)
+  EXPECT_EQ(e.average, 4);
+}
+
+TEST(TableEntry, AgedMatchesPaperFormula) {
+  TableEntry e = make_entry(1, 0, 100);
+  e.average = 40;
+  e.last = 100;
+  // T_age = (40 + (130 - 100)) / 2 = 35.
+  EXPECT_DOUBLE_EQ(e.aged(130), 35.0);
+}
+
+TEST(TableEntry, AgedJustAfterUpdateIsHalfAverage) {
+  TableEntry e = make_entry(1, 0, 0);
+  e.calc_average(100);
+  EXPECT_DOUBLE_EQ(e.aged(100), 50.0);
+}
+
+TEST(TableEntry, AgingPreservesRelativeOrder) {
+  // The paper: "all objects age at the same pace and ... an established
+  // table order remains the same during the aging process."
+  TableEntry hot = make_entry(1, 0, 0);
+  hot.average = 10;
+  hot.last = 90;
+  TableEntry cold = make_entry(2, 0, 0);
+  cold.average = 100;
+  cold.last = 95;
+  ASSERT_LT(hot.aged(100), cold.aged(100));
+  for (SimTime now : {200, 1000, 100000}) {
+    EXPECT_LT(hot.aged(now), cold.aged(now)) << "at " << now;
+  }
+}
+
+TEST(TableEntry, SkewOrderEqualsAgedOrder) {
+  TableEntry a = make_entry(1, 0, 0);
+  a.average = 30;
+  a.last = 50;
+  TableEntry b = make_entry(2, 0, 0);
+  b.average = 45;
+  b.last = 70;
+  EXPECT_EQ(a.skew() < b.skew(), a.aged(100) < b.aged(100));
+  EXPECT_EQ(a.skew() < b.skew(), a.aged(5000) < b.aged(5000));
+}
+
+TEST(TableEntry, RecentlyRequestedObjectsAgeSlower) {
+  // Two entries with equal averages: the one touched more recently must
+  // have the lower aged value (it is allowed to stay longer).
+  TableEntry recent = make_entry(1, 0, 0);
+  recent.average = 50;
+  recent.last = 90;
+  TableEntry stale = make_entry(2, 0, 0);
+  stale.average = 50;
+  stale.last = 10;
+  EXPECT_LT(recent.aged(100), stale.aged(100));
+}
+
+}  // namespace
+}  // namespace adc::cache

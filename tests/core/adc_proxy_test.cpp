@@ -1,0 +1,273 @@
+#include "core/adc_proxy.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "proxy/client.h"
+#include "proxy/origin_server.h"
+#include "sim/simulator.h"
+
+namespace adc::core {
+namespace {
+
+using proxy::Client;
+using proxy::OriginServer;
+using proxy::VectorStream;
+
+/// Harness: `n` ADC proxies + origin + one client replaying `requests`.
+struct Deployment {
+  Deployment(int n, std::vector<ObjectId> requests, const AdcConfig& config,
+             std::uint64_t seed = 1)
+      : sim(seed), stream(std::move(requests)) {
+    std::vector<NodeId> ids;
+    for (int i = 0; i < n; ++i) ids.push_back(i);
+    const NodeId origin_id = n;
+    const NodeId client_id = n + 1;
+    for (int i = 0; i < n; ++i) {
+      auto node = std::make_unique<AdcProxy>(i, "proxy[" + std::to_string(i) + "]", config,
+                                             ids, origin_id);
+      proxies.push_back(node.get());
+      sim.add_node(std::move(node));
+    }
+    auto origin_node = std::make_unique<OriginServer>(origin_id, "origin");
+    origin = origin_node.get();
+    sim.add_node(std::move(origin_node));
+    auto client_node = std::make_unique<Client>(client_id, "client", stream, ids,
+                                                proxy::EntryPolicy::kRoundRobin);
+    client = client_node.get();
+    sim.add_node(std::move(client_node));
+  }
+
+  void run() {
+    client->start(sim);
+    sim.run();
+  }
+
+  sim::Simulator sim;
+  VectorStream stream;
+  std::vector<AdcProxy*> proxies;
+  OriginServer* origin = nullptr;
+  Client* client = nullptr;
+};
+
+AdcConfig tiny_config() {
+  AdcConfig config;
+  config.single_table_size = 32;
+  config.multiple_table_size = 32;
+  config.caching_table_size = 8;
+  return config;
+}
+
+TEST(AdcProxy, LocalClockTicksOncePerRequest) {
+  Deployment d(1, {1, 2, 3, 4}, tiny_config());
+  d.run();
+  // Each request reaches the proxy at least once; loops revisit it.
+  EXPECT_GE(d.proxies[0]->local_time(), 4);
+  EXPECT_EQ(d.proxies[0]->local_time(),
+            static_cast<SimTime>(d.proxies[0]->stats().requests_received));
+}
+
+TEST(AdcProxy, SingleProxyLearnsToCacheAHotObject) {
+  // One proxy, one object, many requests: the first journeys must go to
+  // the origin (promotion takes three touches), then everything is a hit.
+  Deployment d(1, std::vector<ObjectId>(10, 42), tiny_config());
+  d.run();
+  EXPECT_TRUE(d.client->drained());
+  EXPECT_EQ(d.client->completed(), 10u);
+  EXPECT_TRUE(d.proxies[0]->is_locally_cached(42));
+  const auto& summary = d.sim.metrics().summary();
+  // Journey 1 loops through the proxy (self-forward), so the backwarding
+  // reply passes it twice and Update_Entry runs twice: the entry reaches
+  // the multiple-table already on journey 1 and the caching table on
+  // journey 2.  Requests 3..10 are local hits.
+  EXPECT_EQ(summary.hits, 8u);
+  EXPECT_EQ(d.origin->requests_served(), 2u);
+}
+
+TEST(AdcProxy, EveryRequestIsResolvedExactlyOnce) {
+  std::vector<ObjectId> requests;
+  for (int i = 0; i < 200; ++i) requests.push_back(1 + (i * 7) % 23);
+  Deployment d(3, requests, tiny_config());
+  d.run();
+  EXPECT_TRUE(d.client->drained());
+  const auto& summary = d.sim.metrics().summary();
+  EXPECT_EQ(summary.completed, 200u);
+  // Conservation: a request is a proxy hit or exactly one origin fetch.
+  EXPECT_EQ(summary.hits + d.origin->requests_served(), 200u);
+}
+
+TEST(AdcProxy, PendingRecordsDrainAfterRun) {
+  std::vector<ObjectId> requests;
+  for (int i = 0; i < 300; ++i) requests.push_back(1 + (i * 13) % 57);
+  Deployment d(4, requests, tiny_config(), /*seed=*/7);
+  d.run();
+  for (const AdcProxy* proxy : d.proxies) {
+    EXPECT_EQ(proxy->pending_backwards(), 0u) << proxy->name();
+  }
+}
+
+TEST(AdcProxy, SelfForwardTerminatesViaLoopDetection) {
+  // With a single proxy, every unknown object forces a random "peer"
+  // choice of itself; the second arrival must be detected as a loop and
+  // end at the origin — never an infinite cycle.
+  Deployment d(1, {1, 2, 3}, tiny_config());
+  d.run();
+  EXPECT_TRUE(d.client->drained());
+  EXPECT_EQ(d.proxies[0]->stats().loops_detected, 3u);
+  EXPECT_EQ(d.origin->requests_served(), 3u);
+}
+
+TEST(AdcProxy, HopsAccountForSelfForwardJourney) {
+  // Single proxy, single cold object: client->p (1), p->p self (2),
+  // p->origin (3), origin->p (4), p->p backward (5), p->client (6).
+  Deployment d(1, {1}, tiny_config());
+  d.run();
+  EXPECT_EQ(d.sim.metrics().summary().total_hops, 6u);
+}
+
+TEST(AdcProxy, CacheHitJourneyIsTwoHops) {
+  Deployment d(1, std::vector<ObjectId>(10, 42), tiny_config());
+  d.run();
+  // Journey 1 (cold, self-loop): c->p, p->p, p->o, o->p, p->p, p->c = 6.
+  // Journey 2 (THIS entry -> origin): c->p, p->o, o->p, p->c = 4.
+  // Journeys 3..10 are local hits: c->p, p->c = 2 each.
+  EXPECT_EQ(d.sim.metrics().summary().total_hops, 6u + 4u + 8u * 2);
+}
+
+TEST(AdcProxy, MaxForwardsBoundsSearchLength) {
+  AdcConfig config = tiny_config();
+  config.max_forwards = 2;
+  std::vector<ObjectId> requests;
+  for (int i = 0; i < 100; ++i) requests.push_back(1000 + i);  // all cold
+  Deployment d(5, requests, config, /*seed=*/3);
+  d.run();
+  EXPECT_TRUE(d.client->drained());
+  std::uint64_t max_hit = 0;
+  for (const AdcProxy* proxy : d.proxies) max_hit += proxy->stats().max_forwards_hit;
+  EXPECT_GT(max_hit, 0u);
+  // Forward chains were bounded: hops per request <= client hop + 2
+  // forwards + origin hop + backward path (same length).
+  const auto& summary = d.sim.metrics().summary();
+  EXPECT_LE(summary.avg_hops(), 2.0 * (2 + 2) + 2);
+}
+
+TEST(AdcProxy, BackwardingTeachesEveryProxyOnThePath) {
+  // Force a known path: 2 proxies, request enters p0 for a cold object.
+  // Wherever the random walk goes, after the reply returns both visited
+  // proxies must know a location for the object.
+  Deployment d(2, {7, 7, 7, 7, 7, 7}, tiny_config(), /*seed=*/11);
+  d.run();
+  int knowing = 0;
+  for (const AdcProxy* proxy : d.proxies) {
+    if (proxy->tables().forward_location(7).has_value()) ++knowing;
+  }
+  // The entry proxy is always on the path, so at least it must know.
+  EXPECT_GE(knowing, 1);
+  // And the object is hot enough that someone cached it.
+  int holders = 0;
+  for (const AdcProxy* proxy : d.proxies) {
+    if (proxy->is_locally_cached(7)) ++holders;
+  }
+  EXPECT_GE(holders, 1);
+}
+
+TEST(AdcProxy, ConvergesToHitsOnHotSet) {
+  // 5 proxies, 5 hot objects, 500 requests: after warmup, requests must
+  // overwhelmingly be proxy hits.
+  std::vector<ObjectId> requests;
+  for (int i = 0; i < 500; ++i) requests.push_back(1 + i % 5);
+  Deployment d(5, requests, tiny_config(), /*seed=*/13);
+  d.run();
+  const auto& summary = d.sim.metrics().summary();
+  EXPECT_TRUE(d.client->drained());
+  EXPECT_GT(summary.hit_rate(), 0.8);
+}
+
+TEST(AdcProxy, ResolverClaimHappensOnOriginReplies) {
+  Deployment d(2, {1, 2, 3, 4, 5}, tiny_config(), /*seed=*/17);
+  d.run();
+  std::uint64_t claims = 0;
+  for (const AdcProxy* proxy : d.proxies) claims += proxy->stats().resolver_claims;
+  // Every origin-resolved journey produces at least one claim (the proxy
+  // that contacted the origin).
+  EXPECT_GE(claims, d.origin->requests_served());
+}
+
+TEST(AdcProxy, AblSelModeCachesEveryPassingObject) {
+  AdcConfig config = tiny_config();
+  config.selective_caching = false;
+  // Two requests for distinct cold objects: in admit-all mode the proxy
+  // caches both immediately (no three-touch threshold).
+  Deployment d(1, {1, 2, 1, 2}, config);
+  d.run();
+  EXPECT_TRUE(d.proxies[0]->is_locally_cached(1));
+  EXPECT_TRUE(d.proxies[0]->is_locally_cached(2));
+  // Requests 3 and 4 were hits.
+  EXPECT_EQ(d.sim.metrics().summary().hits, 2u);
+}
+
+TEST(AdcProxy, AblBwdModeStillResolvesEverything) {
+  AdcConfig config = tiny_config();
+  config.backward_multicast = false;
+  std::vector<ObjectId> requests;
+  for (int i = 0; i < 200; ++i) requests.push_back(1 + i % 10);
+  Deployment d(3, requests, config, /*seed=*/19);
+  d.run();
+  EXPECT_TRUE(d.client->drained());
+  const auto& summary = d.sim.metrics().summary();
+  EXPECT_EQ(summary.completed, 200u);
+  EXPECT_EQ(summary.hits + d.origin->requests_served(), 200u);
+}
+
+TEST(AdcProxy, MulticastLearnsFasterThanEndpointOnly) {
+  std::vector<ObjectId> requests;
+  for (int i = 0; i < 400; ++i) requests.push_back(1 + i % 8);
+
+  AdcConfig multicast = tiny_config();
+  Deployment on(5, requests, multicast, /*seed=*/23);
+  on.run();
+
+  AdcConfig endpoint = tiny_config();
+  endpoint.backward_multicast = false;
+  Deployment off(5, requests, endpoint, /*seed=*/23);
+  off.run();
+
+  std::uint64_t learned_on = 0;
+  std::uint64_t learned_off = 0;
+  for (const AdcProxy* p : on.proxies) learned_on += p->stats().forwards_learned;
+  for (const AdcProxy* p : off.proxies) learned_off += p->stats().forwards_learned;
+  EXPECT_GT(learned_on, learned_off);
+}
+
+TEST(AdcProxy, FlushWipesLearnedState) {
+  Deployment d(1, std::vector<ObjectId>(10, 42), tiny_config());
+  d.run();
+  ASSERT_TRUE(d.proxies[0]->is_locally_cached(42));
+  ASSERT_GT(d.proxies[0]->tables().total_entries(), 0u);
+  d.proxies[0]->flush();
+  EXPECT_FALSE(d.proxies[0]->is_locally_cached(42));
+  EXPECT_EQ(d.proxies[0]->tables().total_entries(), 0u);
+  // Pending backwarding records survive (there are none after a run).
+  EXPECT_EQ(d.proxies[0]->pending_backwards(), 0u);
+}
+
+TEST(AdcProxy, DeterministicAcrossRuns) {
+  std::vector<ObjectId> requests;
+  for (int i = 0; i < 300; ++i) requests.push_back(1 + (i * 31) % 41);
+  Deployment a(4, requests, tiny_config(), /*seed=*/29);
+  Deployment b(4, requests, tiny_config(), /*seed=*/29);
+  a.run();
+  b.run();
+  EXPECT_EQ(a.sim.metrics().summary().hits, b.sim.metrics().summary().hits);
+  EXPECT_EQ(a.sim.metrics().summary().total_hops, b.sim.metrics().summary().total_hops);
+  EXPECT_EQ(a.sim.now(), b.sim.now());
+  for (std::size_t i = 0; i < a.proxies.size(); ++i) {
+    EXPECT_EQ(a.proxies[i]->stats().requests_received,
+              b.proxies[i]->stats().requests_received);
+  }
+}
+
+}  // namespace
+}  // namespace adc::core

@@ -1,0 +1,291 @@
+#include "core/mapping_tables.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace adc::core {
+namespace {
+
+constexpr NodeId kSelf = 0;
+constexpr NodeId kPeer = 3;
+
+AdcConfig small_config(std::size_t single = 4, std::size_t multiple = 4,
+                       std::size_t caching = 2) {
+  AdcConfig config;
+  config.single_table_size = single;
+  config.multiple_table_size = multiple;
+  config.caching_table_size = caching;
+  return config;
+}
+
+// --- Part 4: unknown objects -------------------------------------------
+
+TEST(UpdateEntry, UnknownObjectEntersSingleTableTop) {
+  MappingTables tables(small_config());
+  const UpdateResult result = tables.update_entry(1, kPeer, 10);
+  EXPECT_TRUE(result.created);
+  EXPECT_EQ(result.placement, TablePlacement::kSingle);
+  ASSERT_NE(tables.single().top(), nullptr);
+  EXPECT_EQ(tables.single().top()->object, 1u);
+  EXPECT_EQ(tables.single().top()->location, kPeer);
+  EXPECT_EQ(tables.single().top()->average, 0);
+  EXPECT_EQ(tables.single().top()->hits, 1u);
+}
+
+TEST(UpdateEntry, SingleTableOverflowDropsOldest) {
+  MappingTables tables(small_config(/*single=*/3));
+  for (ObjectId id = 1; id <= 4; ++id) tables.update_entry(id, kPeer, static_cast<SimTime>(id));
+  EXPECT_EQ(tables.single().size(), 3u);
+  EXPECT_FALSE(tables.single().contains(1));
+  EXPECT_TRUE(tables.single().contains(4));
+}
+
+// --- Part 3: single-table hits ------------------------------------------
+
+TEST(UpdateEntry, SecondHitPromotesToMultiple) {
+  MappingTables tables(small_config());
+  tables.update_entry(1, kPeer, 10);
+  const UpdateResult result = tables.update_entry(1, kPeer, 25);
+  EXPECT_FALSE(result.created);
+  EXPECT_EQ(result.placement, TablePlacement::kMultiple);
+  EXPECT_FALSE(tables.single().contains(1));
+  ASSERT_TRUE(tables.multiple().contains(1));
+  EXPECT_EQ(tables.multiple().find(1)->average, 15);
+  EXPECT_EQ(tables.multiple().find(1)->hits, 2u);
+}
+
+TEST(UpdateEntry, SecondHitStaysInSingleWhenMultipleIsBetterEverywhere) {
+  // Fill the multiple-table with hot entries (tiny averages, recent), then
+  // re-hit a single-table entry whose aged value is worse than the
+  // multiple-table's worst.
+  MappingTables tables(small_config(/*single=*/8, /*multiple=*/2, /*caching=*/2));
+  // Hot pair promoted into multiple with gap 1 at times ~100.
+  tables.update_entry(10, kPeer, 99);
+  tables.update_entry(10, kPeer, 100);
+  tables.update_entry(11, kPeer, 100);
+  tables.update_entry(11, kPeer, 101);
+  ASSERT_TRUE(tables.multiple().full());
+  // Cold object: first seen at 1, re-hit at 101 -> avg 100, aged 50 at 101.
+  tables.update_entry(20, kPeer, 1);
+  const UpdateResult result = tables.update_entry(20, kPeer, 101);
+  EXPECT_EQ(result.placement, TablePlacement::kSingle);
+  EXPECT_TRUE(tables.single().contains(20));
+  // And it went back on top (LRU bump).
+  EXPECT_EQ(tables.single().top()->object, 20u);
+}
+
+TEST(UpdateEntry, PromotionIntoFullMultipleDemotesWorstToSingleTop) {
+  MappingTables tables(small_config(/*single=*/8, /*multiple=*/2, /*caching=*/2));
+  // Two lukewarm entries fill the multiple-table (gap 50).
+  tables.update_entry(10, kPeer, 0);
+  tables.update_entry(10, kPeer, 50);
+  tables.update_entry(11, kPeer, 10);
+  tables.update_entry(11, kPeer, 60);
+  ASSERT_TRUE(tables.multiple().full());
+  const ObjectId worst_before = tables.multiple().worst()->object;
+  // A hot newcomer (gap 2, fresh) must displace the worst.
+  tables.update_entry(30, kPeer, 98);
+  const UpdateResult result = tables.update_entry(30, kPeer, 100);
+  EXPECT_EQ(result.placement, TablePlacement::kMultiple);
+  EXPECT_TRUE(tables.multiple().contains(30));
+  EXPECT_FALSE(tables.multiple().contains(worst_before));
+  EXPECT_TRUE(tables.single().contains(worst_before));
+  EXPECT_EQ(tables.single().top()->object, worst_before);
+}
+
+// --- Part 2: multiple-table hits ----------------------------------------
+
+TEST(UpdateEntry, ThirdHitPromotesToCachingWhileCacheHasRoom) {
+  MappingTables tables(small_config());
+  tables.update_entry(1, kPeer, 10);
+  tables.update_entry(1, kPeer, 20);  // -> multiple
+  const UpdateResult result = tables.update_entry(1, kPeer, 30);
+  EXPECT_EQ(result.placement, TablePlacement::kCaching);
+  EXPECT_TRUE(result.promoted_to_cache);
+  EXPECT_FALSE(result.demoted_from_cache);
+  EXPECT_TRUE(tables.is_cached(1));
+  EXPECT_FALSE(tables.multiple().contains(1));
+}
+
+TEST(UpdateEntry, MultipleEntryStaysWhenCacheIsBetter) {
+  MappingTables tables(small_config(/*single=*/8, /*multiple=*/4, /*caching=*/1));
+  // Hot object fills the 1-slot cache (gap 1).
+  tables.update_entry(1, kPeer, 100);
+  tables.update_entry(1, kPeer, 101);
+  tables.update_entry(1, kPeer, 102);  // cached
+  ASSERT_TRUE(tables.is_cached(1));
+  // Lukewarm object reaches multiple and gets re-hit, but its aged value
+  // (gap ~50) cannot beat the cache's worst (gap ~1, fresh).
+  tables.update_entry(2, kPeer, 4);
+  tables.update_entry(2, kPeer, 54);   // -> multiple
+  const UpdateResult result = tables.update_entry(2, kPeer, 104);
+  EXPECT_EQ(result.placement, TablePlacement::kMultiple);
+  EXPECT_FALSE(result.promoted_to_cache);
+  EXPECT_TRUE(tables.multiple().contains(2));
+  EXPECT_TRUE(tables.is_cached(1));
+}
+
+TEST(UpdateEntry, CachePromotionDemotesWorstCacheEntryToMultiple) {
+  MappingTables tables(small_config(/*single=*/8, /*multiple=*/4, /*caching=*/1));
+  // Lukewarm object occupies the cache (gap 40).
+  tables.update_entry(1, kPeer, 0);
+  tables.update_entry(1, kPeer, 40);
+  tables.update_entry(1, kPeer, 80);  // cached, avg 40
+  ASSERT_TRUE(tables.is_cached(1));
+  // Hot object (gap 1) storms through: single -> multiple -> cache.
+  tables.update_entry(2, kPeer, 98);
+  tables.update_entry(2, kPeer, 99);
+  const UpdateResult result = tables.update_entry(2, kPeer, 100);
+  EXPECT_EQ(result.placement, TablePlacement::kCaching);
+  EXPECT_TRUE(result.promoted_to_cache);
+  EXPECT_TRUE(result.demoted_from_cache);
+  EXPECT_TRUE(tables.is_cached(2));
+  EXPECT_FALSE(tables.is_cached(1));
+  EXPECT_TRUE(tables.multiple().contains(1));  // demoted, not dropped
+}
+
+// --- Part 1: caching-table hits -----------------------------------------
+
+TEST(UpdateEntry, CachedEntryIsRefreshedInPlace) {
+  MappingTables tables(small_config());
+  tables.update_entry(1, kPeer, 10);
+  tables.update_entry(1, kPeer, 20);
+  tables.update_entry(1, kPeer, 30);  // cached, avg 10
+  ASSERT_TRUE(tables.is_cached(1));
+  const UpdateResult result = tables.update_entry(1, kSelf, 40);
+  EXPECT_EQ(result.placement, TablePlacement::kCaching);
+  EXPECT_FALSE(result.promoted_to_cache);  // it was already cached
+  ASSERT_TRUE(tables.is_cached(1));
+  EXPECT_EQ(tables.caching().find(1)->location, kSelf);
+  EXPECT_EQ(tables.caching().find(1)->average, 10);  // (10 + 10) / 2
+  EXPECT_EQ(tables.caching().find(1)->hits, 4u);
+}
+
+// --- Lookup behaviour ----------------------------------------------------
+
+TEST(MappingTables, ForwardLocationSearchesCachingFirst) {
+  MappingTables tables(small_config());
+  tables.update_entry(1, kPeer, 10);
+  EXPECT_EQ(tables.forward_location(1), kPeer);
+  tables.update_entry(1, 4, 20);  // now in multiple with location 4
+  EXPECT_EQ(tables.forward_location(1), 4);
+  tables.update_entry(1, 5, 30);  // now cached with location 5
+  EXPECT_EQ(tables.forward_location(1), 5);
+}
+
+TEST(MappingTables, ForwardLocationUnknownIsNullopt) {
+  MappingTables tables(small_config());
+  EXPECT_FALSE(tables.forward_location(99).has_value());
+}
+
+TEST(MappingTables, TotalEntriesSumsAllTables) {
+  MappingTables tables(small_config(8, 8, 4));
+  tables.update_entry(1, kPeer, 1);   // single
+  tables.update_entry(2, kPeer, 2);   // single
+  tables.update_entry(2, kPeer, 3);   // multiple
+  tables.update_entry(2, kPeer, 4);   // caching
+  EXPECT_EQ(tables.single().size(), 1u);
+  EXPECT_EQ(tables.multiple().size(), 0u);
+  EXPECT_EQ(tables.caching().size(), 1u);
+  EXPECT_EQ(tables.total_entries(), 2u);
+}
+
+TEST(MappingTables, ClearEmptiesAllTables) {
+  MappingTables tables(small_config());
+  for (ObjectId id = 1; id <= 3; ++id) {
+    tables.update_entry(id, kPeer, static_cast<SimTime>(id));
+    tables.update_entry(id, kPeer, static_cast<SimTime>(id + 10));
+  }
+  tables.clear();
+  EXPECT_EQ(tables.total_entries(), 0u);
+  EXPECT_FALSE(tables.forward_location(1).has_value());
+}
+
+// --- ABL-SEL mode (no caching table) -------------------------------------
+
+TEST(MappingTables, NoCachingTableModeNeverCaches) {
+  AdcConfig config = small_config();
+  config.selective_caching = false;
+  MappingTables tables(config);
+  EXPECT_FALSE(tables.has_caching_table());
+  for (int i = 0; i < 10; ++i) tables.update_entry(1, kPeer, i * 10);
+  EXPECT_FALSE(tables.is_cached(1));
+  EXPECT_TRUE(tables.multiple().contains(1));
+}
+
+TEST(MappingTables, NoCachingTableStillLearnsLocations) {
+  AdcConfig config = small_config();
+  config.selective_caching = false;
+  MappingTables tables(config);
+  tables.update_entry(1, kPeer, 10);
+  tables.update_entry(1, 4, 20);
+  EXPECT_EQ(tables.forward_location(1), 4);
+}
+
+// --- Data versions (staleness accounting) --------------------------------
+
+TEST(UpdateEntry, DataVersionIsRecordedAndKept) {
+  MappingTables tables(small_config());
+  tables.update_entry(1, kPeer, 10, /*data_version=*/3);
+  EXPECT_EQ(tables.single().find(1)->version, 3u);
+  // A bookkeeping touch (no data in hand) keeps the stored version.
+  tables.update_entry(1, kPeer, 20);
+  EXPECT_EQ(tables.multiple().find(1)->version, 3u);
+  // A new data pass refreshes it.
+  tables.update_entry(1, kPeer, 30, /*data_version=*/7);
+  ASSERT_TRUE(tables.is_cached(1));
+  EXPECT_EQ(tables.caching().find(1)->version, 7u);
+}
+
+TEST(UpdateEntry, FreshEntryDefaultsToVersionZero) {
+  MappingTables tables(small_config());
+  tables.update_entry(9, kPeer, 5);
+  EXPECT_EQ(tables.single().find(9)->version, 0u);
+}
+
+// --- Invariants under churn ----------------------------------------------
+
+TEST(MappingTablesProperty, CapacitiesNeverExceededAndNoDuplicates) {
+  MappingTables tables(small_config(/*single=*/8, /*multiple=*/6, /*caching=*/4));
+  util::Rng rng(99);
+  SimTime now = 0;
+  for (int step = 0; step < 30000; ++step) {
+    const ObjectId object = 1 + rng.below(40);
+    const auto location = static_cast<NodeId>(rng.below(5));
+    tables.update_entry(object, location, ++now);
+
+    ASSERT_LE(tables.single().size(), 8u);
+    ASSERT_LE(tables.multiple().size(), 6u);
+    ASSERT_LE(tables.caching().size(), 4u);
+
+    // An object lives in at most one table.
+    int homes = 0;
+    if (tables.single().contains(object)) ++homes;
+    if (tables.multiple().contains(object)) ++homes;
+    if (tables.caching().contains(object)) ++homes;
+    ASSERT_EQ(homes, 1) << "object " << object << " after step " << step;
+  }
+  // With 40 objects hammering 18 slots, the tables must be full.
+  EXPECT_TRUE(tables.single().full());
+  EXPECT_TRUE(tables.multiple().full());
+  EXPECT_TRUE(tables.caching().full());
+}
+
+TEST(MappingTablesProperty, HotObjectsEndUpCached) {
+  // Three objects requested every tick against a universe of noise must
+  // occupy the cache: selective caching at work.
+  MappingTables tables(small_config(/*single=*/16, /*multiple=*/8, /*caching=*/3));
+  util::Rng rng(5);
+  SimTime now = 0;
+  for (int round = 0; round < 3000; ++round) {
+    for (ObjectId hot = 1; hot <= 3; ++hot) tables.update_entry(hot, kPeer, ++now);
+    tables.update_entry(1000 + rng.below(500), kPeer, ++now);  // noise
+  }
+  EXPECT_TRUE(tables.is_cached(1));
+  EXPECT_TRUE(tables.is_cached(2));
+  EXPECT_TRUE(tables.is_cached(3));
+}
+
+}  // namespace
+}  // namespace adc::core

@@ -1,0 +1,125 @@
+#include "driver/sweep.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "driver/report.h"
+#include "workload/polygraph.h"
+
+namespace adc::driver {
+namespace {
+
+workload::Trace tiny_trace() {
+  workload::PolygraphConfig config;
+  config.fill_requests = 800;
+  config.phase2_requests = 1200;
+  config.phase3_requests = 1000;
+  config.hot_set_size = 100;
+  config.seed = 5;
+  return workload::generate_polygraph_trace(config);
+}
+
+ExperimentConfig base_config() {
+  ExperimentConfig config;
+  config.proxies = 3;
+  config.adc.single_table_size = 150;
+  config.adc.multiple_table_size = 150;
+  config.adc.caching_table_size = 80;
+  config.sample_every = 0;
+  return config;
+}
+
+TEST(Sweep, TableNames) {
+  EXPECT_EQ(swept_table_name(SweptTable::kCaching), "caching");
+  EXPECT_EQ(swept_table_name(SweptTable::kMultiple), "multiple");
+  EXPECT_EQ(swept_table_name(SweptTable::kSingle), "single");
+}
+
+TEST(Sweep, PaperSizesAtFullScale) {
+  const auto sizes = paper_sweep_sizes(1.0);
+  ASSERT_EQ(sizes.size(), 6u);
+  EXPECT_EQ(sizes.front(), 5000u);
+  EXPECT_EQ(sizes.back(), 30000u);
+  EXPECT_EQ(sizes[1], 10000u);
+}
+
+TEST(Sweep, PaperSizesScale) {
+  const auto sizes = paper_sweep_sizes(0.1);
+  ASSERT_EQ(sizes.size(), 6u);
+  EXPECT_EQ(sizes.front(), 500u);
+  EXPECT_EQ(sizes.back(), 3000u);
+}
+
+TEST(Sweep, PaperSizesNeverZero) {
+  for (const std::size_t size : paper_sweep_sizes(1e-9)) EXPECT_GE(size, 1u);
+}
+
+TEST(Sweep, ProducesOnePointPerCombination) {
+  const auto trace = tiny_trace();
+  const auto points = run_table_sweep(base_config(), trace,
+                                      {SweptTable::kCaching, SweptTable::kSingle}, {50, 100});
+  ASSERT_EQ(points.size(), 4u);
+  EXPECT_EQ(points[0].table, SweptTable::kCaching);
+  EXPECT_EQ(points[0].size, 50u);
+  EXPECT_EQ(points[1].size, 100u);
+  EXPECT_EQ(points[2].table, SweptTable::kSingle);
+}
+
+TEST(Sweep, PointsCarryRealMetrics) {
+  const auto trace = tiny_trace();
+  const auto points =
+      run_table_sweep(base_config(), trace, {SweptTable::kCaching}, {40, 160});
+  for (const auto& point : points) {
+    EXPECT_GT(point.hit_rate, 0.0);
+    EXPECT_LT(point.hit_rate, 1.0);
+    EXPECT_GT(point.avg_hops, 2.0);
+    EXPECT_GE(point.wall_seconds, 0.0);
+  }
+  // More cache must not hurt the hit rate on a recurrent workload.
+  EXPECT_GE(points[1].hit_rate, points[0].hit_rate);
+}
+
+TEST(Sweep, CsvOutputIsWellFormed) {
+  const auto trace = tiny_trace();
+  const auto points = run_table_sweep(base_config(), trace, {SweptTable::kMultiple}, {60});
+  std::ostringstream out;
+  print_sweep_csv(out, points);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("table,size,hit_rate,avg_hops,wall_seconds"), std::string::npos);
+  EXPECT_NE(text.find("multiple,60,"), std::string::npos);
+}
+
+TEST(Report, FmtPrecision) {
+  EXPECT_EQ(fmt(0.123456, 4), "0.1235");
+  EXPECT_EQ(fmt(2.0, 2), "2.00");
+}
+
+TEST(Report, TableAlignsColumns) {
+  std::ostringstream out;
+  print_table(out, {{"name", "value"}, {"alpha", "1"}, {"b", "22"}});
+  const std::string text = out.str();
+  EXPECT_NE(text.find("name"), std::string::npos);
+  EXPECT_NE(text.find("alpha"), std::string::npos);
+  // Header separator line present.
+  EXPECT_NE(text.find("----"), std::string::npos);
+}
+
+TEST(Report, EmptyTableIsNoOutput) {
+  std::ostringstream out;
+  print_table(out, {});
+  EXPECT_TRUE(out.str().empty());
+}
+
+TEST(Report, SeriesCsvHasHeaderAndRows) {
+  std::vector<sim::SeriesPoint> series = {{1000, 0.5, 6.0, 15.0}, {2000, 0.6, 5.5, 14.0}};
+  std::ostringstream out;
+  print_series_csv(out, "adc", series);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("label,requests,hit_rate_ma"), std::string::npos);
+  EXPECT_NE(text.find("adc,1000,0.500000"), std::string::npos);
+  EXPECT_NE(text.find("adc,2000,0.600000"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace adc::driver

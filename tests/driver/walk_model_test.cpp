@@ -1,0 +1,215 @@
+#include "driver/walk_model.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/adc_proxy.h"
+#include "proxy/client.h"
+#include "proxy/origin_server.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+
+namespace adc::driver {
+namespace {
+
+// --- Closed-form base cases ----------------------------------------------
+
+TEST(WalkModel, SingleProxyNoReplica) {
+  // n=1, r=0: entry must pick itself, loop, go to the origin.
+  // Forward path: client->P, P->P, P->origin = 3 messages; 6 hops.
+  const WalkPrediction p = predict_walk({1, 0, 8});
+  EXPECT_DOUBLE_EQ(p.hit_probability, 0.0);
+  EXPECT_DOUBLE_EQ(p.expected_forward_messages, 3.0);
+  EXPECT_DOUBLE_EQ(p.expected_hops, 6.0);
+}
+
+TEST(WalkModel, SingleProxyWithReplica) {
+  const WalkPrediction p = predict_walk({1, 1, 8});
+  EXPECT_DOUBLE_EQ(p.hit_probability, 1.0);
+  EXPECT_DOUBLE_EQ(p.expected_hops, 2.0);
+}
+
+TEST(WalkModel, AllProxiesHold) {
+  const WalkPrediction p = predict_walk({5, 5, 8});
+  EXPECT_DOUBLE_EQ(p.hit_probability, 1.0);
+  EXPECT_DOUBLE_EQ(p.expected_hops, 2.0);
+}
+
+TEST(WalkModel, ZeroForwardBudget) {
+  // F=0: a non-holder entry sends straight to the origin (2 messages).
+  const WalkPrediction p = predict_walk({5, 1, 0});
+  EXPECT_DOUBLE_EQ(p.hit_probability, 0.2);  // only the entry-holder case
+  // E[m] = 0.2*1 + 0.8*2 = 1.8.
+  EXPECT_DOUBLE_EQ(p.expected_forward_messages, 1.8);
+}
+
+TEST(WalkModel, TwoProxiesOneReplicaOneForward) {
+  // n=2, r=1, F=1.  Entry holder: 1/2 -> hit, m=1.  Else the walk picks
+  // holder (1/2: hit, m=2) or itself (1/2: loop, m=3).
+  const WalkPrediction p = predict_walk({2, 1, 1});
+  EXPECT_DOUBLE_EQ(p.hit_probability, 0.5 + 0.5 * 0.5);
+  EXPECT_DOUBLE_EQ(p.expected_forward_messages, 0.5 * 1 + 0.25 * 2 + 0.25 * 3);
+}
+
+TEST(WalkModel, MoreReplicasNeverHurt) {
+  for (int f : {1, 4, 8}) {
+    double previous_hit = -1.0;
+    double previous_hops = 1e9;
+    for (int r = 0; r <= 6; ++r) {
+      const WalkPrediction p = predict_walk({6, r, f});
+      EXPECT_GE(p.hit_probability, previous_hit) << "r=" << r << " f=" << f;
+      EXPECT_LE(p.expected_hops, previous_hops + 1e-12) << "r=" << r << " f=" << f;
+      previous_hit = p.hit_probability;
+      previous_hops = p.expected_hops;
+    }
+  }
+}
+
+TEST(WalkModel, BudgetSaturatesOnceLoopsDominate) {
+  // With n proxies, a walk can use at most n distinct non-holders; beyond
+  // that every termination is a loop, so F past n changes nothing.
+  const WalkPrediction at_n = predict_walk({5, 2, 5});
+  const WalkPrediction beyond = predict_walk({5, 2, 50});
+  EXPECT_DOUBLE_EQ(at_n.hit_probability, beyond.hit_probability);
+  EXPECT_DOUBLE_EQ(at_n.expected_hops, beyond.expected_hops);
+}
+
+// --- Monte-Carlo cross-check of the chain itself --------------------------
+
+TEST(WalkModel, MatchesMonteCarloSimulationOfTheProcess) {
+  util::Rng rng(2718);
+  for (const auto& params : std::vector<WalkModelParams>{
+           {3, 0, 8}, {5, 1, 8}, {5, 3, 8}, {8, 2, 3}, {4, 2, 1}}) {
+    const WalkPrediction predicted = predict_walk(params);
+    constexpr int kSamples = 200000;
+    std::uint64_t hits = 0;
+    std::uint64_t messages = 0;
+    for (int s = 0; s < kSamples; ++s) {
+      // Holders are proxies [0, r); entry uniform.
+      const auto entry = static_cast<int>(rng.below(static_cast<std::uint64_t>(params.proxies)));
+      std::uint64_t m = 1;
+      if (entry < params.replicas) {
+        ++hits;
+        messages += m;
+        continue;
+      }
+      std::vector<bool> visited(static_cast<std::size_t>(params.proxies), false);
+      visited[static_cast<std::size_t>(entry)] = true;
+      int j = 0;
+      while (true) {
+        if (j >= params.max_forwards) {
+          m += 1;  // to origin
+          break;
+        }
+        const auto target =
+            static_cast<int>(rng.below(static_cast<std::uint64_t>(params.proxies)));
+        m += 1;
+        if (target < params.replicas) {
+          ++hits;
+          break;
+        }
+        if (visited[static_cast<std::size_t>(target)]) {
+          m += 1;  // loop detected, forwarded to origin
+          break;
+        }
+        visited[static_cast<std::size_t>(target)] = true;
+        ++j;
+      }
+      messages += m;
+    }
+    const double mc_hit = static_cast<double>(hits) / kSamples;
+    const double mc_messages = static_cast<double>(messages) / kSamples;
+    EXPECT_NEAR(mc_hit, predicted.hit_probability, 0.005)
+        << "n=" << params.proxies << " r=" << params.replicas << " F=" << params.max_forwards;
+    EXPECT_NEAR(mc_messages, predicted.expected_forward_messages, 0.01)
+        << "n=" << params.proxies << " r=" << params.replicas << " F=" << params.max_forwards;
+  }
+}
+
+// --- Validation against the REAL simulator --------------------------------
+
+TEST(WalkModel, PredictsRealSimulatorColdSearches) {
+  // All-unique objects, tables large enough to never evict but never
+  // consulted twice: every journey is a pure cold walk (r = 0).
+  for (const int n : {2, 3, 5}) {
+    core::AdcConfig config;
+    config.single_table_size = 100000;
+    config.multiple_table_size = 1000;
+    config.caching_table_size = 100;
+    config.max_forwards = 8;
+
+    sim::Simulator sim(99);
+    std::vector<NodeId> ids;
+    for (int i = 0; i < n; ++i) ids.push_back(i);
+    for (int i = 0; i < n; ++i) {
+      sim.add_node(std::make_unique<core::AdcProxy>(i, "p" + std::to_string(i), config, ids,
+                                                    static_cast<NodeId>(n)));
+    }
+    sim.add_node(std::make_unique<proxy::OriginServer>(static_cast<NodeId>(n), "origin"));
+    std::vector<ObjectId> requests;
+    for (int i = 0; i < 30000; ++i) requests.push_back(static_cast<ObjectId>(i + 1));
+    proxy::VectorStream stream(requests);
+    auto client_node = std::make_unique<proxy::Client>(static_cast<NodeId>(n + 1), "client",
+                                                       stream, ids);
+    auto* client = client_node.get();
+    sim.add_node(std::move(client_node));
+    client->start(sim);
+    sim.run();
+
+    const WalkPrediction predicted = predict_walk({n, 0, config.max_forwards});
+    EXPECT_EQ(sim.metrics().summary().hits, 0u) << "n=" << n;
+    EXPECT_NEAR(sim.metrics().summary().avg_hops(), predicted.expected_hops, 0.05)
+        << "n=" << n;
+  }
+}
+
+TEST(WalkModel, PredictsRealSimulatorWithWarmedReplicas) {
+  // r proxies are warmed holders; everyone else is pristine.  A fresh
+  // deployment per sample keeps every probe a pure cold walk.
+  constexpr int kProxies = 5;
+  constexpr int kForwards = 8;
+  constexpr int kSamples = 3000;
+  for (const int replicas : {1, 3}) {
+    std::uint64_t hits = 0;
+    double hops = 0.0;
+    for (int s = 0; s < kSamples; ++s) {
+      core::AdcConfig config;
+      config.single_table_size = 64;
+      config.multiple_table_size = 64;
+      config.caching_table_size = 16;
+      config.max_forwards = kForwards;
+
+      sim::Simulator sim(static_cast<std::uint64_t>(s) + 1);
+      std::vector<NodeId> ids;
+      for (int i = 0; i < kProxies; ++i) ids.push_back(i);
+      std::vector<core::AdcProxy*> proxies;
+      for (int i = 0; i < kProxies; ++i) {
+        auto node = std::make_unique<core::AdcProxy>(i, "p" + std::to_string(i), config, ids,
+                                                     kProxies);
+        proxies.push_back(node.get());
+        sim.add_node(std::move(node));
+      }
+      sim.add_node(std::make_unique<proxy::OriginServer>(kProxies, "origin"));
+      proxy::VectorStream stream({777});
+      auto client_node =
+          std::make_unique<proxy::Client>(kProxies + 1, "client", stream, ids);
+      auto* client = client_node.get();
+      sim.add_node(std::move(client_node));
+      for (int i = 0; i < replicas; ++i) proxies[static_cast<std::size_t>(i)]->warm_cache(777);
+
+      client->start(sim);
+      sim.run();
+      hits += sim.metrics().summary().hits;
+      hops += sim.metrics().summary().avg_hops();
+    }
+    const WalkPrediction predicted = predict_walk({kProxies, replicas, kForwards});
+    EXPECT_NEAR(static_cast<double>(hits) / kSamples, predicted.hit_probability, 0.03)
+        << "replicas=" << replicas;
+    EXPECT_NEAR(hops / kSamples, predicted.expected_hops, 0.12) << "replicas=" << replicas;
+  }
+}
+
+}  // namespace
+}  // namespace adc::driver

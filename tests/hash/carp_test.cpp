@@ -1,0 +1,126 @@
+#include "hash/carp.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace adc::hash {
+namespace {
+
+CarpArray make_array(int n, std::vector<double> load_factors = {}) {
+  std::vector<CarpArray::Member> members;
+  for (int i = 0; i < n; ++i) {
+    const double lf = load_factors.empty() ? 1.0 : load_factors[static_cast<std::size_t>(i)];
+    members.push_back({"proxy[" + std::to_string(i) + "]", static_cast<NodeId>(i), lf});
+  }
+  return CarpArray(std::move(members));
+}
+
+TEST(CarpHash, UrlHashIsDeterministic) {
+  EXPECT_EQ(carp_url_hash("http://a.test/x"), carp_url_hash("http://a.test/x"));
+  EXPECT_NE(carp_url_hash("http://a.test/x"), carp_url_hash("http://a.test/y"));
+  EXPECT_EQ(carp_url_hash(""), 0u);
+}
+
+TEST(CarpHash, MemberHashDiffersFromUrlHash) {
+  // The member hash applies an extra scramble, so equal strings must not
+  // produce equal values through both functions.
+  EXPECT_NE(carp_member_hash("proxy1"), carp_url_hash("proxy1"));
+}
+
+TEST(CarpHash, CombineMixesBothInputs) {
+  const std::uint32_t u1 = carp_url_hash("url-one");
+  const std::uint32_t u2 = carp_url_hash("url-two");
+  const std::uint32_t m1 = carp_member_hash("m-one");
+  const std::uint32_t m2 = carp_member_hash("m-two");
+  EXPECT_NE(carp_combine(u1, m1), carp_combine(u2, m1));
+  EXPECT_NE(carp_combine(u1, m1), carp_combine(u1, m2));
+}
+
+TEST(CarpArray, OwnerIsStable) {
+  const CarpArray array = make_array(5);
+  for (ObjectId oid = 1; oid <= 100; ++oid) {
+    EXPECT_EQ(array.owner(oid), array.owner(oid));
+  }
+}
+
+TEST(CarpArray, OwnerInRange) {
+  const CarpArray array = make_array(5);
+  util::Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const NodeId owner = array.owner(static_cast<ObjectId>(rng.next()));
+    EXPECT_GE(owner, 0);
+    EXPECT_LT(owner, 5);
+  }
+}
+
+TEST(CarpArray, EqualLoadFactorsBalance) {
+  const CarpArray array = make_array(5);
+  std::map<NodeId, int> counts;
+  util::Rng rng(2);
+  constexpr int kKeys = 50000;
+  for (int i = 0; i < kKeys; ++i) ++counts[array.owner(static_cast<ObjectId>(rng.next()))];
+  for (const auto& [node, count] : counts) {
+    EXPECT_NEAR(count, kKeys / 5, kKeys / 5 * 0.10) << "member " << node;
+  }
+}
+
+TEST(CarpArray, LoadFactorsSkewAllocation) {
+  // One member with double weight should receive roughly double share.
+  const CarpArray array = make_array(4, {1.0, 1.0, 1.0, 2.0});
+  std::map<NodeId, int> counts;
+  util::Rng rng(3);
+  constexpr int kKeys = 100000;
+  for (int i = 0; i < kKeys; ++i) ++counts[array.owner(static_cast<ObjectId>(rng.next()))];
+  const double heavy = counts[3];
+  const double light = (counts[0] + counts[1] + counts[2]) / 3.0;
+  EXPECT_NEAR(heavy / light, 2.0, 0.35);
+}
+
+TEST(CarpArray, MembershipChangeOnlyRemapsVictimShare) {
+  // CARP's headline property: removing one member only remaps the objects
+  // that member owned; everything else keeps its owner.
+  const CarpArray five = make_array(5);
+  const CarpArray four = make_array(4);  // member 4 removed
+  util::Rng rng(4);
+  int moved_unnecessarily = 0;
+  int checked = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const auto oid = static_cast<ObjectId>(rng.next());
+    const NodeId before = five.owner(oid);
+    if (before == 4) continue;  // its objects must remap, by definition
+    ++checked;
+    if (four.owner(oid) != before) ++moved_unnecessarily;
+  }
+  EXPECT_GT(checked, 10000);
+  EXPECT_EQ(moved_unnecessarily, 0);
+}
+
+TEST(CarpArray, UrlAndOidOverloadsAreBothUsable) {
+  const CarpArray array = make_array(3);
+  EXPECT_EQ(array.owner("http://w1.test/a"), array.owner("http://w1.test/a"));
+  EXPECT_EQ(array.owner(ObjectId{12345}), array.owner(ObjectId{12345}));
+}
+
+TEST(CarpArray, SingleMemberOwnsEverything) {
+  const CarpArray array = make_array(1);
+  util::Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(array.owner(static_cast<ObjectId>(rng.next())), 0);
+  }
+}
+
+TEST(CarpArray, MemberAccessors) {
+  const CarpArray array = make_array(3);
+  EXPECT_EQ(array.size(), 3u);
+  EXPECT_FALSE(array.empty());
+  EXPECT_EQ(array.member(1).name, "proxy[1]");
+  EXPECT_EQ(array.member(1).node, 1);
+}
+
+}  // namespace
+}  // namespace adc::hash

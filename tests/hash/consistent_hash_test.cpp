@@ -1,0 +1,88 @@
+#include "hash/consistent_hash.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "util/rng.h"
+
+namespace adc::hash {
+namespace {
+
+ConsistentHashRing make_ring(int members, int vnodes = 64) {
+  ConsistentHashRing ring(vnodes);
+  for (int i = 0; i < members; ++i) {
+    ring.add_member(static_cast<NodeId>(i), "proxy[" + std::to_string(i) + "]");
+  }
+  return ring;
+}
+
+TEST(ConsistentHash, RingPointCount) {
+  const auto ring = make_ring(5, 32);
+  EXPECT_EQ(ring.member_count(), 5u);
+  EXPECT_EQ(ring.ring_size(), 5u * 32u);
+}
+
+TEST(ConsistentHash, OwnerIsStable) {
+  const auto ring = make_ring(5);
+  for (ObjectId oid = 1; oid <= 200; ++oid) EXPECT_EQ(ring.owner(oid), ring.owner(oid));
+}
+
+TEST(ConsistentHash, BalanceWithinTolerance) {
+  const auto ring = make_ring(5, 128);
+  std::map<NodeId, int> counts;
+  util::Rng rng(1);
+  constexpr int kKeys = 50000;
+  for (int i = 0; i < kKeys; ++i) ++counts[ring.owner(static_cast<ObjectId>(rng.next()))];
+  for (const auto& [node, count] : counts) {
+    EXPECT_NEAR(count, kKeys / 5, kKeys / 5 * 0.25) << "member " << node;
+  }
+}
+
+TEST(ConsistentHash, RemovalOnlyRemapsVictimShare) {
+  auto ring = make_ring(5);
+  util::Rng rng(2);
+  std::map<ObjectId, NodeId> before;
+  for (int i = 0; i < 20000; ++i) {
+    const auto oid = static_cast<ObjectId>(rng.next());
+    before[oid] = ring.owner(oid);
+  }
+  ring.remove_member(4);
+  int moved_unnecessarily = 0;
+  for (const auto& [oid, owner] : before) {
+    if (owner == 4) continue;
+    if (ring.owner(oid) != owner) ++moved_unnecessarily;
+  }
+  EXPECT_EQ(moved_unnecessarily, 0);
+}
+
+TEST(ConsistentHash, RemoveThenReaddRestoresMapping) {
+  auto ring = make_ring(5);
+  util::Rng rng(3);
+  std::map<ObjectId, NodeId> before;
+  for (int i = 0; i < 5000; ++i) {
+    const auto oid = static_cast<ObjectId>(rng.next());
+    before[oid] = ring.owner(oid);
+  }
+  ring.remove_member(2);
+  ring.add_member(2, "proxy[2]");
+  for (const auto& [oid, owner] : before) EXPECT_EQ(ring.owner(oid), owner);
+}
+
+TEST(ConsistentHash, RemovingUnknownMemberIsNoOp) {
+  auto ring = make_ring(3);
+  ring.remove_member(99);
+  EXPECT_EQ(ring.member_count(), 3u);
+  EXPECT_EQ(ring.ring_size(), 3u * 64u);
+}
+
+TEST(ConsistentHash, SingleMemberOwnsEverything) {
+  const auto ring = make_ring(1);
+  util::Rng rng(4);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(ring.owner(static_cast<ObjectId>(rng.next())), 0);
+  }
+}
+
+}  // namespace
+}  // namespace adc::hash

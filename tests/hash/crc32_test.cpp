@@ -1,0 +1,45 @@
+#include "hash/crc32.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace adc::hash {
+namespace {
+
+TEST(Crc32, KnownVectors) {
+  // The canonical IEEE CRC-32 check value.
+  EXPECT_EQ(crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(crc32(""), 0x00000000u);
+  EXPECT_EQ(crc32("a"), 0xE8B7BE43u);
+  EXPECT_EQ(crc32("abc"), 0x352441C2u);
+  EXPECT_EQ(crc32("The quick brown fox jumps over the lazy dog"), 0x414FA339u);
+}
+
+TEST(Crc32, ChainingEqualsOneShot) {
+  const std::string input = "hello, distributed caches";
+  for (std::size_t cut = 0; cut <= input.size(); ++cut) {
+    const std::uint32_t first = crc32(input.substr(0, cut));
+    const std::uint32_t chained = crc32(input.substr(cut), first);
+    EXPECT_EQ(chained, crc32(input)) << "cut at " << cut;
+  }
+}
+
+TEST(Crc32, SensitiveToEveryByte) {
+  std::string data = "sensitivity";
+  const std::uint32_t base = crc32(data);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    std::string mutated = data;
+    mutated[i] ^= 1;
+    EXPECT_NE(crc32(mutated), base) << "byte " << i;
+  }
+}
+
+TEST(Crc32, BinaryData) {
+  const unsigned char bytes[] = {0x00, 0xff, 0x10, 0x80, 0x7f};
+  EXPECT_EQ(crc32(bytes, sizeof(bytes)), crc32(bytes, sizeof(bytes)));
+  EXPECT_NE(crc32(bytes, sizeof(bytes)), crc32(bytes, sizeof(bytes) - 1));
+}
+
+}  // namespace
+}  // namespace adc::hash

@@ -1,0 +1,39 @@
+#include "hash/fnv.h"
+
+#include <gtest/gtest.h>
+
+namespace adc::hash {
+namespace {
+
+TEST(Fnv, KnownVectors64) {
+  EXPECT_EQ(fnv1a64(""), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(fnv1a64("a"), 0xaf63dc4c8601ec8cULL);
+  EXPECT_EQ(fnv1a64("foobar"), 0x85944171f73967e8ULL);
+}
+
+TEST(Fnv, KnownVectors32) {
+  EXPECT_EQ(fnv1a32(""), 0x811c9dc5u);
+  EXPECT_EQ(fnv1a32("a"), 0xe40c292cu);
+  EXPECT_EQ(fnv1a32("foobar"), 0xbf9cf968u);
+}
+
+TEST(Fnv, IsConstexpr) {
+  static_assert(fnv1a64("abc") != 0);
+  static_assert(fnv1a32("abc") != 0);
+  SUCCEED();
+}
+
+TEST(Fnv, U64VariantMatchesByteInterpretation) {
+  // fnv1a64_u64 hashes the 8 little-endian bytes of the value.
+  const std::uint64_t value = 0x0102030405060708ULL;
+  const char bytes[] = {'\x08', '\x07', '\x06', '\x05', '\x04', '\x03', '\x02', '\x01'};
+  EXPECT_EQ(fnv1a64_u64(value), fnv1a64(std::string_view(bytes, 8)));
+}
+
+TEST(Fnv, U64DistinguishesNeighbours) {
+  EXPECT_NE(fnv1a64_u64(1), fnv1a64_u64(2));
+  EXPECT_NE(fnv1a64_u64(0), fnv1a64_u64(1ULL << 63));
+}
+
+}  // namespace
+}  // namespace adc::hash

@@ -1,0 +1,86 @@
+#include "hash/md5.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace adc::hash {
+namespace {
+
+std::string hex_of(std::string_view input) { return Md5::hex(Md5::digest(input)); }
+
+// The seven test vectors from RFC 1321, appendix A.5.
+TEST(Md5, Rfc1321Vectors) {
+  EXPECT_EQ(hex_of(""), "d41d8cd98f00b204e9800998ecf8427e");
+  EXPECT_EQ(hex_of("a"), "0cc175b9c0f1b6a831c399e269772661");
+  EXPECT_EQ(hex_of("abc"), "900150983cd24fb0d6963f7d28e17f72");
+  EXPECT_EQ(hex_of("message digest"), "f96b697d7cb7938d525a2f31aaf161d0");
+  EXPECT_EQ(hex_of("abcdefghijklmnopqrstuvwxyz"), "c3fcd3d76192e4007dfb496cca67e13b");
+  EXPECT_EQ(hex_of("ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789"),
+            "d174ab98d277d9f5a5611c2c9f419d9f");
+  EXPECT_EQ(hex_of("1234567890123456789012345678901234567890"
+                   "1234567890123456789012345678901234567890"),
+            "57edf4a22be3c955ac49da2e2107b67a");
+}
+
+TEST(Md5, IncrementalEqualsOneShot) {
+  const std::string input = "the quick brown fox jumps over the lazy dog, repeatedly";
+  for (std::size_t cut = 0; cut <= input.size(); ++cut) {
+    Md5 md5;
+    md5.update(input.substr(0, cut));
+    md5.update(input.substr(cut));
+    EXPECT_EQ(Md5::hex(md5.finish()), hex_of(input)) << "cut at " << cut;
+  }
+}
+
+// Exercise every padding branch: lengths straddling the 56-byte and
+// 64-byte block boundaries.
+TEST(Md5, BlockBoundaryLengths) {
+  for (const std::size_t len : {55u, 56u, 57u, 63u, 64u, 65u, 119u, 120u, 121u, 128u}) {
+    const std::string input(len, 'x');
+    Md5 incremental;
+    for (char c : input) incremental.update(&c, 1);
+    EXPECT_EQ(incremental.finish(), Md5::digest(input)) << "length " << len;
+  }
+}
+
+TEST(Md5, ResetAllowsReuse) {
+  Md5 md5;
+  md5.update("first");
+  (void)md5.finish();
+  md5.reset();
+  md5.update("abc");
+  EXPECT_EQ(Md5::hex(md5.finish()), "900150983cd24fb0d6963f7d28e17f72");
+}
+
+TEST(Md5, Digest64IsLittleEndianPrefix) {
+  // "abc" digest starts 90 01 50 98 3c d2 4f b0; little-endian 64-bit.
+  EXPECT_EQ(Md5::digest64("abc"), 0xb04fd23c98500190ULL);
+}
+
+TEST(Md5, Digest64DistinguishesInputs) {
+  EXPECT_NE(Md5::digest64("http://a.test/1"), Md5::digest64("http://a.test/2"));
+  EXPECT_NE(Md5::digest64(""), Md5::digest64(" "));
+}
+
+TEST(Md5, MillionAs) {
+  // The classic extended vector: MD5 of one million 'a' characters.
+  Md5 md5;
+  const std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) md5.update(chunk);
+  EXPECT_EQ(Md5::hex(md5.finish()), "7707d6ae4e027c70eea2a935c2296f21");
+}
+
+TEST(Md5, LargeInput) {
+  // 1 MiB of repeating bytes — exercises the multi-block fast path.
+  std::string big(1 << 20, '\x5a');
+  EXPECT_EQ(Md5::hex(Md5::digest(big)), Md5::hex(Md5::digest(big)));
+  Md5 chunked;
+  for (std::size_t i = 0; i < big.size(); i += 4096) {
+    chunked.update(big.data() + i, 4096);
+  }
+  EXPECT_EQ(chunked.finish(), Md5::digest(big));
+}
+
+}  // namespace
+}  // namespace adc::hash

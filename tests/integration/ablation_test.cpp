@@ -1,0 +1,111 @@
+// Integration coverage for the ablation switches: the variants must stay
+// correct (conservation, termination) and move the metrics in the
+// direction the paper's arguments predict.
+#include <gtest/gtest.h>
+
+#include "driver/experiment.h"
+#include "workload/polygraph.h"
+
+namespace adc {
+namespace {
+
+workload::Trace trace_for_ablations() {
+  workload::PolygraphConfig config;
+  config.fill_requests = 1500;
+  config.phase2_requests = 3500;
+  config.phase3_requests = 3000;
+  config.hot_set_size = 300;
+  config.seed = 21;
+  return workload::generate_polygraph_trace(config);
+}
+
+driver::ExperimentConfig base_config() {
+  driver::ExperimentConfig config;
+  config.proxies = 5;
+  config.adc.single_table_size = 250;
+  config.adc.multiple_table_size = 250;
+  config.adc.caching_table_size = 120;
+  config.sample_every = 0;
+  return config;
+}
+
+TEST(AblationSelectiveCaching, LruAllVariantStaysCorrect) {
+  const auto trace = trace_for_ablations();
+  driver::ExperimentConfig config = base_config();
+  config.adc.selective_caching = false;
+  const auto result = driver::run_experiment(config, trace);
+  EXPECT_EQ(result.summary.completed, trace.size());
+  EXPECT_EQ(result.summary.hits + result.origin_served, trace.size());
+}
+
+TEST(AblationSelectiveCaching, SelectiveBeatsAdmitAllOnPollutedStream) {
+  // The stream mixes one-timers (25% of phase 2) with a hot set; admit-all
+  // LRU caching lets the one-timers churn the caches, selective caching
+  // does not (paper Section III.4).
+  const auto trace = trace_for_ablations();
+  driver::ExperimentConfig selective = base_config();
+  driver::ExperimentConfig admit_all = base_config();
+  admit_all.adc.selective_caching = false;
+  const auto sel = driver::run_experiment(selective, trace);
+  const auto lru = driver::run_experiment(admit_all, trace);
+  EXPECT_GT(sel.summary.hit_rate(), lru.summary.hit_rate() - 0.02);
+}
+
+TEST(AblationBackwarding, EndpointOnlyVariantStaysCorrect) {
+  const auto trace = trace_for_ablations();
+  driver::ExperimentConfig config = base_config();
+  config.adc.backward_multicast = false;
+  const auto result = driver::run_experiment(config, trace);
+  EXPECT_EQ(result.summary.completed, trace.size());
+  EXPECT_EQ(result.summary.hits + result.origin_served, trace.size());
+}
+
+TEST(AblationBackwarding, MulticastLearnsMoreLocations) {
+  const auto trace = trace_for_ablations();
+  driver::ExperimentConfig on = base_config();
+  driver::ExperimentConfig off = base_config();
+  off.adc.backward_multicast = false;
+  const auto with_multicast = driver::run_experiment(on, trace);
+  const auto without = driver::run_experiment(off, trace);
+  EXPECT_GT(with_multicast.adc_totals.forwards_learned, without.adc_totals.forwards_learned);
+}
+
+TEST(AblationTableImpl, FaithfulAndIndexedProduceIdenticalResults) {
+  const auto trace = trace_for_ablations();
+  driver::ExperimentConfig faithful = base_config();
+  faithful.adc.table_impl = cache::TableImpl::kFaithful;
+  driver::ExperimentConfig indexed = base_config();
+  indexed.adc.table_impl = cache::TableImpl::kIndexed;
+  const auto a = driver::run_experiment(faithful, trace);
+  const auto b = driver::run_experiment(indexed, trace);
+  EXPECT_EQ(a.summary.hits, b.summary.hits);
+  EXPECT_EQ(a.summary.total_hops, b.summary.total_hops);
+  EXPECT_EQ(a.messages, b.messages);
+  EXPECT_EQ(a.origin_served, b.origin_served);
+}
+
+TEST(AblationMaxForwards, TinyBoundStillTerminatesEverything) {
+  const auto trace = trace_for_ablations();
+  driver::ExperimentConfig config = base_config();
+  config.adc.max_forwards = 1;
+  const auto result = driver::run_experiment(config, trace);
+  EXPECT_EQ(result.summary.completed, trace.size());
+  EXPECT_EQ(result.summary.hits + result.origin_served, trace.size());
+  // With at most one forward, hops per journey are tightly bounded:
+  // client + forward + origin + backward path <= 8.
+  EXPECT_LE(result.summary.avg_hops(), 8.0);
+}
+
+TEST(AblationMaxForwards, LargerBoundRaisesHops) {
+  const auto trace = trace_for_ablations();
+  driver::ExperimentConfig tight = base_config();
+  tight.adc.max_forwards = 1;
+  driver::ExperimentConfig loose = base_config();
+  loose.adc.max_forwards = 8;
+  const auto a = driver::run_experiment(tight, trace);
+  const auto b = driver::run_experiment(loose, trace);
+  EXPECT_GT(b.summary.avg_hops(), a.summary.avg_hops());
+}
+
+}  // namespace
+}  // namespace adc

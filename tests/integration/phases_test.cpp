@@ -1,0 +1,111 @@
+// Integration tests of the full pipeline (workload -> driver -> metrics)
+// around the paper's three-phase methodology.
+#include <gtest/gtest.h>
+
+#include "driver/experiment.h"
+#include "workload/polygraph.h"
+
+namespace adc {
+namespace {
+
+workload::Trace phased_trace() {
+  workload::PolygraphConfig config;
+  config.fill_requests = 2000;
+  config.phase2_requests = 3000;
+  config.phase3_requests = 2500;
+  config.hot_set_size = 150;
+  config.seed = 17;
+  return workload::generate_polygraph_trace(config);
+}
+
+driver::ExperimentConfig adc_config() {
+  driver::ExperimentConfig config;
+  config.proxies = 5;
+  config.adc.single_table_size = 300;
+  config.adc.multiple_table_size = 300;
+  config.adc.caching_table_size = 150;
+  config.ma_window = 250;
+  config.sample_every = 250;
+  return config;
+}
+
+double mean_hit_rate(const std::vector<sim::SeriesPoint>& series, std::uint64_t begin,
+                     std::uint64_t end) {
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (const auto& point : series) {
+    if (point.requests > begin && point.requests <= end) {
+      sum += point.hit_rate;
+      ++n;
+    }
+  }
+  return n == 0 ? 0.0 : sum / static_cast<double>(n);
+}
+
+TEST(Phases, FillPhaseHasNearZeroHitRate) {
+  const auto trace = phased_trace();
+  const auto result = driver::run_experiment(adc_config(), trace);
+  const double fill = mean_hit_rate(result.series, 0, trace.phases().fill_end);
+  EXPECT_LT(fill, 0.08);
+}
+
+TEST(Phases, RequestPhaseLiftsHitRateSharply) {
+  const auto trace = phased_trace();
+  const auto result = driver::run_experiment(adc_config(), trace);
+  const double fill = mean_hit_rate(result.series, 0, trace.phases().fill_end);
+  const double request_phase =
+      mean_hit_rate(result.series, trace.phases().fill_end, trace.phases().phase2_end);
+  EXPECT_GT(request_phase, fill + 0.2);
+}
+
+TEST(Phases, RepeatPhaseAtLeastSustainsHitRate) {
+  const auto trace = phased_trace();
+  const auto result = driver::run_experiment(adc_config(), trace);
+  const double phase2 =
+      mean_hit_rate(result.series, trace.phases().fill_end, trace.phases().phase2_end);
+  const double phase3 = mean_hit_rate(result.series, trace.phases().phase2_end, trace.size());
+  EXPECT_GT(phase3, phase2 - 0.05);
+}
+
+TEST(Phases, CarpShowsTheSamePhaseStructure) {
+  const auto trace = phased_trace();
+  driver::ExperimentConfig config = adc_config();
+  config.scheme = driver::Scheme::kCarp;
+  const auto result = driver::run_experiment(config, trace);
+  const double fill = mean_hit_rate(result.series, 0, trace.phases().fill_end);
+  const double steady =
+      mean_hit_rate(result.series, trace.phases().fill_end, trace.size());
+  EXPECT_LT(fill, 0.1);
+  EXPECT_GT(steady, fill + 0.2);
+}
+
+TEST(Phases, AdcCompetesWithCarpAtSteadyState) {
+  // The paper's headline: after learning, ADC competes with hashing.  We
+  // assert the steady-state gap stays within a few points either way.
+  const auto trace = phased_trace();
+  driver::ExperimentConfig adc = adc_config();
+  driver::ExperimentConfig carp = adc;
+  carp.scheme = driver::Scheme::kCarp;
+  const auto adc_result = driver::run_experiment(adc, trace);
+  const auto carp_result = driver::run_experiment(carp, trace);
+  const double adc_steady =
+      mean_hit_rate(adc_result.series, trace.phases().phase2_end, trace.size());
+  const double carp_steady =
+      mean_hit_rate(carp_result.series, trace.phases().phase2_end, trace.size());
+  EXPECT_NEAR(adc_steady, carp_steady, 0.12);
+}
+
+TEST(Phases, AdcNeedsMoreHopsThanCarp) {
+  // Figure 12's qualitative claim: ADC pays extra hops for its search.
+  const auto trace = phased_trace();
+  driver::ExperimentConfig adc = adc_config();
+  driver::ExperimentConfig carp = adc;
+  carp.scheme = driver::Scheme::kCarp;
+  const auto adc_result = driver::run_experiment(adc, trace);
+  const auto carp_result = driver::run_experiment(carp, trace);
+  EXPECT_GT(adc_result.summary.avg_hops(), carp_result.summary.avg_hops() + 0.5);
+  EXPECT_LT(adc_result.summary.avg_hops(), carp_result.summary.avg_hops() + 5.0);
+}
+
+}  // namespace
+}  // namespace adc

@@ -1,0 +1,149 @@
+// Seed-parameterized property suite: the system-level invariants that must
+// hold for ANY seed and any workload — conservation, termination, pending
+// drain, bounded tables, deterministic replay.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/adc_proxy.h"
+#include "proxy/client.h"
+#include "proxy/origin_server.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+
+namespace adc {
+namespace {
+
+using core::AdcConfig;
+using core::AdcProxy;
+
+struct Deployment {
+  Deployment(int n, std::vector<ObjectId> requests, const AdcConfig& config,
+             std::uint64_t seed, int concurrency = 1)
+      : sim(seed), stream(std::move(requests)) {
+    std::vector<NodeId> ids;
+    for (int i = 0; i < n; ++i) ids.push_back(i);
+    const NodeId origin_id = n;
+    for (int i = 0; i < n; ++i) {
+      auto node = std::make_unique<AdcProxy>(i, "proxy[" + std::to_string(i) + "]", config,
+                                             ids, origin_id);
+      proxies.push_back(node.get());
+      sim.add_node(std::move(node));
+    }
+    auto origin_node = std::make_unique<proxy::OriginServer>(origin_id, "origin");
+    origin = origin_node.get();
+    sim.add_node(std::move(origin_node));
+    auto client_node = std::make_unique<proxy::Client>(
+        n + 1, "client", stream, ids, proxy::EntryPolicy::kRandom, concurrency);
+    client = client_node.get();
+    sim.add_node(std::move(client_node));
+  }
+
+  void run() {
+    client->start(sim);
+    sim.run();
+  }
+
+  sim::Simulator sim;
+  proxy::VectorStream stream;
+  std::vector<AdcProxy*> proxies;
+  proxy::OriginServer* origin = nullptr;
+  proxy::Client* client = nullptr;
+};
+
+std::vector<ObjectId> random_trace(std::uint64_t seed, std::size_t length,
+                                   std::size_t universe) {
+  util::Rng rng(seed);
+  const util::ZipfSampler zipf(universe, 0.9);
+  std::vector<ObjectId> requests;
+  requests.reserve(length);
+  for (std::size_t i = 0; i < length; ++i) {
+    if (rng.chance(0.3)) {
+      requests.push_back(100000 + i);  // one-timer
+    } else {
+      requests.push_back(static_cast<ObjectId>(zipf.sample(rng)));
+    }
+  }
+  return requests;
+}
+
+class AdcPropertyTest : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  static AdcConfig tiny_config() {
+    AdcConfig config;
+    config.single_table_size = 40;
+    config.multiple_table_size = 30;
+    config.caching_table_size = 12;
+    return config;
+  }
+};
+
+TEST_P(AdcPropertyTest, EveryRequestCompletesExactlyOnce) {
+  const auto seed = GetParam();
+  Deployment d(4, random_trace(seed, 2000, 300), tiny_config(), seed);
+  d.run();
+  EXPECT_TRUE(d.client->drained());
+  const auto& summary = d.sim.metrics().summary();
+  EXPECT_EQ(summary.completed, 2000u);
+  EXPECT_EQ(summary.hits + d.origin->requests_served(), 2000u);
+}
+
+TEST_P(AdcPropertyTest, PendingTablesDrainAndCapacitiesHold) {
+  const auto seed = GetParam();
+  const AdcConfig config = tiny_config();
+  Deployment d(4, random_trace(seed, 2000, 300), config, seed);
+  d.run();
+  for (const AdcProxy* proxy : d.proxies) {
+    EXPECT_EQ(proxy->pending_backwards(), 0u) << proxy->name();
+    EXPECT_LE(proxy->tables().single().size(), config.single_table_size);
+    EXPECT_LE(proxy->tables().multiple().size(), config.multiple_table_size);
+    EXPECT_LE(proxy->tables().caching().size(), config.caching_table_size);
+  }
+}
+
+TEST_P(AdcPropertyTest, ConcurrencyPreservesConservation) {
+  const auto seed = GetParam();
+  Deployment d(4, random_trace(seed, 2000, 300), tiny_config(), seed, /*concurrency=*/6);
+  d.run();
+  EXPECT_TRUE(d.client->drained());
+  const auto& summary = d.sim.metrics().summary();
+  EXPECT_EQ(summary.completed, 2000u);
+  EXPECT_EQ(summary.hits + d.origin->requests_served(), 2000u);
+}
+
+TEST_P(AdcPropertyTest, ReplayIsBitIdentical) {
+  const auto seed = GetParam();
+  const auto requests = random_trace(seed, 1500, 250);
+  Deployment a(3, requests, tiny_config(), seed);
+  Deployment b(3, requests, tiny_config(), seed);
+  a.run();
+  b.run();
+  EXPECT_EQ(a.sim.metrics().summary().hits, b.sim.metrics().summary().hits);
+  EXPECT_EQ(a.sim.metrics().summary().total_hops, b.sim.metrics().summary().total_hops);
+  EXPECT_EQ(a.sim.now(), b.sim.now());
+  EXPECT_EQ(a.sim.messages_delivered(), b.sim.messages_delivered());
+  for (std::size_t i = 0; i < a.proxies.size(); ++i) {
+    EXPECT_EQ(a.proxies[i]->local_time(), b.proxies[i]->local_time());
+    EXPECT_EQ(a.proxies[i]->tables().total_entries(),
+              b.proxies[i]->tables().total_entries());
+  }
+}
+
+TEST_P(AdcPropertyTest, HopsAreBoundedByForwardLimit) {
+  const auto seed = GetParam();
+  AdcConfig config = tiny_config();
+  config.max_forwards = 3;
+  Deployment d(5, random_trace(seed, 1000, 200), config, seed);
+  d.run();
+  // Worst case journey: client hop + (max_forwards + 1 terminal hop to the
+  // origin) forward hops + the same backward, + client delivery.
+  const double bound = 2.0 * (config.max_forwards + 2);
+  EXPECT_LE(d.sim.metrics().summary().avg_hops(), bound);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AdcPropertyTest,
+                         ::testing::Values(1u, 7u, 42u, 1234u, 99999u, 31415926u));
+
+}  // namespace
+}  // namespace adc

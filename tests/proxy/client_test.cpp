@@ -1,0 +1,154 @@
+#include "proxy/client.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace adc::proxy {
+namespace {
+
+/// Minimal responder standing in for a proxy: replies to every request.
+class Responder final : public sim::Node {
+ public:
+  Responder(NodeId id, std::string name) : Node(id, sim::NodeKind::kProxy, std::move(name)) {}
+
+  void on_message(sim::Simulator& sim, const sim::Message& msg) override {
+    ++requests;
+    sim::Message reply = msg;
+    reply.kind = sim::MessageKind::kReply;
+    reply.sender = id();
+    reply.target = msg.sender;
+    reply.proxy_hit = true;
+    sim.send(std::move(reply));
+  }
+
+  int requests = 0;
+};
+
+struct Deployment {
+  explicit Deployment(std::vector<ObjectId> requests, EntryPolicy policy,
+                      int responders = 2, int concurrency = 1)
+      : stream(std::move(requests)) {
+    std::vector<NodeId> ids;
+    for (int i = 0; i < responders; ++i) {
+      ids.push_back(i);
+      auto node = std::make_unique<Responder>(i, "responder[" + std::to_string(i) + "]");
+      nodes.push_back(node.get());
+      sim.add_node(std::move(node));
+    }
+    auto client_node = std::make_unique<Client>(responders, "client", stream, ids, policy,
+                                                concurrency);
+    client = client_node.get();
+    sim.add_node(std::move(client_node));
+  }
+
+  void run() {
+    client->start(sim);
+    sim.run();
+  }
+
+  sim::Simulator sim;
+  VectorStream stream;
+  std::vector<Responder*> nodes;
+  Client* client = nullptr;
+};
+
+TEST(Client, CompletesEveryRequest) {
+  Deployment d({1, 2, 3, 4, 5}, EntryPolicy::kRoundRobin);
+  d.run();
+  EXPECT_TRUE(d.client->drained());
+  EXPECT_EQ(d.client->issued(), 5u);
+  EXPECT_EQ(d.client->completed(), 5u);
+  EXPECT_EQ(d.sim.metrics().summary().completed, 5u);
+}
+
+TEST(Client, RoundRobinAlternatesEntries) {
+  Deployment d({1, 2, 3, 4, 5, 6}, EntryPolicy::kRoundRobin);
+  d.run();
+  EXPECT_EQ(d.nodes[0]->requests, 3);
+  EXPECT_EQ(d.nodes[1]->requests, 3);
+}
+
+TEST(Client, RandomEntriesHitAllProxiesEventually) {
+  std::vector<ObjectId> requests(200, 1);
+  Deployment d(requests, EntryPolicy::kRandom, /*responders=*/3);
+  d.run();
+  for (const Responder* node : d.nodes) EXPECT_GT(node->requests, 30) << node->name();
+}
+
+TEST(Client, EmptyStreamDrainsImmediately) {
+  Deployment d({}, EntryPolicy::kRoundRobin);
+  d.run();
+  EXPECT_TRUE(d.client->drained());
+  EXPECT_EQ(d.client->issued(), 0u);
+}
+
+TEST(Client, ConcurrencyKeepsMultipleInFlight) {
+  std::vector<ObjectId> requests(20, 1);
+  Deployment d(requests, EntryPolicy::kRoundRobin, 2, /*concurrency=*/4);
+  d.run();
+  EXPECT_TRUE(d.client->drained());
+  EXPECT_EQ(d.client->completed(), 20u);
+}
+
+TEST(Client, RequestIdsAreUniqueAndTaggedWithIssuer) {
+  const RequestId id = make_request_id(7, 123);
+  EXPECT_EQ(request_id_issuer(id), 7);
+  EXPECT_EQ(request_id_counter(id), 123u);
+  EXPECT_NE(make_request_id(7, 1), make_request_id(7, 2));
+  EXPECT_NE(make_request_id(1, 5), make_request_id(2, 5));
+}
+
+TEST(Client, MetricsReceiveLatency) {
+  Deployment d({1, 2}, EntryPolicy::kRoundRobin);
+  d.run();
+  // Each journey: client->responder (1) + responder->client (1) = 2 ticks.
+  EXPECT_EQ(d.sim.metrics().summary().total_latency, 4);
+  EXPECT_EQ(d.sim.metrics().summary().total_hops, 4u);
+}
+
+TEST(Client, MilestoneFiresAtExactCompletionCount) {
+  std::vector<ObjectId> requests(10, 1);
+  Deployment d(requests, EntryPolicy::kRoundRobin);
+  std::vector<std::uint64_t> fired_at;
+  d.client->at_completed(3, [&] { fired_at.push_back(d.client->completed()); });
+  d.client->at_completed(7, [&] { fired_at.push_back(d.client->completed()); });
+  d.run();
+  ASSERT_EQ(fired_at.size(), 2u);
+  EXPECT_EQ(fired_at[0], 3u);
+  EXPECT_EQ(fired_at[1], 7u);
+}
+
+TEST(Client, MultipleCallbacksPerMilestoneCompose) {
+  std::vector<ObjectId> requests(5, 1);
+  Deployment d(requests, EntryPolicy::kRoundRobin);
+  int calls = 0;
+  d.client->at_completed(2, [&] { ++calls; });
+  d.client->at_completed(2, [&] { ++calls; });
+  d.run();
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(Client, UnreachedMilestoneNeverFires) {
+  std::vector<ObjectId> requests(4, 1);
+  Deployment d(requests, EntryPolicy::kRoundRobin);
+  bool fired = false;
+  d.client->at_completed(100, [&] { fired = true; });
+  d.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(VectorStream, DeliversInOrderThenEnds) {
+  VectorStream stream({5, 6, 7});
+  EXPECT_EQ(stream.next(), 5u);
+  EXPECT_EQ(stream.next(), 6u);
+  EXPECT_EQ(stream.next(), 7u);
+  EXPECT_FALSE(stream.next().has_value());
+  EXPECT_FALSE(stream.next().has_value());
+}
+
+}  // namespace
+}  // namespace adc::proxy

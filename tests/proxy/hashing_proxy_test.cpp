@@ -1,0 +1,188 @@
+#include "proxy/hashing_proxy.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "proxy/client.h"
+#include "proxy/origin_server.h"
+#include "sim/simulator.h"
+
+namespace adc::proxy {
+namespace {
+
+/// Owner map with a fixed assignment, for deterministic tests.
+class FixedOwnerMap final : public OwnerMap {
+ public:
+  explicit FixedOwnerMap(NodeId owner) : owner_(owner) {}
+  NodeId owner(ObjectId) const override { return owner_; }
+
+ private:
+  NodeId owner_;
+};
+
+struct Deployment {
+  Deployment(int n, NodeId fixed_owner, std::vector<ObjectId> requests,
+             bool entry_caching = false, std::size_t capacity = 8)
+      : sim(1), stream(std::move(requests)) {
+    std::vector<NodeId> ids;
+    for (int i = 0; i < n; ++i) ids.push_back(i);
+    const NodeId origin_id = n;
+    const NodeId client_id = n + 1;
+    auto owners = std::make_shared<FixedOwnerMap>(fixed_owner);
+    for (int i = 0; i < n; ++i) {
+      auto node = std::make_unique<HashingProxy>(i, "proxy[" + std::to_string(i) + "]",
+                                                 owners, origin_id, capacity,
+                                                 cache::Policy::kLru, entry_caching);
+      proxies.push_back(node.get());
+      sim.add_node(std::move(node));
+    }
+    auto origin_node = std::make_unique<OriginServer>(origin_id, "origin");
+    origin = origin_node.get();
+    sim.add_node(std::move(origin_node));
+    auto client_node = std::make_unique<Client>(client_id, "client", stream, ids,
+                                                EntryPolicy::kRoundRobin);
+    client = client_node.get();
+    sim.add_node(std::move(client_node));
+  }
+
+  void run() {
+    client->start(sim);
+    sim.run();
+  }
+
+  sim::Simulator sim;
+  VectorStream stream;
+  std::vector<HashingProxy*> proxies;
+  OriginServer* origin = nullptr;
+  Client* client = nullptr;
+};
+
+TEST(HashingProxy, ColdMissGoesEntryOwnerOriginAndBack) {
+  // 2 proxies, owner is proxy 1, entry (round robin) is proxy 0.
+  Deployment d(2, /*fixed_owner=*/1, {5});
+  d.run();
+  EXPECT_TRUE(d.client->drained());
+  EXPECT_EQ(d.origin->requests_served(), 1u);
+  // Path: c->p0 (1), p0->p1 (2), p1->origin (3), origin->p1 (4),
+  // p1->c directly, bypassing p0 (5).
+  EXPECT_EQ(d.sim.metrics().summary().total_hops, 5u);
+  // The owner cached it; the entry proxy did not (bypass).
+  EXPECT_TRUE(d.proxies[1]->cache().contains(5));
+  EXPECT_FALSE(d.proxies[0]->cache().contains(5));
+}
+
+TEST(HashingProxy, RepeatRequestHitsAtOwner) {
+  Deployment d(2, 1, {5, 5});
+  d.run();
+  const auto& summary = d.sim.metrics().summary();
+  EXPECT_EQ(summary.completed, 2u);
+  EXPECT_EQ(summary.hits, 1u);
+  EXPECT_EQ(d.origin->requests_served(), 1u);
+  // Second journey: c->p1 (entry is p1 by round robin) -> hit -> c: 2 hops.
+  EXPECT_EQ(summary.total_hops, 5u + 2u);
+}
+
+TEST(HashingProxy, OwnerHitFromOtherEntryBypassesEntry) {
+  // Entry rotation: first request warms the owner (p1) via entry p0; the
+  // third request enters p0 again and must be served by p1 directly to
+  // the client in 3 hops (c->p0, p0->p1, p1->c).
+  Deployment d(2, 1, {5, 9999, 5});
+  d.run();
+  const auto& summary = d.sim.metrics().summary();
+  EXPECT_EQ(summary.hits, 1u);
+  // Journey 1: 5 hops.  Journey 2 (entry p1 == owner, miss): c->p1,
+  // p1->origin, origin->p1, p1->c = 4.  Journey 3: 3 hops.
+  EXPECT_EQ(summary.total_hops, 5u + 4u + 3u);
+}
+
+TEST(HashingProxy, EntryCachingRoutesReplyThroughEntry) {
+  Deployment d(2, 1, {5, 9999, 5}, /*entry_caching=*/true);
+  d.run();
+  // Journey 1 now routes origin->p1->p0->c, so the entry caches too.
+  EXPECT_TRUE(d.proxies[0]->cache().contains(5));
+  EXPECT_TRUE(d.proxies[1]->cache().contains(5));
+  // Journey 3 enters p0 and hits locally: 2 hops.
+  const auto& summary = d.sim.metrics().summary();
+  EXPECT_EQ(summary.hits, 1u);
+  // Journey 1: c->p0, p0->p1, p1->o, o->p1, p1->p0, p0->c = 6.
+  // Journey 2 (entry p1 == owner): 4.  Journey 3: 2.
+  EXPECT_EQ(summary.total_hops, 6u + 4u + 2u);
+}
+
+TEST(HashingProxy, LruEvictionAtOwner) {
+  // Capacity 2 at every proxy, all objects owned by proxy 0.
+  Deployment d(1, 0, {1, 2, 3, 1}, /*entry_caching=*/false, /*capacity=*/2);
+  d.run();
+  // After 1,2,3: cache = {2,3} (1 evicted).  Request 4 for object 1 is a
+  // miss again.
+  EXPECT_EQ(d.sim.metrics().summary().hits, 0u);
+  EXPECT_EQ(d.origin->requests_served(), 4u);
+  EXPECT_TRUE(d.proxies[0]->cache().contains(1));
+  EXPECT_TRUE(d.proxies[0]->cache().contains(3));
+  EXPECT_FALSE(d.proxies[0]->cache().contains(2));
+}
+
+TEST(HashingProxy, PendingDrains) {
+  std::vector<ObjectId> requests;
+  for (int i = 0; i < 100; ++i) requests.push_back(1 + i % 7);
+  Deployment d(3, 2, requests);
+  d.run();
+  for (const HashingProxy* proxy : d.proxies) EXPECT_EQ(proxy->pending(), 0u);
+}
+
+TEST(HashingProxy, StatsAreConsistent) {
+  std::vector<ObjectId> requests;
+  for (int i = 0; i < 50; ++i) requests.push_back(1 + i % 5);
+  Deployment d(2, 1, requests);
+  d.run();
+  const auto& owner_stats = d.proxies[1]->stats();
+  EXPECT_EQ(owner_stats.forwards_to_origin, d.origin->requests_served());
+  const auto& summary = d.sim.metrics().summary();
+  EXPECT_EQ(summary.hits + d.origin->requests_served(), summary.completed);
+}
+
+TEST(HashingProxy, RealCarpOwnerMapSpreadsLoad) {
+  // Smoke-test with the real CARP array: everything still conserves.
+  std::vector<hash::CarpArray::Member> members;
+  for (int i = 0; i < 3; ++i) {
+    members.push_back({"proxy[" + std::to_string(i) + "]", i, 1.0});
+  }
+  auto owners = std::make_shared<CarpOwnerMap>(hash::CarpArray(std::move(members)));
+
+  sim::Simulator sim(1);
+  std::vector<ObjectId> requests;
+  for (int i = 0; i < 300; ++i) requests.push_back(1 + i % 40);
+  VectorStream stream(requests);
+  std::vector<NodeId> ids = {0, 1, 2};
+  std::vector<HashingProxy*> proxies;
+  for (int i = 0; i < 3; ++i) {
+    auto node = std::make_unique<HashingProxy>(i, "proxy[" + std::to_string(i) + "]", owners,
+                                               3, 64);
+    proxies.push_back(node.get());
+    sim.add_node(std::move(node));
+  }
+  auto origin_node = std::make_unique<OriginServer>(3, "origin");
+  auto* origin = origin_node.get();
+  sim.add_node(std::move(origin_node));
+  auto client_node = std::make_unique<Client>(4, "client", stream, ids);
+  auto* client = client_node.get();
+  sim.add_node(std::move(client_node));
+  client->start(sim);
+  sim.run();
+
+  EXPECT_TRUE(client->drained());
+  const auto& summary = sim.metrics().summary();
+  EXPECT_EQ(summary.completed, 300u);
+  EXPECT_EQ(summary.hits + origin->requests_served(), 300u);
+  // 40 distinct objects fetched exactly once each (caches are large).
+  EXPECT_EQ(origin->requests_served(), 40u);
+  // Every proxy owns a nonempty share.
+  for (const HashingProxy* proxy : proxies) {
+    EXPECT_GT(proxy->cache().size(), 0u) << proxy->name();
+  }
+}
+
+}  // namespace
+}  // namespace adc::proxy

@@ -1,0 +1,74 @@
+#include "proxy/origin_server.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "sim/simulator.h"
+
+namespace adc::proxy {
+namespace {
+
+class Catcher final : public sim::Node {
+ public:
+  Catcher(NodeId id, std::string name) : Node(id, sim::NodeKind::kProxy, std::move(name)) {}
+  void on_message(sim::Simulator&, const sim::Message& msg) override { replies.push_back(msg); }
+  std::vector<sim::Message> replies;
+};
+
+TEST(OriginServer, RepliesToSenderWithNullResolver) {
+  sim::Simulator sim;
+  auto catcher_node = std::make_unique<Catcher>(0, "catcher");
+  auto* catcher = catcher_node.get();
+  sim.add_node(std::move(catcher_node));
+  auto origin_node = std::make_unique<OriginServer>(1, "origin");
+  auto* origin = origin_node.get();
+  sim.add_node(std::move(origin_node));
+
+  sim::Message request;
+  request.kind = sim::MessageKind::kRequest;
+  request.request_id = make_request_id(0, 1);
+  request.object = 42;
+  request.sender = 0;
+  request.target = 1;
+  request.client = 0;
+  // Pretend some proxy marked it as resolved; the origin must not echo a
+  // stale resolver claim back.
+  request.resolver = kInvalidNode;
+  sim.send(request);
+  sim.run();
+
+  ASSERT_EQ(catcher->replies.size(), 1u);
+  const sim::Message& reply = catcher->replies[0];
+  EXPECT_EQ(reply.kind, sim::MessageKind::kReply);
+  EXPECT_EQ(reply.object, 42u);
+  EXPECT_EQ(reply.request_id, request.request_id);
+  EXPECT_EQ(reply.resolver, kInvalidNode);
+  EXPECT_FALSE(reply.cached);
+  EXPECT_FALSE(reply.proxy_hit);
+  EXPECT_EQ(origin->requests_served(), 1u);
+}
+
+TEST(OriginServer, CountsEveryRequest) {
+  sim::Simulator sim;
+  auto catcher_node = std::make_unique<Catcher>(0, "catcher");
+  sim.add_node(std::move(catcher_node));
+  auto origin_node = std::make_unique<OriginServer>(1, "origin");
+  auto* origin = origin_node.get();
+  sim.add_node(std::move(origin_node));
+
+  for (int i = 0; i < 5; ++i) {
+    sim::Message request;
+    request.kind = sim::MessageKind::kRequest;
+    request.request_id = make_request_id(0, static_cast<std::uint64_t>(i));
+    request.sender = 0;
+    request.target = 1;
+    request.client = 0;
+    sim.send(request);
+  }
+  sim.run();
+  EXPECT_EQ(origin->requests_served(), 5u);
+}
+
+}  // namespace
+}  // namespace adc::proxy

@@ -1,0 +1,86 @@
+#include "sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace adc::sim {
+namespace {
+
+TEST(EventQueue, EmptyInitially) {
+  EventQueue queue;
+  EXPECT_TRUE(queue.empty());
+  EXPECT_EQ(queue.size(), 0u);
+  EXPECT_EQ(queue.next_time(), kSimTimeMax);
+}
+
+TEST(EventQueue, RunsInTimeOrder) {
+  EventQueue queue;
+  std::vector<int> order;
+  queue.schedule(30, [&order] { order.push_back(3); });
+  queue.schedule(10, [&order] { order.push_back(1); });
+  queue.schedule(20, [&order] { order.push_back(2); });
+  while (!queue.empty()) queue.run_next();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, EqualTimesRunInSchedulingOrder) {
+  EventQueue queue;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    queue.schedule(5, [&order, i] { order.push_back(i); });
+  }
+  while (!queue.empty()) queue.run_next();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, RunNextReturnsEventTime) {
+  EventQueue queue;
+  queue.schedule(42, [] {});
+  EXPECT_EQ(queue.next_time(), 42);
+  EXPECT_EQ(queue.run_next(), 42);
+}
+
+TEST(EventQueue, PopNextDoesNotRun) {
+  EventQueue queue;
+  bool ran = false;
+  queue.schedule(7, [&ran] { ran = true; });
+  auto popped = queue.pop_next();
+  EXPECT_EQ(popped.time, 7);
+  EXPECT_FALSE(ran);
+  popped.action();
+  EXPECT_TRUE(ran);
+}
+
+TEST(EventQueue, EventsCanScheduleMoreEvents) {
+  EventQueue queue;
+  std::vector<int> order;
+  queue.schedule(1, [&] {
+    order.push_back(1);
+    queue.schedule(3, [&order] { order.push_back(3); });
+  });
+  queue.schedule(2, [&order] { order.push_back(2); });
+  while (!queue.empty()) queue.run_next();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, ExecutedCounter) {
+  EventQueue queue;
+  for (int i = 0; i < 5; ++i) queue.schedule(i, [] {});
+  while (!queue.empty()) queue.run_next();
+  EXPECT_EQ(queue.executed(), 5u);
+}
+
+TEST(EventQueue, InterleavedScheduleAndRun) {
+  EventQueue queue;
+  std::vector<int> order;
+  queue.schedule(10, [&order] { order.push_back(10); });
+  queue.run_next();
+  queue.schedule(15, [&order] { order.push_back(15); });
+  queue.schedule(12, [&order] { order.push_back(12); });
+  while (!queue.empty()) queue.run_next();
+  EXPECT_EQ(order, (std::vector<int>{10, 12, 15}));
+}
+
+}  // namespace
+}  // namespace adc::sim

@@ -1,0 +1,157 @@
+#include "sim/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace adc::sim {
+namespace {
+
+TEST(MovingAverage, EmptyIsZero) {
+  MovingAverage ma(5);
+  EXPECT_EQ(ma.value(), 0.0);
+  EXPECT_EQ(ma.count(), 0u);
+}
+
+TEST(MovingAverage, AveragesWithinWindow) {
+  MovingAverage ma(5);
+  ma.add(1.0);
+  ma.add(2.0);
+  ma.add(3.0);
+  EXPECT_DOUBLE_EQ(ma.value(), 2.0);
+  EXPECT_EQ(ma.count(), 3u);
+}
+
+TEST(MovingAverage, OldValuesFallOut) {
+  MovingAverage ma(3);
+  for (double v : {10.0, 20.0, 30.0, 40.0}) ma.add(v);
+  EXPECT_DOUBLE_EQ(ma.value(), 30.0);  // (20+30+40)/3
+  EXPECT_EQ(ma.count(), 3u);
+}
+
+TEST(MovingAverage, WindowOfOneTracksLast) {
+  MovingAverage ma(1);
+  ma.add(5.0);
+  ma.add(9.0);
+  EXPECT_DOUBLE_EQ(ma.value(), 9.0);
+}
+
+TEST(Metrics, SummaryAccumulates) {
+  MetricsCollector metrics(100, 0);
+  metrics.on_request_completed(true, 4, 10);
+  metrics.on_request_completed(false, 6, 30);
+  const auto& s = metrics.summary();
+  EXPECT_EQ(s.completed, 2u);
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.total_hops, 10u);
+  EXPECT_EQ(s.total_latency, 40);
+  EXPECT_DOUBLE_EQ(s.hit_rate(), 0.5);
+  EXPECT_DOUBLE_EQ(s.avg_hops(), 5.0);
+  EXPECT_DOUBLE_EQ(s.avg_latency(), 20.0);
+}
+
+TEST(Metrics, EmptySummaryRatesAreZero) {
+  const MetricsSummary s;
+  EXPECT_EQ(s.hit_rate(), 0.0);
+  EXPECT_EQ(s.avg_hops(), 0.0);
+  EXPECT_EQ(s.avg_latency(), 0.0);
+}
+
+TEST(Metrics, SeriesSamplesAtStride) {
+  MetricsCollector metrics(10, 3);
+  for (int i = 0; i < 10; ++i) metrics.on_request_completed(i % 2 == 0, 5, 1);
+  // Samples at 3, 6, 9 completed requests.
+  ASSERT_EQ(metrics.series().size(), 3u);
+  EXPECT_EQ(metrics.series()[0].requests, 3u);
+  EXPECT_EQ(metrics.series()[1].requests, 6u);
+  EXPECT_EQ(metrics.series()[2].requests, 9u);
+}
+
+TEST(Metrics, SeriesDisabledWithZeroStride) {
+  MetricsCollector metrics(10, 0);
+  for (int i = 0; i < 10; ++i) metrics.on_request_completed(true, 1, 1);
+  EXPECT_TRUE(metrics.series().empty());
+}
+
+TEST(Metrics, MovingHitRateReflectsWindow) {
+  MetricsCollector metrics(4, 0);
+  for (int i = 0; i < 4; ++i) metrics.on_request_completed(false, 1, 1);
+  EXPECT_DOUBLE_EQ(metrics.moving_hit_rate(), 0.0);
+  for (int i = 0; i < 4; ++i) metrics.on_request_completed(true, 1, 1);
+  EXPECT_DOUBLE_EQ(metrics.moving_hit_rate(), 1.0);  // window fully displaced
+}
+
+TEST(IntHistogram, EmptyState) {
+  const IntHistogram hist;
+  EXPECT_EQ(hist.total(), 0u);
+  EXPECT_EQ(hist.percentile(0.5), -1);
+  EXPECT_EQ(hist.max_seen(), -1);
+  EXPECT_EQ(hist.mean(), 0.0);
+}
+
+TEST(IntHistogram, CountsAndMean) {
+  IntHistogram hist;
+  for (int v : {2, 2, 4, 8}) hist.add(v);
+  EXPECT_EQ(hist.total(), 4u);
+  EXPECT_EQ(hist.count_of(2), 2u);
+  EXPECT_EQ(hist.count_of(4), 1u);
+  EXPECT_EQ(hist.count_of(3), 0u);
+  EXPECT_DOUBLE_EQ(hist.mean(), 4.0);
+  EXPECT_EQ(hist.max_seen(), 8);
+}
+
+TEST(IntHistogram, Percentiles) {
+  IntHistogram hist(200);
+  for (int v = 1; v <= 100; ++v) hist.add(v);  // uniform 1..100
+  EXPECT_EQ(hist.percentile(0.0), 1);
+  EXPECT_EQ(hist.percentile(0.5), 50);
+  EXPECT_EQ(hist.percentile(0.95), 95);
+  EXPECT_EQ(hist.percentile(1.0), 100);
+}
+
+TEST(IntHistogram, SingleValue) {
+  IntHistogram hist;
+  hist.add(7);
+  EXPECT_EQ(hist.percentile(0.01), 7);
+  EXPECT_EQ(hist.percentile(0.99), 7);
+}
+
+TEST(IntHistogram, OverflowBucket) {
+  IntHistogram hist(8);
+  hist.add(100);
+  hist.add(200);
+  EXPECT_EQ(hist.overflow(), 2u);
+  EXPECT_EQ(hist.max_seen(), 200);
+  // Percentile reports the overflow bucket boundary for overflowed mass.
+  EXPECT_EQ(hist.percentile(0.5), 9);
+}
+
+TEST(IntHistogram, NegativeClampsToZero) {
+  IntHistogram hist;
+  hist.add(-5);
+  EXPECT_EQ(hist.count_of(0), 1u);
+}
+
+TEST(Metrics, HopHistogramTracksRequests) {
+  MetricsCollector metrics(10, 0);
+  metrics.on_request_completed(true, 2, 1);
+  metrics.on_request_completed(false, 6, 1);
+  metrics.on_request_completed(false, 6, 1);
+  EXPECT_EQ(metrics.hop_histogram().total(), 3u);
+  EXPECT_EQ(metrics.hop_histogram().count_of(6), 2u);
+  EXPECT_EQ(metrics.hop_histogram().percentile(0.5), 6);
+}
+
+TEST(Metrics, ResetClearsEverything) {
+  MetricsCollector metrics(4, 1);
+  metrics.on_request_completed(true, 3, 7);
+  metrics.reset();
+  EXPECT_EQ(metrics.summary().completed, 0u);
+  EXPECT_TRUE(metrics.series().empty());
+  EXPECT_EQ(metrics.moving_hit_rate(), 0.0);
+  EXPECT_EQ(metrics.hop_histogram().total(), 0u);
+  // Window width survives the reset.
+  metrics.on_request_completed(true, 3, 7);
+  EXPECT_EQ(metrics.summary().completed, 1u);
+}
+
+}  // namespace
+}  // namespace adc::sim

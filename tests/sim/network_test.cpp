@@ -1,0 +1,68 @@
+#include "sim/network.h"
+
+#include <gtest/gtest.h>
+
+namespace adc::sim {
+namespace {
+
+TEST(Network, DefaultLatencies) {
+  const Network net;
+  EXPECT_EQ(net.latency(NodeKind::kClient, NodeKind::kProxy, false), 1);
+  EXPECT_EQ(net.latency(NodeKind::kProxy, NodeKind::kClient, false), 1);
+  EXPECT_EQ(net.latency(NodeKind::kProxy, NodeKind::kProxy, false), 2);
+  EXPECT_EQ(net.latency(NodeKind::kProxy, NodeKind::kOrigin, false), 10);
+  EXPECT_EQ(net.latency(NodeKind::kOrigin, NodeKind::kProxy, false), 10);
+}
+
+TEST(Network, SelfMessagesShortCircuit) {
+  const Network net;
+  EXPECT_EQ(net.latency(NodeKind::kProxy, NodeKind::kProxy, true), 1);
+}
+
+TEST(Network, CustomModel) {
+  LatencyModel model;
+  model.client_proxy = 3;
+  model.proxy_proxy = 7;
+  model.proxy_origin = 50;
+  model.self = 2;
+  const Network net(model);
+  EXPECT_EQ(net.latency(NodeKind::kClient, NodeKind::kProxy, false), 3);
+  EXPECT_EQ(net.latency(NodeKind::kProxy, NodeKind::kProxy, false), 7);
+  EXPECT_EQ(net.latency(NodeKind::kOrigin, NodeKind::kProxy, false), 50);
+  EXPECT_EQ(net.latency(NodeKind::kProxy, NodeKind::kProxy, true), 2);
+}
+
+TEST(Network, OriginDominatesClient) {
+  // A client-origin link (not used by any scheme, but defined) rates as an
+  // origin link.
+  const Network net;
+  EXPECT_EQ(net.latency(NodeKind::kClient, NodeKind::kOrigin, false), 10);
+}
+
+TEST(Network, MessageCounter) {
+  Network net;
+  EXPECT_EQ(net.messages_sent(), 0u);
+  net.count_message();
+  net.count_message();
+  EXPECT_EQ(net.messages_sent(), 2u);
+}
+
+TEST(Network, NodeDelayDefaultsToZero) {
+  const Network net;
+  EXPECT_EQ(net.node_delay(0), 0);
+  EXPECT_EQ(net.node_delay(99), 0);
+}
+
+TEST(Network, NodeDelaySetAndClear) {
+  Network net;
+  net.set_node_delay(3, 20);
+  EXPECT_EQ(net.node_delay(3), 20);
+  EXPECT_EQ(net.node_delay(2), 0);
+  net.set_node_delay(3, 0);  // zero clears
+  EXPECT_EQ(net.node_delay(3), 0);
+  net.set_node_delay(3, -5);  // negative treated as clear
+  EXPECT_EQ(net.node_delay(3), 0);
+}
+
+}  // namespace
+}  // namespace adc::sim

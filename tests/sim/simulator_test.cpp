@@ -1,0 +1,195 @@
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+namespace adc::sim {
+namespace {
+
+/// Records deliveries; optionally echoes every request back as a reply.
+class RecorderNode final : public Node {
+ public:
+  RecorderNode(NodeId id, NodeKind kind, std::string name, bool echo = false)
+      : Node(id, kind, std::move(name)), echo_(echo) {}
+
+  void on_message(Simulator& sim, const Message& msg) override {
+    received.push_back(msg);
+    receive_times.push_back(sim.now());
+    if (echo_ && msg.kind == MessageKind::kRequest) {
+      Message reply = msg;
+      reply.kind = MessageKind::kReply;
+      reply.sender = id();
+      reply.target = msg.sender;
+      sim.send(std::move(reply));
+    }
+  }
+
+  std::vector<Message> received;
+  std::vector<SimTime> receive_times;
+
+ private:
+  bool echo_;
+};
+
+TEST(Simulator, AssignsSequentialNodeIds) {
+  Simulator sim;
+  const NodeId a = sim.add_node(std::make_unique<RecorderNode>(0, NodeKind::kProxy, "a"));
+  const NodeId b = sim.add_node(std::make_unique<RecorderNode>(1, NodeKind::kProxy, "b"));
+  EXPECT_EQ(a, 0);
+  EXPECT_EQ(b, 1);
+  EXPECT_EQ(sim.node_count(), 2u);
+  EXPECT_EQ(sim.node(0).name(), "a");
+}
+
+TEST(Simulator, SendIncrementsHops) {
+  Simulator sim;
+  sim.add_node(std::make_unique<RecorderNode>(0, NodeKind::kProxy, "a"));
+  auto* b = new RecorderNode(1, NodeKind::kProxy, "b");
+  sim.add_node(std::unique_ptr<Node>(b));
+
+  Message msg;
+  msg.sender = 0;
+  msg.target = 1;
+  msg.hops = 3;
+  sim.send(msg);
+  sim.run();
+  ASSERT_EQ(b->received.size(), 1u);
+  EXPECT_EQ(b->received[0].hops, 4);
+}
+
+TEST(Simulator, LatencyDependsOnNodeKinds) {
+  LatencyModel latency;
+  latency.client_proxy = 1;
+  latency.proxy_proxy = 2;
+  latency.proxy_origin = 10;
+  Simulator sim(1, latency);
+  auto* client = new RecorderNode(0, NodeKind::kClient, "c");
+  auto* proxy = new RecorderNode(1, NodeKind::kProxy, "p");
+  auto* origin = new RecorderNode(2, NodeKind::kOrigin, "o");
+  sim.add_node(std::unique_ptr<Node>(client));
+  sim.add_node(std::unique_ptr<Node>(proxy));
+  sim.add_node(std::unique_ptr<Node>(origin));
+
+  Message m;
+  m.sender = 0;
+  m.target = 1;  // client -> proxy: 1
+  sim.send(m);
+  m.sender = 1;
+  m.target = 2;  // proxy -> origin: 10
+  sim.send(m);
+  sim.run();
+  ASSERT_EQ(proxy->receive_times.size(), 1u);
+  EXPECT_EQ(proxy->receive_times[0], 1);
+  ASSERT_EQ(origin->receive_times.size(), 1u);
+  EXPECT_EQ(origin->receive_times[0], 10);
+}
+
+TEST(Simulator, SelfMessageUsesSelfLatency) {
+  LatencyModel latency;
+  latency.proxy_proxy = 5;
+  latency.self = 1;
+  Simulator sim(1, latency);
+  auto* p = new RecorderNode(0, NodeKind::kProxy, "p");
+  sim.add_node(std::unique_ptr<Node>(p));
+
+  Message m;
+  m.sender = 0;
+  m.target = 0;
+  sim.send(m);
+  sim.run();
+  ASSERT_EQ(p->receive_times.size(), 1u);
+  EXPECT_EQ(p->receive_times[0], 1);
+}
+
+TEST(Simulator, ClockIsCorrectDuringNestedSends) {
+  // A node reacting to a delivery at t must schedule follow-ups relative
+  // to t, not to a stale clock.
+  Simulator sim;
+  auto* a = new RecorderNode(0, NodeKind::kProxy, "a", /*echo=*/true);
+  auto* b = new RecorderNode(1, NodeKind::kProxy, "b");
+  sim.add_node(std::unique_ptr<Node>(a));
+  sim.add_node(std::unique_ptr<Node>(b));
+
+  Message m;
+  m.kind = MessageKind::kRequest;
+  m.sender = 1;
+  m.target = 0;
+  sim.send(m);  // arrives at a @2 (proxy-proxy), echo arrives at b @4
+  sim.run();
+  ASSERT_EQ(b->receive_times.size(), 1u);
+  EXPECT_EQ(b->receive_times[0], 4);
+}
+
+TEST(Simulator, RunReturnsEventCount) {
+  Simulator sim;
+  sim.add_node(std::make_unique<RecorderNode>(0, NodeKind::kProxy, "a"));
+  sim.schedule(1, [] {});
+  sim.schedule(2, [] {});
+  EXPECT_EQ(sim.run(), 2u);
+  EXPECT_TRUE(sim.idle());
+}
+
+TEST(Simulator, RunRespectsMaxEvents) {
+  Simulator sim;
+  sim.add_node(std::make_unique<RecorderNode>(0, NodeKind::kProxy, "a"));
+  for (int i = 0; i < 5; ++i) sim.schedule(i + 1, [] {});
+  EXPECT_EQ(sim.run(3), 3u);
+  EXPECT_FALSE(sim.idle());
+  EXPECT_EQ(sim.run(), 2u);
+}
+
+TEST(Simulator, ScheduleAfterIsRelative) {
+  Simulator sim;
+  sim.add_node(std::make_unique<RecorderNode>(0, NodeKind::kProxy, "a"));
+  SimTime fired_at = -1;
+  sim.schedule(10, [&] { sim.schedule_after(5, [&] { fired_at = sim.now(); }); });
+  sim.run();
+  EXPECT_EQ(fired_at, 15);
+}
+
+TEST(Simulator, MessageCountersTrack) {
+  Simulator sim;
+  sim.add_node(std::make_unique<RecorderNode>(0, NodeKind::kProxy, "a"));
+  sim.add_node(std::make_unique<RecorderNode>(1, NodeKind::kProxy, "b"));
+  Message m;
+  m.sender = 0;
+  m.target = 1;
+  sim.send(m);
+  sim.send(m);
+  sim.run();
+  EXPECT_EQ(sim.network().messages_sent(), 2u);
+  EXPECT_EQ(sim.messages_delivered(), 2u);
+}
+
+TEST(Simulator, NodeDelaySlowsDelivery) {
+  Simulator sim;
+  auto* a = new RecorderNode(0, NodeKind::kProxy, "a");
+  auto* b = new RecorderNode(1, NodeKind::kProxy, "b");
+  sim.add_node(std::unique_ptr<Node>(a));
+  sim.add_node(std::unique_ptr<Node>(b));
+  sim.network().set_node_delay(1, 7);
+
+  Message m;
+  m.sender = 0;
+  m.target = 1;
+  sim.send(m);  // proxy-proxy latency 2 + node delay 7
+  m.sender = 1;
+  m.target = 0;
+  sim.send(m);  // reverse direction: only latency 2
+  sim.run();
+  ASSERT_EQ(b->receive_times.size(), 1u);
+  EXPECT_EQ(b->receive_times[0], 9);
+  ASSERT_EQ(a->receive_times.size(), 1u);
+  EXPECT_EQ(a->receive_times[0], 2);
+}
+
+TEST(Simulator, SameSeedSameRngStream) {
+  Simulator a(99);
+  Simulator b(99);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.rng().next(), b.rng().next());
+}
+
+}  // namespace
+}  // namespace adc::sim

@@ -1,0 +1,72 @@
+#include "sim/version.h"
+
+#include <gtest/gtest.h>
+
+namespace adc::sim {
+namespace {
+
+TEST(VersionOracle, DisabledStaysAtZero) {
+  const VersionOracle oracle(0);
+  EXPECT_FALSE(oracle.enabled());
+  EXPECT_EQ(oracle.version_at(1, 0), 0u);
+  EXPECT_EQ(oracle.version_at(1, 1'000'000'000), 0u);
+  EXPECT_EQ(oracle.interval_of(1), 0);
+}
+
+TEST(VersionOracle, VersionsAreMonotone) {
+  const VersionOracle oracle(1000);
+  for (ObjectId object = 1; object <= 50; ++object) {
+    std::uint64_t previous = 0;
+    for (SimTime t = 0; t <= 20000; t += 500) {
+      const std::uint64_t v = oracle.version_at(object, t);
+      EXPECT_GE(v, previous) << "object " << object << " t " << t;
+      previous = v;
+    }
+  }
+}
+
+TEST(VersionOracle, IntervalsAreJitteredAroundTheMean) {
+  const VersionOracle oracle(1000);
+  SimTime lo = kSimTimeMax;
+  SimTime hi = 0;
+  for (ObjectId object = 1; object <= 1000; ++object) {
+    const SimTime interval = oracle.interval_of(object);
+    EXPECT_GE(interval, 500);
+    EXPECT_LE(interval, 1501);
+    lo = std::min(lo, interval);
+    hi = std::max(hi, interval);
+  }
+  // The jitter actually spreads: not all objects share one interval.
+  EXPECT_GT(hi - lo, 500);
+}
+
+TEST(VersionOracle, Deterministic) {
+  const VersionOracle a(777);
+  const VersionOracle b(777);
+  for (ObjectId object = 1; object <= 100; ++object) {
+    EXPECT_EQ(a.interval_of(object), b.interval_of(object));
+    EXPECT_EQ(a.version_at(object, 123456), b.version_at(object, 123456));
+  }
+}
+
+TEST(VersionOracle, VersionMatchesIntervalArithmetic) {
+  const VersionOracle oracle(200);
+  const ObjectId object = 42;
+  const SimTime interval = oracle.interval_of(object);
+  EXPECT_EQ(oracle.version_at(object, interval - 1), 0u);
+  EXPECT_EQ(oracle.version_at(object, interval), 1u);
+  EXPECT_EQ(oracle.version_at(object, 5 * interval + 1), 5u);
+}
+
+TEST(VersionOracle, DifferentSeedsShuffleIntervals) {
+  const VersionOracle a(1000, 1);
+  const VersionOracle b(1000, 2);
+  int differing = 0;
+  for (ObjectId object = 1; object <= 100; ++object) {
+    if (a.interval_of(object) != b.interval_of(object)) ++differing;
+  }
+  EXPECT_GT(differing, 90);
+}
+
+}  // namespace
+}  // namespace adc::sim

@@ -1,0 +1,99 @@
+#include "util/cli.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace adc::util {
+namespace {
+
+bool run(CliParser& cli, std::vector<const char*> argv, std::string* error = nullptr) {
+  argv.insert(argv.begin(), "prog");
+  return cli.parse(static_cast<int>(argv.size()), argv.data(), error);
+}
+
+TEST(Cli, DefaultsApplyWithoutFlags) {
+  CliParser cli("test");
+  cli.option("n", "5", "a number");
+  ASSERT_TRUE(run(cli, {}));
+  EXPECT_EQ(cli.config().get_int("n", 0), 5);
+}
+
+TEST(Cli, SpaceSeparatedValue) {
+  CliParser cli("test");
+  cli.option("n", "5", "a number");
+  ASSERT_TRUE(run(cli, {"--n", "9"}));
+  EXPECT_EQ(cli.config().get_int("n", 0), 9);
+}
+
+TEST(Cli, EqualsValue) {
+  CliParser cli("test");
+  cli.option("n", "5", "a number");
+  ASSERT_TRUE(run(cli, {"--n=12"}));
+  EXPECT_EQ(cli.config().get_int("n", 0), 12);
+}
+
+TEST(Cli, BooleanFlag) {
+  CliParser cli("test");
+  cli.option("verbose", "", "talk more", /*is_flag=*/true);
+  ASSERT_TRUE(run(cli, {"--verbose"}));
+  EXPECT_TRUE(cli.config().get_bool("verbose", false));
+}
+
+TEST(Cli, FlagWithExplicitValue) {
+  CliParser cli("test");
+  cli.option("verbose", "", "talk more", /*is_flag=*/true);
+  ASSERT_TRUE(run(cli, {"--verbose=false"}));
+  EXPECT_FALSE(cli.config().get_bool("verbose", true));
+}
+
+TEST(Cli, UnknownOptionFails) {
+  CliParser cli("test");
+  std::string error;
+  EXPECT_FALSE(run(cli, {"--nope"}, &error));
+  EXPECT_NE(error.find("--nope"), std::string::npos);
+}
+
+TEST(Cli, MissingValueFails) {
+  CliParser cli("test");
+  cli.option("n", "5", "a number");
+  std::string error;
+  EXPECT_FALSE(run(cli, {"--n"}, &error));
+  EXPECT_NE(error.find("expects a value"), std::string::npos);
+}
+
+TEST(Cli, PositionalArguments) {
+  CliParser cli("test");
+  cli.option("n", "5", "a number");
+  ASSERT_TRUE(run(cli, {"file1", "--n", "2", "file2"}));
+  ASSERT_EQ(cli.positional().size(), 2u);
+  EXPECT_EQ(cli.positional()[0], "file1");
+  EXPECT_EQ(cli.positional()[1], "file2");
+}
+
+TEST(Cli, HelpRequested) {
+  CliParser cli("test");
+  cli.option("n", "5", "a number");
+  ASSERT_TRUE(run(cli, {"--help"}));
+  EXPECT_TRUE(cli.help_requested());
+}
+
+TEST(Cli, HelpTextMentionsOptionsAndDefaults) {
+  CliParser cli("my program");
+  cli.option("count", "3", "how many");
+  const std::string help = cli.help_text();
+  EXPECT_NE(help.find("my program"), std::string::npos);
+  EXPECT_NE(help.find("--count"), std::string::npos);
+  EXPECT_NE(help.find("default: 3"), std::string::npos);
+  EXPECT_NE(help.find("how many"), std::string::npos);
+}
+
+TEST(Cli, LastFlagWins) {
+  CliParser cli("test");
+  cli.option("n", "5", "a number");
+  ASSERT_TRUE(run(cli, {"--n", "1", "--n", "2"}));
+  EXPECT_EQ(cli.config().get_int("n", 0), 2);
+}
+
+}  // namespace
+}  // namespace adc::util

@@ -1,0 +1,115 @@
+#include "util/config.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace adc::util {
+namespace {
+
+TEST(Config, ParsesKeyValueLines) {
+  Config config;
+  ASSERT_TRUE(config.parse("a = 1\nb=two\n c = 3.5 \n"));
+  EXPECT_EQ(config.get_int("a", 0), 1);
+  EXPECT_EQ(config.get_string("b", ""), "two");
+  EXPECT_DOUBLE_EQ(config.get_double("c", 0.0), 3.5);
+}
+
+TEST(Config, IgnoresCommentsAndBlankLines) {
+  Config config;
+  ASSERT_TRUE(config.parse("# comment\n\na = 1 # trailing\n; another\nb = 2;inline\n"));
+  EXPECT_EQ(config.get_int("a", 0), 1);
+  EXPECT_EQ(config.get_int("b", 0), 2);
+}
+
+TEST(Config, RejectsMalformedLines) {
+  Config config;
+  std::string error;
+  EXPECT_FALSE(config.parse("novalue\n", &error));
+  EXPECT_NE(error.find("line 1"), std::string::npos);
+}
+
+TEST(Config, RejectsEmptyKey) {
+  Config config;
+  std::string error;
+  EXPECT_FALSE(config.parse(" = 5\n", &error));
+  EXPECT_NE(error.find("empty key"), std::string::npos);
+}
+
+TEST(Config, LaterSetOverrides) {
+  Config config;
+  config.set("x", "1");
+  config.set("x", "2");
+  EXPECT_EQ(config.get_int("x", 0), 2);
+}
+
+TEST(Config, FallbacksWhenMissing) {
+  Config config;
+  EXPECT_EQ(config.get_int("missing", 7), 7);
+  EXPECT_EQ(config.get_string("missing", "d"), "d");
+  EXPECT_EQ(config.get_bool("missing", true), true);
+  EXPECT_EQ(config.get_size("missing", 9), 9u);
+}
+
+TEST(Config, BadValuesFallBackAndAreReported) {
+  Config config;
+  config.set("n", "not-a-number");
+  EXPECT_EQ(config.get_int("n", 3), 3);
+  ASSERT_EQ(config.bad_values().size(), 1u);
+  EXPECT_EQ(config.bad_values()[0], "n");
+}
+
+TEST(Config, GetSizeSupportsSuffixes) {
+  Config config;
+  config.set("table", "20k");
+  EXPECT_EQ(config.get_size("table", 0), 20000u);
+}
+
+TEST(Config, UnusedKeysTracked) {
+  Config config;
+  config.set("used", "1");
+  config.set("unused", "2");
+  (void)config.get_int("used", 0);
+  const auto unused = config.unused_keys();
+  ASSERT_EQ(unused.size(), 1u);
+  EXPECT_EQ(unused[0], "unused");
+}
+
+TEST(Config, DumpPreservesInsertionOrder) {
+  Config config;
+  config.set("z", "1");
+  config.set("a", "2");
+  EXPECT_EQ(config.dump(), "z = 1\na = 2\n");
+}
+
+TEST(Config, ContainsDoesNotMarkUsed) {
+  Config config;
+  config.set("k", "v");
+  EXPECT_TRUE(config.contains("k"));
+  EXPECT_EQ(config.unused_keys().size(), 1u);
+}
+
+TEST(Config, LoadFileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/adc_config_test.cfg";
+  {
+    std::ofstream out(path);
+    out << "alpha = 0.8\nproxies = 5\n";
+  }
+  Config config;
+  std::string error;
+  ASSERT_TRUE(config.load_file(path, &error)) << error;
+  EXPECT_DOUBLE_EQ(config.get_double("alpha", 0), 0.8);
+  EXPECT_EQ(config.get_int("proxies", 0), 5);
+  std::remove(path.c_str());
+}
+
+TEST(Config, LoadFileMissing) {
+  Config config;
+  std::string error;
+  EXPECT_FALSE(config.load_file("/nonexistent/path/adc.cfg", &error));
+  EXPECT_FALSE(error.empty());
+}
+
+}  // namespace
+}  // namespace adc::util

@@ -1,0 +1,68 @@
+#include "util/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace adc::util {
+namespace {
+
+TEST(Csv, PlainRow) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.field("a").field(std::int64_t{1}).field(2.5, 2);
+  csv.end_row();
+  EXPECT_EQ(out.str(), "a,1,2.50\n");
+}
+
+TEST(Csv, Header) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.header({"x", "y"});
+  EXPECT_EQ(out.str(), "x,y\n");
+  EXPECT_EQ(csv.rows_written(), 1u);
+}
+
+TEST(Csv, EscapesCommas) {
+  EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+}
+
+TEST(Csv, EscapesQuotes) {
+  EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(Csv, EscapesNewlines) {
+  EXPECT_EQ(CsvWriter::escape("a\nb"), "\"a\nb\"");
+}
+
+TEST(Csv, NoEscapeWhenClean) {
+  EXPECT_EQ(CsvWriter::escape("plain-text_123"), "plain-text_123");
+}
+
+TEST(Csv, MultipleRows) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.field("r1").end_row();
+  csv.field("r2").end_row();
+  EXPECT_EQ(out.str(), "r1\nr2\n");
+  EXPECT_EQ(csv.rows_written(), 2u);
+}
+
+TEST(Csv, UnsignedAndNegative) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.field(std::uint64_t{18446744073709551615ULL}).field(std::int64_t{-5});
+  csv.end_row();
+  EXPECT_EQ(out.str(), "18446744073709551615,-5\n");
+}
+
+TEST(Csv, DoublePrecisionControl) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.field(1.0 / 3.0, 4);
+  csv.end_row();
+  EXPECT_EQ(out.str(), "0.3333\n");
+}
+
+}  // namespace
+}  // namespace adc::util

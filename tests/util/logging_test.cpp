@@ -1,0 +1,53 @@
+#include "util/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace adc::util {
+namespace {
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void TearDown() override { set_log_level(LogLevel::kWarn); }
+};
+
+TEST_F(LoggingTest, LevelNamesRoundTrip) {
+  for (const LogLevel level : {LogLevel::kTrace, LogLevel::kDebug, LogLevel::kInfo,
+                               LogLevel::kWarn, LogLevel::kError, LogLevel::kOff}) {
+    EXPECT_EQ(parse_log_level(log_level_name(level)), level);
+  }
+}
+
+TEST_F(LoggingTest, ParseIsCaseInsensitive) {
+  EXPECT_EQ(parse_log_level("DEBUG"), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("Warning"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("none"), LogLevel::kOff);
+}
+
+TEST_F(LoggingTest, UnknownNameDefaultsToInfo) {
+  EXPECT_EQ(parse_log_level("banana"), LogLevel::kInfo);
+}
+
+TEST_F(LoggingTest, GateRespectsLevel) {
+  set_log_level(LogLevel::kWarn);
+  EXPECT_FALSE(log_enabled(LogLevel::kDebug));
+  EXPECT_FALSE(log_enabled(LogLevel::kInfo));
+  EXPECT_TRUE(log_enabled(LogLevel::kWarn));
+  EXPECT_TRUE(log_enabled(LogLevel::kError));
+}
+
+TEST_F(LoggingTest, OffDisablesEverything) {
+  set_log_level(LogLevel::kOff);
+  EXPECT_FALSE(log_enabled(LogLevel::kError));
+}
+
+TEST_F(LoggingTest, MacroDoesNotEvaluateWhenDisabled) {
+  set_log_level(LogLevel::kError);
+  int evaluations = 0;
+  ADC_LOG_DEBUG << "side effect " << ++evaluations;
+  EXPECT_EQ(evaluations, 0);
+  ADC_LOG_ERROR << "side effect " << ++evaluations;
+  EXPECT_EQ(evaluations, 1);
+}
+
+}  // namespace
+}  // namespace adc::util

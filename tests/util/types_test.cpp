@@ -1,0 +1,58 @@
+#include "util/types.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace adc {
+namespace {
+
+TEST(RequestId, PacksIssuerAndCounter) {
+  const RequestId id = make_request_id(5, 1234567);
+  EXPECT_EQ(request_id_issuer(id), 5);
+  EXPECT_EQ(request_id_counter(id), 1234567u);
+}
+
+TEST(RequestId, ZeroValues) {
+  const RequestId id = make_request_id(0, 0);
+  EXPECT_EQ(request_id_issuer(id), 0);
+  EXPECT_EQ(request_id_counter(id), 0u);
+}
+
+TEST(RequestId, LargeCounterStaysIn48Bits) {
+  const std::uint64_t big = (1ULL << 48) - 1;
+  const RequestId id = make_request_id(3, big);
+  EXPECT_EQ(request_id_issuer(id), 3);
+  EXPECT_EQ(request_id_counter(id), big);
+}
+
+TEST(RequestId, CounterOverflowWrapsWithoutTouchingIssuer) {
+  const RequestId id = make_request_id(3, 1ULL << 48);  // one past the field
+  EXPECT_EQ(request_id_issuer(id), 3);
+  EXPECT_EQ(request_id_counter(id), 0u);
+}
+
+TEST(RequestId, DistinctAcrossIssuersAndCounters) {
+  std::unordered_set<RequestId> seen;
+  for (NodeId issuer = 0; issuer < 8; ++issuer) {
+    for (std::uint64_t counter = 0; counter < 64; ++counter) {
+      EXPECT_TRUE(seen.insert(make_request_id(issuer, counter)).second);
+    }
+  }
+  EXPECT_EQ(seen.size(), 8u * 64u);
+}
+
+TEST(RequestId, IsConstexpr) {
+  static_assert(request_id_issuer(make_request_id(7, 9)) == 7);
+  static_assert(request_id_counter(make_request_id(7, 9)) == 9);
+  SUCCEED();
+}
+
+TEST(Types, Sentinels) {
+  EXPECT_LT(kInvalidNode, 0);
+  EXPECT_NE(kInvalidNode, kLocationUnset);
+  EXPECT_GT(kSimTimeMax, 0);
+}
+
+}  // namespace
+}  // namespace adc

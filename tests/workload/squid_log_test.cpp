@@ -1,0 +1,112 @@
+#include "workload/squid_log.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace adc::workload {
+namespace {
+
+constexpr char kSampleLog[] =
+    "1046700001.123 250 10.0.0.1 TCP_MISS/200 4312 GET http://a.test/page1 - "
+    "DIRECT/a.test text/html\n"
+    "1046700002.456 18 10.0.0.2 TCP_HIT/200 4312 GET http://a.test/page1 - "
+    "NONE/- text/html\n"
+    "1046700003.789 510 10.0.0.1 TCP_MISS/200 988 POST http://a.test/form - "
+    "DIRECT/a.test text/html\n"
+    "garbage line\n"
+    "1046700004.000 40 10.0.0.3 TCP_MISS/200 777 GET http://b.test/page2 - "
+    "DIRECT/b.test image/png\n";
+
+TEST(SquidParse, GoodLine) {
+  const auto entry = parse_squid_line(
+      "1046700001.123 250 10.0.0.1 TCP_MISS/200 4312 GET http://a.test/page1 - "
+      "DIRECT/a.test text/html");
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_DOUBLE_EQ(entry->timestamp, 1046700001.123);
+  EXPECT_EQ(entry->elapsed_ms, 250);
+  EXPECT_EQ(entry->client, "10.0.0.1");
+  EXPECT_EQ(entry->result_code, "TCP_MISS/200");
+  EXPECT_EQ(entry->bytes, 4312);
+  EXPECT_EQ(entry->method, "GET");
+  EXPECT_EQ(entry->url, "http://a.test/page1");
+}
+
+TEST(SquidParse, ToleratesMissingTrailingFields) {
+  const auto entry =
+      parse_squid_line("1046700001.0 10 10.0.0.1 TCP_MISS/200 100 GET http://a.test/x");
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_EQ(entry->url, "http://a.test/x");
+}
+
+TEST(SquidParse, RejectsShortLines) {
+  EXPECT_FALSE(parse_squid_line("").has_value());
+  EXPECT_FALSE(parse_squid_line("only three fields").has_value());
+}
+
+TEST(SquidParse, RejectsNonNumericFields) {
+  EXPECT_FALSE(parse_squid_line("notatime 10 c TCP_MISS/200 100 GET http://x").has_value());
+  EXPECT_FALSE(parse_squid_line("1.0 ms c TCP_MISS/200 100 GET http://x").has_value());
+  EXPECT_FALSE(parse_squid_line("1.0 10 c TCP_MISS/200 big GET http://x").has_value());
+}
+
+TEST(SquidParse, RejectsDashUrl) {
+  EXPECT_FALSE(parse_squid_line("1.0 10 c TCP_MISS/200 100 GET - -").has_value());
+}
+
+TEST(SquidLoad, GetsOnlyFilter) {
+  std::istringstream in(kSampleLog);
+  UrlInterner interner;
+  const auto result = load_squid_log(in, interner);
+  EXPECT_EQ(result.parsed, 3u);   // two page1 GETs + one page2 GET
+  EXPECT_EQ(result.skipped, 2u);  // the POST and the garbage line
+  EXPECT_EQ(result.trace.size(), 3u);
+  EXPECT_EQ(interner.size(), 2u);  // two distinct URLs
+  // The repeated URL got the same id.
+  EXPECT_EQ(result.trace[0], result.trace[1]);
+  EXPECT_NE(result.trace[0], result.trace[2]);
+}
+
+TEST(SquidLoad, AllMethodsWhenFilterOff) {
+  std::istringstream in(kSampleLog);
+  UrlInterner interner;
+  SquidLoadOptions options;
+  options.gets_only = false;
+  const auto result = load_squid_log(in, interner, options);
+  EXPECT_EQ(result.parsed, 4u);
+  EXPECT_EQ(result.skipped, 1u);  // only the garbage line
+}
+
+TEST(SquidLoad, LimitStopsEarly) {
+  std::istringstream in(kSampleLog);
+  UrlInterner interner;
+  SquidLoadOptions options;
+  options.limit = 2;
+  const auto result = load_squid_log(in, interner, options);
+  EXPECT_EQ(result.parsed, 2u);
+  EXPECT_EQ(result.trace.size(), 2u);
+}
+
+TEST(SquidLoad, PhasesSpanWholeTrace) {
+  std::istringstream in(kSampleLog);
+  UrlInterner interner;
+  const auto result = load_squid_log(in, interner);
+  EXPECT_EQ(result.trace.phases().fill_end, 0u);
+  EXPECT_EQ(result.trace.phases().phase2_end, result.trace.size());
+}
+
+TEST(SquidLoad, MissingFileIsNullopt) {
+  UrlInterner interner;
+  EXPECT_FALSE(load_squid_log_file("/nonexistent/access.log", interner).has_value());
+}
+
+TEST(SquidLoad, EmptyStream) {
+  std::istringstream in("");
+  UrlInterner interner;
+  const auto result = load_squid_log(in, interner);
+  EXPECT_EQ(result.parsed, 0u);
+  EXPECT_TRUE(result.trace.empty());
+}
+
+}  // namespace
+}  // namespace adc::workload

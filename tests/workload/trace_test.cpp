@@ -1,0 +1,168 @@
+#include "workload/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace adc::workload {
+namespace {
+
+Trace sample_trace() {
+  return Trace({1, 2, 3, 2, 1, 4, 4, 4}, TracePhases{2, 5});
+}
+
+std::string temp_path(const char* name) { return ::testing::TempDir() + "/" + name; }
+
+TEST(Trace, StatsCountUniqueAndRecurrence) {
+  const auto stats = sample_trace().stats();
+  EXPECT_EQ(stats.requests, 8u);
+  EXPECT_EQ(stats.unique_objects, 4u);
+  EXPECT_DOUBLE_EQ(stats.recurrence_rate, 0.5);
+}
+
+TEST(Trace, EmptyStats) {
+  const auto stats = Trace().stats();
+  EXPECT_EQ(stats.requests, 0u);
+  EXPECT_EQ(stats.unique_objects, 0u);
+  EXPECT_EQ(stats.recurrence_rate, 0.0);
+}
+
+TEST(Trace, SliceClipsPhases) {
+  const Trace trace = sample_trace();
+  const Trace middle = trace.slice(1, 6);
+  EXPECT_EQ(middle.size(), 5u);
+  EXPECT_EQ(middle[0], 2u);
+  EXPECT_EQ(middle.phases().fill_end, 1u);   // was 2, shifted by 1
+  EXPECT_EQ(middle.phases().phase2_end, 4u); // was 5, shifted by 1
+}
+
+TEST(Trace, SliceBeyondEndClamps) {
+  const Trace trace = sample_trace();
+  const Trace tail = trace.slice(6, 100);
+  EXPECT_EQ(tail.size(), 2u);
+  const Trace nothing = trace.slice(10, 20);
+  EXPECT_EQ(nothing.size(), 0u);
+}
+
+TEST(Trace, TextRoundTrip) {
+  const std::string path = temp_path("trace_roundtrip.txt");
+  const Trace original = sample_trace();
+  ASSERT_TRUE(original.save_text(path));
+  Trace loaded;
+  std::string error;
+  ASSERT_TRUE(Trace::load_text(path, &loaded, &error)) << error;
+  ASSERT_EQ(loaded.size(), original.size());
+  for (std::uint64_t i = 0; i < original.size(); ++i) EXPECT_EQ(loaded[i], original[i]);
+  EXPECT_EQ(loaded.phases().fill_end, 2u);
+  EXPECT_EQ(loaded.phases().phase2_end, 5u);
+  std::remove(path.c_str());
+}
+
+TEST(Trace, TextLoadRejectsGarbage) {
+  const std::string path = temp_path("trace_garbage.txt");
+  {
+    std::ofstream out(path);
+    out << "1\nnot-a-number\n3\n";
+  }
+  Trace loaded;
+  std::string error;
+  EXPECT_FALSE(Trace::load_text(path, &loaded, &error));
+  EXPECT_NE(error.find("line 2"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Trace, TextLoadMissingFile) {
+  Trace loaded;
+  std::string error;
+  EXPECT_FALSE(Trace::load_text("/nonexistent/adc.trace", &loaded, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(Trace, BinaryRoundTrip) {
+  const std::string path = temp_path("trace_roundtrip.bin");
+  const Trace original = sample_trace();
+  ASSERT_TRUE(original.save_binary(path));
+  Trace loaded;
+  std::string error;
+  ASSERT_TRUE(Trace::load_binary(path, &loaded, &error)) << error;
+  ASSERT_EQ(loaded.size(), original.size());
+  for (std::uint64_t i = 0; i < original.size(); ++i) EXPECT_EQ(loaded[i], original[i]);
+  EXPECT_EQ(loaded.phases().fill_end, 2u);
+  EXPECT_EQ(loaded.phases().phase2_end, 5u);
+  std::remove(path.c_str());
+}
+
+TEST(Trace, BinaryDetectsBadMagic) {
+  const std::string path = temp_path("trace_badmagic.bin");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "WRONGMAGICxxxxxxxxxxxxxxxxxxxxxxxxxxxxxx";
+  }
+  Trace loaded;
+  std::string error;
+  EXPECT_FALSE(Trace::load_binary(path, &loaded, &error));
+  EXPECT_NE(error.find("magic"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Trace, BinaryDetectsTruncation) {
+  const std::string path = temp_path("trace_truncated.bin");
+  ASSERT_TRUE(sample_trace().save_binary(path));
+  // Chop off the last 6 bytes (checksum + payload tail).
+  std::string contents;
+  {
+    std::ifstream in(path, std::ios::binary);
+    contents.assign(std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>());
+  }
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(contents.data(), static_cast<std::streamsize>(contents.size() - 6));
+  }
+  Trace loaded;
+  std::string error;
+  EXPECT_FALSE(Trace::load_binary(path, &loaded, &error));
+  EXPECT_FALSE(error.empty());
+  std::remove(path.c_str());
+}
+
+TEST(Trace, BinaryDetectsCorruption) {
+  const std::string path = temp_path("trace_corrupt.bin");
+  ASSERT_TRUE(sample_trace().save_binary(path));
+  std::string contents;
+  {
+    std::ifstream in(path, std::ios::binary);
+    contents.assign(std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>());
+  }
+  contents[contents.size() / 2] ^= 0x40;  // flip a payload bit
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(contents.data(), static_cast<std::streamsize>(contents.size()));
+  }
+  Trace loaded;
+  std::string error;
+  EXPECT_FALSE(Trace::load_binary(path, &loaded, &error));
+  EXPECT_NE(error.find("checksum"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Trace, BinaryEmptyTrace) {
+  const std::string path = temp_path("trace_empty.bin");
+  ASSERT_TRUE(Trace().save_binary(path));
+  Trace loaded;
+  std::string error;
+  ASSERT_TRUE(Trace::load_binary(path, &loaded, &error)) << error;
+  EXPECT_TRUE(loaded.empty());
+  std::remove(path.c_str());
+}
+
+TEST(Trace, AppendGrows) {
+  Trace trace;
+  trace.append(5);
+  trace.append(6);
+  EXPECT_EQ(trace.size(), 2u);
+  EXPECT_EQ(trace[1], 6u);
+}
+
+}  // namespace
+}  // namespace adc::workload

@@ -1,0 +1,74 @@
+#include "workload/url_space.h"
+
+#include <gtest/gtest.h>
+
+namespace adc::workload {
+namespace {
+
+TEST(UrlSpace, UrlIsDeterministicAndUnique) {
+  const UrlSpace space(16);
+  EXPECT_EQ(space.url_for(1), space.url_for(1));
+  EXPECT_NE(space.url_for(1), space.url_for(2));
+  EXPECT_NE(space.url_for(17), space.url_for(1));  // same server, different object
+}
+
+TEST(UrlSpace, UrlShapeIsPolygraphLike) {
+  const UrlSpace space(16);
+  const std::string url = space.url_for(33);
+  EXPECT_EQ(url, "http://w1.polymix.test/wss/obj33.html");
+  EXPECT_EQ(space.server_of(33), 1u);
+}
+
+TEST(UrlSpace, ObjectsSpreadOverServers) {
+  const UrlSpace space(4);
+  EXPECT_EQ(space.server_of(0), 0u);
+  EXPECT_EQ(space.server_of(5), 1u);
+  EXPECT_EQ(space.server_of(7), 3u);
+}
+
+TEST(UrlInterner, AssignsDenseIdsFromOne) {
+  UrlInterner interner;
+  EXPECT_EQ(interner.intern("http://a.test/1"), 1u);
+  EXPECT_EQ(interner.intern("http://a.test/2"), 2u);
+  EXPECT_EQ(interner.intern("http://a.test/3"), 3u);
+  EXPECT_EQ(interner.size(), 3u);
+}
+
+TEST(UrlInterner, DeduplicatesRepeats) {
+  UrlInterner interner;
+  const ObjectId first = interner.intern("http://a.test/x");
+  EXPECT_EQ(interner.intern("http://a.test/x"), first);
+  EXPECT_EQ(interner.size(), 1u);
+}
+
+TEST(UrlInterner, FindWithoutInserting) {
+  UrlInterner interner;
+  EXPECT_EQ(interner.find("http://a.test/x"), 0u);
+  interner.intern("http://a.test/x");
+  EXPECT_EQ(interner.find("http://a.test/x"), 1u);
+  EXPECT_EQ(interner.find("http://a.test/y"), 0u);
+  EXPECT_EQ(interner.size(), 1u);
+}
+
+TEST(UrlInterner, UrlOfRoundTrips) {
+  UrlInterner interner;
+  const ObjectId id = interner.intern("http://w3.polymix.test/wss/obj7.html");
+  EXPECT_EQ(interner.url_of(id), "http://w3.polymix.test/wss/obj7.html");
+  EXPECT_EQ(interner.url_of(0), "");
+  EXPECT_EQ(interner.url_of(999), "");
+}
+
+TEST(UrlInterner, ManyUrlsNoSpuriousCollisions) {
+  UrlInterner interner;
+  const UrlSpace space(64);
+  for (ObjectId i = 1; i <= 20000; ++i) {
+    ASSERT_EQ(interner.intern(space.url_for(i)), i);
+  }
+  EXPECT_EQ(interner.size(), 20000u);
+  EXPECT_EQ(interner.collisions(), 0u);
+  // Re-interning returns the original ids.
+  EXPECT_EQ(interner.intern(space.url_for(12345)), 12345u);
+}
+
+}  // namespace
+}  // namespace adc::workload

@@ -1,0 +1,115 @@
+#include "workload/wpb.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace adc::workload {
+namespace {
+
+WpbConfig small_config() {
+  WpbConfig config;
+  config.requests = 20000;
+  config.recency_probability = 0.5;
+  config.stack_depth = 200;
+  config.seed = 13;
+  return config;
+}
+
+TEST(Wpb, LengthAndPhases) {
+  const Trace trace = generate_wpb_trace(small_config());
+  EXPECT_EQ(trace.size(), 20000u);
+  EXPECT_EQ(trace.phases().fill_end, 0u);
+  EXPECT_EQ(trace.phases().phase2_end, 20000u);
+}
+
+TEST(Wpb, RecurrenceTracksRecencyProbability) {
+  const Trace trace = generate_wpb_trace(small_config());
+  const auto stats = trace.stats();
+  // Every re-reference is a recurrence; a handful of "new" draws also
+  // collide is impossible (fresh ids are unique), so recurrence should be
+  // close to the configured 0.5.
+  EXPECT_NEAR(stats.recurrence_rate, 0.5, 0.03);
+}
+
+TEST(Wpb, ZeroRecencyIsAllUnique) {
+  WpbConfig config = small_config();
+  config.recency_probability = 0.0;
+  const Trace trace = generate_wpb_trace(config);
+  const auto stats = trace.stats();
+  EXPECT_EQ(stats.unique_objects, trace.size());
+  EXPECT_EQ(stats.recurrence_rate, 0.0);
+}
+
+TEST(Wpb, FullRecencyReusesOneObject) {
+  WpbConfig config = small_config();
+  config.recency_probability = 1.0;
+  const Trace trace = generate_wpb_trace(config);
+  // The stack starts empty, so request 1 introduces object 1; all later
+  // requests re-reference it.
+  EXPECT_EQ(trace.stats().unique_objects, 1u);
+}
+
+TEST(Wpb, DeterministicBySeed) {
+  const Trace a = generate_wpb_trace(small_config());
+  const Trace b = generate_wpb_trace(small_config());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::uint64_t i = 0; i < a.size(); ++i) ASSERT_EQ(a[i], b[i]);
+  WpbConfig other = small_config();
+  other.seed = 14;
+  const Trace c = generate_wpb_trace(other);
+  std::uint64_t diffs = 0;
+  for (std::uint64_t i = 0; i < a.size(); ++i) {
+    if (a[i] != c[i]) ++diffs;
+  }
+  EXPECT_GT(diffs, a.size() / 10);
+}
+
+TEST(Wpb, TemporalLocalityIsShortRange) {
+  // The defining property vs Zipf: re-references cluster near their
+  // previous occurrence.  Measure the median reuse distance — it must be
+  // well below the stack depth.
+  WpbConfig config = small_config();
+  config.stack_theta = 1.2;
+  const Trace trace = generate_wpb_trace(config);
+  std::unordered_map<ObjectId, std::uint64_t> last_seen;
+  std::vector<std::uint64_t> distances;
+  for (std::uint64_t i = 0; i < trace.size(); ++i) {
+    const auto it = last_seen.find(trace[i]);
+    if (it != last_seen.end()) distances.push_back(i - it->second);
+    last_seen[trace[i]] = i;
+  }
+  ASSERT_GT(distances.size(), 1000u);
+  std::nth_element(distances.begin(), distances.begin() + distances.size() / 2,
+                   distances.end());
+  EXPECT_LT(distances[distances.size() / 2], config.stack_depth / 2);
+}
+
+TEST(Wpb, StackDepthBoundsReuseDistanceInObjectCount) {
+  // An object deeper than the stack can never be re-referenced, so the
+  // set of objects "live" at any point is bounded by the stack depth plus
+  // the new-object stream.
+  WpbConfig config = small_config();
+  config.requests = 5000;
+  config.stack_depth = 50;
+  const Trace trace = generate_wpb_trace(config);
+  // Unique objects: roughly the new-object draws (~50%) — far more than
+  // the stack depth, confirming old objects die off.
+  EXPECT_GT(trace.stats().unique_objects, 2000u);
+}
+
+TEST(Wpb, DepthOneAlwaysRepeatsTheLastObject) {
+  WpbConfig config = small_config();
+  config.requests = 2000;
+  config.stack_depth = 1;
+  const Trace trace = generate_wpb_trace(config);
+  for (std::uint64_t i = 1; i < trace.size(); ++i) {
+    if (trace[i] == trace[i - 1]) continue;      // re-reference of depth 1
+    EXPECT_GT(trace[i], trace[i - 1]);           // otherwise a fresh object
+  }
+}
+
+}  // namespace
+}  // namespace adc::workload

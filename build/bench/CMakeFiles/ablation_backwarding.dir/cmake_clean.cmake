@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_backwarding.dir/ablation_backwarding.cpp.o"
+  "CMakeFiles/ablation_backwarding.dir/ablation_backwarding.cpp.o.d"
+  "ablation_backwarding"
+  "ablation_backwarding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_backwarding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_selective_caching.dir/ablation_selective_caching.cpp.o"
+  "CMakeFiles/ablation_selective_caching.dir/ablation_selective_caching.cpp.o.d"
+  "ablation_selective_caching"
+  "ablation_selective_caching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_selective_caching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_table_impl.dir/ablation_table_impl.cpp.o"
+  "CMakeFiles/ablation_table_impl.dir/ablation_table_impl.cpp.o.d"
+  "ablation_table_impl"
+  "ablation_table_impl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_table_impl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

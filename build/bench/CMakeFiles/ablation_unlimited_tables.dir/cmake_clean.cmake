@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_unlimited_tables.dir/ablation_unlimited_tables.cpp.o"
+  "CMakeFiles/ablation_unlimited_tables.dir/ablation_unlimited_tables.cpp.o.d"
+  "ablation_unlimited_tables"
+  "ablation_unlimited_tables.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_unlimited_tables.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ext_heterogeneous.cpp" "bench/CMakeFiles/ext_heterogeneous.dir/ext_heterogeneous.cpp.o" "gcc" "bench/CMakeFiles/ext_heterogeneous.dir/ext_heterogeneous.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/driver/CMakeFiles/adc_driver.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/adc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/proxy/CMakeFiles/adc_proxy.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/adc_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/adc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/adc_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/adc_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/adc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

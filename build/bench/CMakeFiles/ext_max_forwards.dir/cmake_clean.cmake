@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_max_forwards.dir/ext_max_forwards.cpp.o"
+  "CMakeFiles/ext_max_forwards.dir/ext_max_forwards.cpp.o.d"
+  "ext_max_forwards"
+  "ext_max_forwards.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_max_forwards.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_proxy_count.dir/ext_proxy_count.cpp.o"
+  "CMakeFiles/ext_proxy_count.dir/ext_proxy_count.cpp.o.d"
+  "ext_proxy_count"
+  "ext_proxy_count.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_proxy_count.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_staleness.dir/ext_staleness.cpp.o"
+  "CMakeFiles/ext_staleness.dir/ext_staleness.cpp.o.d"
+  "ext_staleness"
+  "ext_staleness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_staleness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_walk_model.dir/ext_walk_model.cpp.o"
+  "CMakeFiles/ext_walk_model.dir/ext_walk_model.cpp.o.d"
+  "ext_walk_model"
+  "ext_walk_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_walk_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_hit_rate.dir/fig11_hit_rate.cpp.o"
+  "CMakeFiles/fig11_hit_rate.dir/fig11_hit_rate.cpp.o.d"
+  "fig11_hit_rate"
+  "fig11_hit_rate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_hit_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

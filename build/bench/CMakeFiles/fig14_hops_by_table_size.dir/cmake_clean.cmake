@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_hops_by_table_size.dir/fig14_hops_by_table_size.cpp.o"
+  "CMakeFiles/fig14_hops_by_table_size.dir/fig14_hops_by_table_size.cpp.o.d"
+  "fig14_hops_by_table_size"
+  "fig14_hops_by_table_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_hops_by_table_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adc_vs_carp.dir/adc_vs_carp.cpp.o"
+  "CMakeFiles/adc_vs_carp.dir/adc_vs_carp.cpp.o.d"
+  "adc_vs_carp"
+  "adc_vs_carp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adc_vs_carp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

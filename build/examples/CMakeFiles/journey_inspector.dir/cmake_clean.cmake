@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/journey_inspector.dir/journey_inspector.cpp.o"
+  "CMakeFiles/journey_inspector.dir/journey_inspector.cpp.o.d"
+  "journey_inspector"
+  "journey_inspector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/journey_inspector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

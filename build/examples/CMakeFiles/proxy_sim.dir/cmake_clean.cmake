@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proxy_sim.dir/proxy_sim.cpp.o"
+  "CMakeFiles/proxy_sim.dir/proxy_sim.cpp.o.d"
+  "proxy_sim"
+  "proxy_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proxy_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/squid_replay.dir/squid_replay.cpp.o"
+  "CMakeFiles/squid_replay.dir/squid_replay.cpp.o.d"
+  "squid_replay"
+  "squid_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/squid_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

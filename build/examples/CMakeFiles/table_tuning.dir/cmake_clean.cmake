@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_tuning.dir/table_tuning.cpp.o"
+  "CMakeFiles/table_tuning.dir/table_tuning.cpp.o.d"
+  "table_tuning"
+  "table_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cache/ordered_table.cpp" "src/cache/CMakeFiles/adc_cache.dir/ordered_table.cpp.o" "gcc" "src/cache/CMakeFiles/adc_cache.dir/ordered_table.cpp.o.d"
+  "/root/repo/src/cache/policies.cpp" "src/cache/CMakeFiles/adc_cache.dir/policies.cpp.o" "gcc" "src/cache/CMakeFiles/adc_cache.dir/policies.cpp.o.d"
+  "/root/repo/src/cache/single_table.cpp" "src/cache/CMakeFiles/adc_cache.dir/single_table.cpp.o" "gcc" "src/cache/CMakeFiles/adc_cache.dir/single_table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/adc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

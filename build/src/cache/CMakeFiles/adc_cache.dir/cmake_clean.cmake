@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adc_cache.dir/ordered_table.cpp.o"
+  "CMakeFiles/adc_cache.dir/ordered_table.cpp.o.d"
+  "CMakeFiles/adc_cache.dir/policies.cpp.o"
+  "CMakeFiles/adc_cache.dir/policies.cpp.o.d"
+  "CMakeFiles/adc_cache.dir/single_table.cpp.o"
+  "CMakeFiles/adc_cache.dir/single_table.cpp.o.d"
+  "libadc_cache.a"
+  "libadc_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adc_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

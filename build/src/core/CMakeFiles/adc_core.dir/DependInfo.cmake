@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/adc_proxy.cpp" "src/core/CMakeFiles/adc_core.dir/adc_proxy.cpp.o" "gcc" "src/core/CMakeFiles/adc_core.dir/adc_proxy.cpp.o.d"
+  "/root/repo/src/core/mapping_tables.cpp" "src/core/CMakeFiles/adc_core.dir/mapping_tables.cpp.o" "gcc" "src/core/CMakeFiles/adc_core.dir/mapping_tables.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cache/CMakeFiles/adc_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/adc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/adc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adc_core.dir/adc_proxy.cpp.o"
+  "CMakeFiles/adc_core.dir/adc_proxy.cpp.o.d"
+  "CMakeFiles/adc_core.dir/mapping_tables.cpp.o"
+  "CMakeFiles/adc_core.dir/mapping_tables.cpp.o.d"
+  "libadc_core.a"
+  "libadc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

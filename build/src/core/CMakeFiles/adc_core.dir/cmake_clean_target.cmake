@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libadc_core.a"
+)

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/driver/analysis.cpp" "src/driver/CMakeFiles/adc_driver.dir/analysis.cpp.o" "gcc" "src/driver/CMakeFiles/adc_driver.dir/analysis.cpp.o.d"
+  "/root/repo/src/driver/experiment.cpp" "src/driver/CMakeFiles/adc_driver.dir/experiment.cpp.o" "gcc" "src/driver/CMakeFiles/adc_driver.dir/experiment.cpp.o.d"
+  "/root/repo/src/driver/report.cpp" "src/driver/CMakeFiles/adc_driver.dir/report.cpp.o" "gcc" "src/driver/CMakeFiles/adc_driver.dir/report.cpp.o.d"
+  "/root/repo/src/driver/sweep.cpp" "src/driver/CMakeFiles/adc_driver.dir/sweep.cpp.o" "gcc" "src/driver/CMakeFiles/adc_driver.dir/sweep.cpp.o.d"
+  "/root/repo/src/driver/walk_model.cpp" "src/driver/CMakeFiles/adc_driver.dir/walk_model.cpp.o" "gcc" "src/driver/CMakeFiles/adc_driver.dir/walk_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/adc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/proxy/CMakeFiles/adc_proxy.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/adc_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/adc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/adc_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/adc_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/adc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

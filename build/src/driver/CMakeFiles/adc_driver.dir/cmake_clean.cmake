@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adc_driver.dir/analysis.cpp.o"
+  "CMakeFiles/adc_driver.dir/analysis.cpp.o.d"
+  "CMakeFiles/adc_driver.dir/experiment.cpp.o"
+  "CMakeFiles/adc_driver.dir/experiment.cpp.o.d"
+  "CMakeFiles/adc_driver.dir/report.cpp.o"
+  "CMakeFiles/adc_driver.dir/report.cpp.o.d"
+  "CMakeFiles/adc_driver.dir/sweep.cpp.o"
+  "CMakeFiles/adc_driver.dir/sweep.cpp.o.d"
+  "CMakeFiles/adc_driver.dir/walk_model.cpp.o"
+  "CMakeFiles/adc_driver.dir/walk_model.cpp.o.d"
+  "libadc_driver.a"
+  "libadc_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adc_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hash/carp.cpp" "src/hash/CMakeFiles/adc_hash.dir/carp.cpp.o" "gcc" "src/hash/CMakeFiles/adc_hash.dir/carp.cpp.o.d"
+  "/root/repo/src/hash/consistent_hash.cpp" "src/hash/CMakeFiles/adc_hash.dir/consistent_hash.cpp.o" "gcc" "src/hash/CMakeFiles/adc_hash.dir/consistent_hash.cpp.o.d"
+  "/root/repo/src/hash/crc32.cpp" "src/hash/CMakeFiles/adc_hash.dir/crc32.cpp.o" "gcc" "src/hash/CMakeFiles/adc_hash.dir/crc32.cpp.o.d"
+  "/root/repo/src/hash/md5.cpp" "src/hash/CMakeFiles/adc_hash.dir/md5.cpp.o" "gcc" "src/hash/CMakeFiles/adc_hash.dir/md5.cpp.o.d"
+  "/root/repo/src/hash/rendezvous.cpp" "src/hash/CMakeFiles/adc_hash.dir/rendezvous.cpp.o" "gcc" "src/hash/CMakeFiles/adc_hash.dir/rendezvous.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/adc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adc_hash.dir/carp.cpp.o"
+  "CMakeFiles/adc_hash.dir/carp.cpp.o.d"
+  "CMakeFiles/adc_hash.dir/consistent_hash.cpp.o"
+  "CMakeFiles/adc_hash.dir/consistent_hash.cpp.o.d"
+  "CMakeFiles/adc_hash.dir/crc32.cpp.o"
+  "CMakeFiles/adc_hash.dir/crc32.cpp.o.d"
+  "CMakeFiles/adc_hash.dir/md5.cpp.o"
+  "CMakeFiles/adc_hash.dir/md5.cpp.o.d"
+  "CMakeFiles/adc_hash.dir/rendezvous.cpp.o"
+  "CMakeFiles/adc_hash.dir/rendezvous.cpp.o.d"
+  "libadc_hash.a"
+  "libadc_hash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adc_hash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/proxy/client.cpp" "src/proxy/CMakeFiles/adc_proxy.dir/client.cpp.o" "gcc" "src/proxy/CMakeFiles/adc_proxy.dir/client.cpp.o.d"
+  "/root/repo/src/proxy/coordinator.cpp" "src/proxy/CMakeFiles/adc_proxy.dir/coordinator.cpp.o" "gcc" "src/proxy/CMakeFiles/adc_proxy.dir/coordinator.cpp.o.d"
+  "/root/repo/src/proxy/hashing_proxy.cpp" "src/proxy/CMakeFiles/adc_proxy.dir/hashing_proxy.cpp.o" "gcc" "src/proxy/CMakeFiles/adc_proxy.dir/hashing_proxy.cpp.o.d"
+  "/root/repo/src/proxy/hierarchical_proxy.cpp" "src/proxy/CMakeFiles/adc_proxy.dir/hierarchical_proxy.cpp.o" "gcc" "src/proxy/CMakeFiles/adc_proxy.dir/hierarchical_proxy.cpp.o.d"
+  "/root/repo/src/proxy/origin_server.cpp" "src/proxy/CMakeFiles/adc_proxy.dir/origin_server.cpp.o" "gcc" "src/proxy/CMakeFiles/adc_proxy.dir/origin_server.cpp.o.d"
+  "/root/repo/src/proxy/soap_proxy.cpp" "src/proxy/CMakeFiles/adc_proxy.dir/soap_proxy.cpp.o" "gcc" "src/proxy/CMakeFiles/adc_proxy.dir/soap_proxy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/adc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/adc_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/adc_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/adc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

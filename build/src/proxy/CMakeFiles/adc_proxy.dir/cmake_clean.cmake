@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adc_proxy.dir/client.cpp.o"
+  "CMakeFiles/adc_proxy.dir/client.cpp.o.d"
+  "CMakeFiles/adc_proxy.dir/coordinator.cpp.o"
+  "CMakeFiles/adc_proxy.dir/coordinator.cpp.o.d"
+  "CMakeFiles/adc_proxy.dir/hashing_proxy.cpp.o"
+  "CMakeFiles/adc_proxy.dir/hashing_proxy.cpp.o.d"
+  "CMakeFiles/adc_proxy.dir/hierarchical_proxy.cpp.o"
+  "CMakeFiles/adc_proxy.dir/hierarchical_proxy.cpp.o.d"
+  "CMakeFiles/adc_proxy.dir/origin_server.cpp.o"
+  "CMakeFiles/adc_proxy.dir/origin_server.cpp.o.d"
+  "CMakeFiles/adc_proxy.dir/soap_proxy.cpp.o"
+  "CMakeFiles/adc_proxy.dir/soap_proxy.cpp.o.d"
+  "libadc_proxy.a"
+  "libadc_proxy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adc_proxy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

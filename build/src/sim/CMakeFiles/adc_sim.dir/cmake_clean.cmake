@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adc_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/adc_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/adc_sim.dir/metrics.cpp.o"
+  "CMakeFiles/adc_sim.dir/metrics.cpp.o.d"
+  "CMakeFiles/adc_sim.dir/network.cpp.o"
+  "CMakeFiles/adc_sim.dir/network.cpp.o.d"
+  "CMakeFiles/adc_sim.dir/simulator.cpp.o"
+  "CMakeFiles/adc_sim.dir/simulator.cpp.o.d"
+  "libadc_sim.a"
+  "libadc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

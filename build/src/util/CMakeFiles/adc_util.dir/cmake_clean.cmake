@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adc_util.dir/cli.cpp.o"
+  "CMakeFiles/adc_util.dir/cli.cpp.o.d"
+  "CMakeFiles/adc_util.dir/config.cpp.o"
+  "CMakeFiles/adc_util.dir/config.cpp.o.d"
+  "CMakeFiles/adc_util.dir/csv.cpp.o"
+  "CMakeFiles/adc_util.dir/csv.cpp.o.d"
+  "CMakeFiles/adc_util.dir/logging.cpp.o"
+  "CMakeFiles/adc_util.dir/logging.cpp.o.d"
+  "CMakeFiles/adc_util.dir/rng.cpp.o"
+  "CMakeFiles/adc_util.dir/rng.cpp.o.d"
+  "CMakeFiles/adc_util.dir/string_util.cpp.o"
+  "CMakeFiles/adc_util.dir/string_util.cpp.o.d"
+  "libadc_util.a"
+  "libadc_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adc_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

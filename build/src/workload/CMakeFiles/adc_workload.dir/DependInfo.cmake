@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/polygraph.cpp" "src/workload/CMakeFiles/adc_workload.dir/polygraph.cpp.o" "gcc" "src/workload/CMakeFiles/adc_workload.dir/polygraph.cpp.o.d"
+  "/root/repo/src/workload/squid_log.cpp" "src/workload/CMakeFiles/adc_workload.dir/squid_log.cpp.o" "gcc" "src/workload/CMakeFiles/adc_workload.dir/squid_log.cpp.o.d"
+  "/root/repo/src/workload/trace.cpp" "src/workload/CMakeFiles/adc_workload.dir/trace.cpp.o" "gcc" "src/workload/CMakeFiles/adc_workload.dir/trace.cpp.o.d"
+  "/root/repo/src/workload/url_space.cpp" "src/workload/CMakeFiles/adc_workload.dir/url_space.cpp.o" "gcc" "src/workload/CMakeFiles/adc_workload.dir/url_space.cpp.o.d"
+  "/root/repo/src/workload/wpb.cpp" "src/workload/CMakeFiles/adc_workload.dir/wpb.cpp.o" "gcc" "src/workload/CMakeFiles/adc_workload.dir/wpb.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hash/CMakeFiles/adc_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/adc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adc_workload.dir/polygraph.cpp.o"
+  "CMakeFiles/adc_workload.dir/polygraph.cpp.o.d"
+  "CMakeFiles/adc_workload.dir/squid_log.cpp.o"
+  "CMakeFiles/adc_workload.dir/squid_log.cpp.o.d"
+  "CMakeFiles/adc_workload.dir/trace.cpp.o"
+  "CMakeFiles/adc_workload.dir/trace.cpp.o.d"
+  "CMakeFiles/adc_workload.dir/url_space.cpp.o"
+  "CMakeFiles/adc_workload.dir/url_space.cpp.o.d"
+  "CMakeFiles/adc_workload.dir/wpb.cpp.o"
+  "CMakeFiles/adc_workload.dir/wpb.cpp.o.d"
+  "libadc_workload.a"
+  "libadc_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adc_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

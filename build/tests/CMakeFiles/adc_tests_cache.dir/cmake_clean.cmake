@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adc_tests_cache.dir/cache/edge_cases_test.cpp.o"
+  "CMakeFiles/adc_tests_cache.dir/cache/edge_cases_test.cpp.o.d"
+  "CMakeFiles/adc_tests_cache.dir/cache/ordered_table_test.cpp.o"
+  "CMakeFiles/adc_tests_cache.dir/cache/ordered_table_test.cpp.o.d"
+  "CMakeFiles/adc_tests_cache.dir/cache/policies_test.cpp.o"
+  "CMakeFiles/adc_tests_cache.dir/cache/policies_test.cpp.o.d"
+  "CMakeFiles/adc_tests_cache.dir/cache/single_table_test.cpp.o"
+  "CMakeFiles/adc_tests_cache.dir/cache/single_table_test.cpp.o.d"
+  "CMakeFiles/adc_tests_cache.dir/cache/table_entry_test.cpp.o"
+  "CMakeFiles/adc_tests_cache.dir/cache/table_entry_test.cpp.o.d"
+  "adc_tests_cache"
+  "adc_tests_cache.pdb"
+  "adc_tests_cache[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adc_tests_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

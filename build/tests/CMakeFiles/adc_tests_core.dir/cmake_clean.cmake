@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adc_tests_core.dir/core/adc_proxy_test.cpp.o"
+  "CMakeFiles/adc_tests_core.dir/core/adc_proxy_test.cpp.o.d"
+  "CMakeFiles/adc_tests_core.dir/core/mapping_tables_test.cpp.o"
+  "CMakeFiles/adc_tests_core.dir/core/mapping_tables_test.cpp.o.d"
+  "adc_tests_core"
+  "adc_tests_core.pdb"
+  "adc_tests_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adc_tests_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adc_tests_driver.dir/driver/analysis_test.cpp.o"
+  "CMakeFiles/adc_tests_driver.dir/driver/analysis_test.cpp.o.d"
+  "CMakeFiles/adc_tests_driver.dir/driver/experiment_test.cpp.o"
+  "CMakeFiles/adc_tests_driver.dir/driver/experiment_test.cpp.o.d"
+  "CMakeFiles/adc_tests_driver.dir/driver/sweep_test.cpp.o"
+  "CMakeFiles/adc_tests_driver.dir/driver/sweep_test.cpp.o.d"
+  "CMakeFiles/adc_tests_driver.dir/driver/walk_model_test.cpp.o"
+  "CMakeFiles/adc_tests_driver.dir/driver/walk_model_test.cpp.o.d"
+  "adc_tests_driver"
+  "adc_tests_driver.pdb"
+  "adc_tests_driver[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adc_tests_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

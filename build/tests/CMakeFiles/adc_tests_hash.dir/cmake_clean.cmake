@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adc_tests_hash.dir/hash/carp_test.cpp.o"
+  "CMakeFiles/adc_tests_hash.dir/hash/carp_test.cpp.o.d"
+  "CMakeFiles/adc_tests_hash.dir/hash/consistent_hash_test.cpp.o"
+  "CMakeFiles/adc_tests_hash.dir/hash/consistent_hash_test.cpp.o.d"
+  "CMakeFiles/adc_tests_hash.dir/hash/crc32_test.cpp.o"
+  "CMakeFiles/adc_tests_hash.dir/hash/crc32_test.cpp.o.d"
+  "CMakeFiles/adc_tests_hash.dir/hash/fnv_test.cpp.o"
+  "CMakeFiles/adc_tests_hash.dir/hash/fnv_test.cpp.o.d"
+  "CMakeFiles/adc_tests_hash.dir/hash/md5_test.cpp.o"
+  "CMakeFiles/adc_tests_hash.dir/hash/md5_test.cpp.o.d"
+  "CMakeFiles/adc_tests_hash.dir/hash/rendezvous_test.cpp.o"
+  "CMakeFiles/adc_tests_hash.dir/hash/rendezvous_test.cpp.o.d"
+  "adc_tests_hash"
+  "adc_tests_hash.pdb"
+  "adc_tests_hash[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adc_tests_hash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adc_tests_integration.dir/integration/ablation_test.cpp.o"
+  "CMakeFiles/adc_tests_integration.dir/integration/ablation_test.cpp.o.d"
+  "CMakeFiles/adc_tests_integration.dir/integration/backwarding_test.cpp.o"
+  "CMakeFiles/adc_tests_integration.dir/integration/backwarding_test.cpp.o.d"
+  "CMakeFiles/adc_tests_integration.dir/integration/convergence_test.cpp.o"
+  "CMakeFiles/adc_tests_integration.dir/integration/convergence_test.cpp.o.d"
+  "CMakeFiles/adc_tests_integration.dir/integration/fault_test.cpp.o"
+  "CMakeFiles/adc_tests_integration.dir/integration/fault_test.cpp.o.d"
+  "CMakeFiles/adc_tests_integration.dir/integration/phases_test.cpp.o"
+  "CMakeFiles/adc_tests_integration.dir/integration/phases_test.cpp.o.d"
+  "CMakeFiles/adc_tests_integration.dir/integration/property_test.cpp.o"
+  "CMakeFiles/adc_tests_integration.dir/integration/property_test.cpp.o.d"
+  "CMakeFiles/adc_tests_integration.dir/integration/staleness_test.cpp.o"
+  "CMakeFiles/adc_tests_integration.dir/integration/staleness_test.cpp.o.d"
+  "adc_tests_integration"
+  "adc_tests_integration.pdb"
+  "adc_tests_integration[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adc_tests_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for adc_tests_integration.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adc_tests_proxy.dir/proxy/cache_node_test.cpp.o"
+  "CMakeFiles/adc_tests_proxy.dir/proxy/cache_node_test.cpp.o.d"
+  "CMakeFiles/adc_tests_proxy.dir/proxy/client_test.cpp.o"
+  "CMakeFiles/adc_tests_proxy.dir/proxy/client_test.cpp.o.d"
+  "CMakeFiles/adc_tests_proxy.dir/proxy/coordinator_test.cpp.o"
+  "CMakeFiles/adc_tests_proxy.dir/proxy/coordinator_test.cpp.o.d"
+  "CMakeFiles/adc_tests_proxy.dir/proxy/hashing_proxy_test.cpp.o"
+  "CMakeFiles/adc_tests_proxy.dir/proxy/hashing_proxy_test.cpp.o.d"
+  "CMakeFiles/adc_tests_proxy.dir/proxy/origin_server_test.cpp.o"
+  "CMakeFiles/adc_tests_proxy.dir/proxy/origin_server_test.cpp.o.d"
+  "CMakeFiles/adc_tests_proxy.dir/proxy/soap_proxy_test.cpp.o"
+  "CMakeFiles/adc_tests_proxy.dir/proxy/soap_proxy_test.cpp.o.d"
+  "adc_tests_proxy"
+  "adc_tests_proxy.pdb"
+  "adc_tests_proxy[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adc_tests_proxy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

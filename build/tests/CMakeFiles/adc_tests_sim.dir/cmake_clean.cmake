@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adc_tests_sim.dir/sim/event_queue_test.cpp.o"
+  "CMakeFiles/adc_tests_sim.dir/sim/event_queue_test.cpp.o.d"
+  "CMakeFiles/adc_tests_sim.dir/sim/metrics_test.cpp.o"
+  "CMakeFiles/adc_tests_sim.dir/sim/metrics_test.cpp.o.d"
+  "CMakeFiles/adc_tests_sim.dir/sim/network_test.cpp.o"
+  "CMakeFiles/adc_tests_sim.dir/sim/network_test.cpp.o.d"
+  "CMakeFiles/adc_tests_sim.dir/sim/simulator_test.cpp.o"
+  "CMakeFiles/adc_tests_sim.dir/sim/simulator_test.cpp.o.d"
+  "CMakeFiles/adc_tests_sim.dir/sim/version_test.cpp.o"
+  "CMakeFiles/adc_tests_sim.dir/sim/version_test.cpp.o.d"
+  "adc_tests_sim"
+  "adc_tests_sim.pdb"
+  "adc_tests_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adc_tests_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

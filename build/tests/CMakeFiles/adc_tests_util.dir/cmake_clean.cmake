@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adc_tests_util.dir/util/cli_test.cpp.o"
+  "CMakeFiles/adc_tests_util.dir/util/cli_test.cpp.o.d"
+  "CMakeFiles/adc_tests_util.dir/util/config_test.cpp.o"
+  "CMakeFiles/adc_tests_util.dir/util/config_test.cpp.o.d"
+  "CMakeFiles/adc_tests_util.dir/util/csv_test.cpp.o"
+  "CMakeFiles/adc_tests_util.dir/util/csv_test.cpp.o.d"
+  "CMakeFiles/adc_tests_util.dir/util/logging_test.cpp.o"
+  "CMakeFiles/adc_tests_util.dir/util/logging_test.cpp.o.d"
+  "CMakeFiles/adc_tests_util.dir/util/rng_test.cpp.o"
+  "CMakeFiles/adc_tests_util.dir/util/rng_test.cpp.o.d"
+  "CMakeFiles/adc_tests_util.dir/util/string_util_test.cpp.o"
+  "CMakeFiles/adc_tests_util.dir/util/string_util_test.cpp.o.d"
+  "CMakeFiles/adc_tests_util.dir/util/types_test.cpp.o"
+  "CMakeFiles/adc_tests_util.dir/util/types_test.cpp.o.d"
+  "adc_tests_util"
+  "adc_tests_util.pdb"
+  "adc_tests_util[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adc_tests_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

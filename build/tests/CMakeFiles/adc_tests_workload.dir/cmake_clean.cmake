@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adc_tests_workload.dir/workload/polygraph_test.cpp.o"
+  "CMakeFiles/adc_tests_workload.dir/workload/polygraph_test.cpp.o.d"
+  "CMakeFiles/adc_tests_workload.dir/workload/squid_log_test.cpp.o"
+  "CMakeFiles/adc_tests_workload.dir/workload/squid_log_test.cpp.o.d"
+  "CMakeFiles/adc_tests_workload.dir/workload/trace_test.cpp.o"
+  "CMakeFiles/adc_tests_workload.dir/workload/trace_test.cpp.o.d"
+  "CMakeFiles/adc_tests_workload.dir/workload/url_space_test.cpp.o"
+  "CMakeFiles/adc_tests_workload.dir/workload/url_space_test.cpp.o.d"
+  "CMakeFiles/adc_tests_workload.dir/workload/wpb_test.cpp.o"
+  "CMakeFiles/adc_tests_workload.dir/workload/wpb_test.cpp.o.d"
+  "adc_tests_workload"
+  "adc_tests_workload.pdb"
+  "adc_tests_workload[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adc_tests_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

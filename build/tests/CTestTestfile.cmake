@@ -1,0 +1,15 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/adc_tests_util[1]_include.cmake")
+include("/root/repo/build/tests/adc_tests_hash[1]_include.cmake")
+include("/root/repo/build/tests/adc_tests_sim[1]_include.cmake")
+include("/root/repo/build/tests/adc_tests_cache[1]_include.cmake")
+include("/root/repo/build/tests/adc_tests_core[1]_include.cmake")
+include("/root/repo/build/tests/adc_tests_proxy[1]_include.cmake")
+include("/root/repo/build/tests/adc_tests_workload[1]_include.cmake")
+include("/root/repo/build/tests/adc_tests_driver[1]_include.cmake")
+include("/root/repo/build/tests/adc_tests_integration[1]_include.cmake")

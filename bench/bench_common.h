@@ -11,8 +11,10 @@
 #include <cstdlib>
 #include <iostream>
 #include <string>
+#include <string_view>
 
 #include "driver/experiment.h"
+#include "driver/parallel.h"
 #include "driver/report.h"
 #include "driver/sweep.h"
 #include "util/string_util.h"
@@ -28,6 +30,29 @@ inline double bench_scale() {
     std::cerr << "ignoring unparsable ADC_BENCH_SCALE='" << env << "'\n";
   }
   return 0.1;
+}
+
+/// Parses `--workers N` / `--workers=N` from a bench binary's argv (the
+/// figure benches take no other flags).  Absent or unparsable: returns
+/// `fallback`, which driver::resolve_workers() maps 0 -> hardware
+/// concurrency.  `--workers 1` preserves the serial path; any other count
+/// produces bit-identical metrics (modulo wall_seconds) — the determinism
+/// test in tests/driver/parallel_test.cpp enforces it.
+inline int bench_workers(int argc, const char* const* argv, int fallback = 0) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    std::string_view value;
+    if (arg == "--workers" && i + 1 < argc) {
+      value = argv[i + 1];
+    } else if (arg.rfind("--workers=", 0) == 0) {
+      value = arg.substr(10);
+    } else {
+      continue;
+    }
+    if (const auto parsed = util::parse_int(value)) return static_cast<int>(*parsed);
+    std::cerr << "ignoring unparsable --workers '" << value << "'\n";
+  }
+  return fallback;
 }
 
 inline std::size_t scaled_size(std::size_t paper_value, double scale) {

@@ -13,25 +13,38 @@
 
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace adc;
 
   const double scale = bench::bench_scale();
+  const int workers = driver::resolve_workers(bench::bench_workers(argc, argv));
   const workload::Trace trace = bench::paper_trace(scale);
   bench::print_run_banner("Extension: number of proxies (1..12)", scale, trace);
+  std::cout << "# workers=" << workers << '\n';
 
-  std::vector<std::vector<std::string>> rows;
-  rows.push_back({"proxies", "adc_hit", "carp_hit", "adc_hops", "carp_hops",
-                  "adc_origin", "carp_origin"});
-  for (const int proxies : {1, 2, 3, 5, 8, 12}) {
+  // Interleave ADC and CARP configs per proxy count and fan the whole grid
+  // out at once: results come back in submission order, so row i reads
+  // from slots 2i (ADC) and 2i + 1 (CARP).
+  const std::vector<int> proxy_counts = {1, 2, 3, 5, 8, 12};
+  std::vector<driver::ExperimentConfig> configs;
+  for (const int proxies : proxy_counts) {
     driver::ExperimentConfig adc_config = bench::paper_config(scale);
     adc_config.proxies = proxies;
     adc_config.sample_every = 0;
     driver::ExperimentConfig carp_config = adc_config;
     carp_config.scheme = driver::Scheme::kCarp;
-    const auto adc_result = driver::run_experiment(adc_config, trace);
-    const auto carp_result = driver::run_experiment(carp_config, trace);
-    rows.push_back({std::to_string(proxies),
+    configs.push_back(adc_config);
+    configs.push_back(carp_config);
+  }
+  const auto results = driver::run_parallel(configs, trace, workers);
+
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"proxies", "adc_hit", "carp_hit", "adc_hops", "carp_hops",
+                  "adc_origin", "carp_origin"});
+  for (std::size_t i = 0; i < proxy_counts.size(); ++i) {
+    const auto& adc_result = results[2 * i];
+    const auto& carp_result = results[2 * i + 1];
+    rows.push_back({std::to_string(proxy_counts[i]),
                     driver::fmt(adc_result.summary.hit_rate(), 3),
                     driver::fmt(carp_result.summary.hit_rate(), 3),
                     driver::fmt(adc_result.summary.avg_hops(), 2),

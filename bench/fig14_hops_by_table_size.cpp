@@ -8,12 +8,14 @@
 
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace adc;
 
   const double scale = bench::bench_scale();
+  const int workers = driver::resolve_workers(bench::bench_workers(argc, argv));
   const workload::Trace trace = bench::paper_trace(scale);
   bench::print_run_banner("Figure 14: hops by table size", scale, trace);
+  std::cout << "# workers=" << workers << '\n';
 
   const driver::ExperimentConfig base = bench::paper_config(scale);
   const auto sizes = driver::paper_sweep_sizes(scale);
@@ -21,7 +23,7 @@ int main() {
       base, trace,
       {driver::SweptTable::kCaching, driver::SweptTable::kMultiple,
        driver::SweptTable::kSingle},
-      sizes);
+      sizes, workers);
 
   driver::print_sweep_csv(std::cout, points);
 

@@ -52,13 +52,46 @@ void run_point(benchmark::State& state, driver::SweptTable table, std::size_t si
 
 int main(int argc, char** argv) {
   g_scale = bench::bench_scale();
+
+  // --workers defaults to 1 here, unlike fig13/14: this bench *measures*
+  // per-point wall time, and concurrent runs contend for cores, inflating
+  // each other's timings.  With --workers > 1 the sweep runs through the
+  // parallel engine instead of google-benchmark, and the reported
+  // wall_seconds column (per-run simulation-loop time) is what Figure 15
+  // plots — useful for a quick look at the shape, not for clean timings.
+  const int workers = driver::resolve_workers(bench::bench_workers(argc, argv, /*fallback=*/1));
+  // Strip --workers so benchmark::Initialize doesn't reject it.
+  std::vector<char*> bench_args;
+  for (int i = 0; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--workers" && i + 1 < argc) {
+      ++i;
+      continue;
+    }
+    if (arg.rfind("--workers=", 0) == 0) continue;
+    bench_args.push_back(argv[i]);
+  }
+  int bench_argc = static_cast<int>(bench_args.size());
+
   g_trace = std::make_unique<workload::Trace>(bench::paper_trace(g_scale));
   bench::print_run_banner("Figure 15: processing time by table size (faithful structures)",
                           g_scale, *g_trace);
 
   const auto sizes = driver::paper_sweep_sizes(g_scale);
-  for (const auto table : {driver::SweptTable::kCaching, driver::SweptTable::kMultiple,
-                           driver::SweptTable::kSingle}) {
+  const std::vector<driver::SweptTable> tables = {
+      driver::SweptTable::kCaching, driver::SweptTable::kMultiple, driver::SweptTable::kSingle};
+
+  if (workers > 1) {
+    std::cout << "# workers=" << workers << " (parallel mode; timings are contended)\n";
+    driver::ExperimentConfig base = bench::paper_config(g_scale);
+    base.adc.table_impl = cache::TableImpl::kFaithful;
+    base.sample_every = 0;
+    const auto points = driver::run_table_sweep(base, *g_trace, tables, sizes, workers);
+    driver::print_sweep_csv(std::cout, points);
+    return 0;
+  }
+
+  for (const auto table : tables) {
     for (const std::size_t size : sizes) {
       const std::string name = std::string("fig15/") +
                                std::string(driver::swept_table_name(table)) + "/" +
@@ -72,7 +105,7 @@ int main(int argc, char** argv) {
     }
   }
 
-  benchmark::Initialize(&argc, argv);
+  benchmark::Initialize(&bench_argc, bench_args.data());
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   return 0;

@@ -4,6 +4,7 @@
 //   ./table_tuning --table caching --sizes 250,500,1000,2000 [--scale 0.02]
 #include <iostream>
 
+#include "driver/parallel.h"
 #include "driver/report.h"
 #include "driver/sweep.h"
 #include "util/cli.h"
@@ -17,7 +18,8 @@ int main(int argc, char** argv) {
   cli.option("table", "caching", "table to sweep: caching | multiple | single")
       .option("sizes", "250,500,1000,1500,2000,3000", "comma-separated entry counts")
       .option("scale", "0.02", "workload scale relative to the paper's 3.99M requests")
-      .option("proxies", "5", "number of cooperating proxies");
+      .option("proxies", "5", "number of cooperating proxies")
+      .option("workers", "0", "parallel sweep threads (0 = hardware concurrency, 1 = serial)");
   std::string error;
   if (!cli.parse(argc, argv, &error)) {
     std::cerr << error << '\n' << cli.help_text();
@@ -62,7 +64,9 @@ int main(int argc, char** argv) {
   base.adc.caching_table_size = std::max<std::size_t>(static_cast<std::size_t>(10000 * scale), 32);
   base.sample_every = 0;
 
-  const auto points = driver::run_table_sweep(base, trace, {table}, sizes);
+  const int workers =
+      driver::resolve_workers(static_cast<int>(cli.config().get_int("workers", 0)));
+  const auto points = driver::run_table_sweep(base, trace, {table}, sizes, workers);
 
   std::vector<std::vector<std::string>> rows;
   rows.push_back({"table", "size", "hit_rate", "avg_hops", "wall_s"});

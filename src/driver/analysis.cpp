@@ -1,9 +1,10 @@
 #include "driver/analysis.h"
 
 #include <algorithm>
-#include <tuple>
 #include <cmath>
 #include <unordered_set>
+
+#include "driver/parallel.h"
 
 namespace adc::driver {
 
@@ -75,29 +76,13 @@ ReplicationSummary run_seeds(const ExperimentConfig& config, const workload::Tra
   summary.runs = seeds.size();
   if (seeds.empty()) return summary;
 
-  std::vector<double> hit_rates;
-  std::vector<double> hops;
-  for (const std::uint64_t seed : seeds) {
-    ExperimentConfig run_config = config;
-    run_config.seed = seed;
-    run_config.sample_every = 0;  // series not needed for aggregates
-    const ExperimentResult result = run_experiment(run_config, trace);
-    hit_rates.push_back(result.summary.hit_rate());
-    hops.push_back(result.summary.avg_hops());
-  }
-
-  const auto mean_sd = [](const std::vector<double>& values) {
-    const double n = static_cast<double>(values.size());
-    double mean = 0.0;
-    for (double v : values) mean += v;
-    mean /= n;
-    double variance = 0.0;
-    for (double v : values) variance += (v - mean) * (v - mean);
-    const double sd = values.size() < 2 ? 0.0 : std::sqrt(variance / (n - 1.0));
-    return std::pair<double, double>(mean, sd);
-  };
-  std::tie(summary.hit_rate_mean, summary.hit_rate_sd) = mean_sd(hit_rates);
-  std::tie(summary.hops_mean, summary.hops_sd) = mean_sd(hops);
+  ExperimentConfig run_config = config;
+  run_config.sample_every = 0;  // series not needed for aggregates
+  const ReplicationResult replicated = run_replicated(run_config, trace, seeds, /*workers=*/1);
+  summary.hit_rate_mean = replicated.hit_rate.mean;
+  summary.hit_rate_sd = replicated.hit_rate.stddev;
+  summary.hops_mean = replicated.avg_hops.mean;
+  summary.hops_sd = replicated.avg_hops.stddev;
   return summary;
 }
 

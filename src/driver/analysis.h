@@ -61,7 +61,9 @@ struct ReplicationSummary {
 };
 
 /// Runs the experiment once per seed (everything else fixed) and
-/// aggregates — the error bars behind any single-seed comparison.
+/// aggregates — the error bars behind any single-seed comparison.  Thin
+/// serial wrapper over run_replicated() (driver/parallel.h), which also
+/// offers confidence intervals and multi-threaded fan-out.
 ReplicationSummary run_seeds(const ExperimentConfig& config, const workload::Trace& trace,
                              const std::vector<std::uint64_t>& seeds);
 

@@ -1,0 +1,88 @@
+#include "driver/parallel.h"
+
+#include <algorithm>
+#include <cmath>
+#include <future>
+
+#include "util/thread_pool.h"
+
+namespace adc::driver {
+namespace {
+
+MetricStats stats_of(const std::vector<double>& values) {
+  MetricStats stats;
+  if (values.empty()) return stats;
+  const double n = static_cast<double>(values.size());
+  for (const double v : values) stats.mean += v;
+  stats.mean /= n;
+  if (values.size() < 2) return stats;
+  double variance = 0.0;
+  for (const double v : values) variance += (v - stats.mean) * (v - stats.mean);
+  stats.stddev = std::sqrt(variance / (n - 1.0));
+  stats.ci95 = 1.96 * stats.stddev / std::sqrt(n);
+  return stats;
+}
+
+}  // namespace
+
+int resolve_workers(int workers) noexcept {
+  if (workers == 0) return static_cast<int>(util::ThreadPool::hardware_workers());
+  return std::max(workers, 1);
+}
+
+std::vector<ExperimentResult> run_parallel(const std::vector<ExperimentConfig>& configs,
+                                           const workload::Trace& trace, int workers) {
+  std::vector<ExperimentResult> results;
+  results.reserve(configs.size());
+
+  const int resolved = resolve_workers(workers);
+  if (resolved <= 1 || configs.size() <= 1) {
+    for (const ExperimentConfig& config : configs) {
+      results.push_back(run_experiment(config, trace));
+    }
+    return results;
+  }
+
+  util::ThreadPool pool(std::min(static_cast<std::size_t>(resolved), configs.size()));
+  std::vector<std::future<ExperimentResult>> futures;
+  futures.reserve(configs.size());
+  for (const ExperimentConfig& config : configs) {
+    futures.push_back(
+        pool.submit([&config, &trace]() { return run_experiment(config, trace); }));
+  }
+  for (auto& future : futures) results.push_back(future.get());
+  return results;
+}
+
+ReplicationResult run_replicated(const ExperimentConfig& base, const workload::Trace& trace,
+                                 const std::vector<std::uint64_t>& seeds, int workers) {
+  std::vector<ExperimentConfig> configs;
+  configs.reserve(seeds.size());
+  for (const std::uint64_t seed : seeds) {
+    ExperimentConfig config = base;
+    config.seed = seed;
+    configs.push_back(std::move(config));
+  }
+
+  ReplicationResult out;
+  out.runs = seeds.size();
+  out.results = run_parallel(configs, trace, workers);
+
+  std::vector<double> hit_rates;
+  std::vector<double> hops;
+  std::vector<double> latencies;
+  hit_rates.reserve(out.results.size());
+  hops.reserve(out.results.size());
+  latencies.reserve(out.results.size());
+  for (const ExperimentResult& result : out.results) {
+    hit_rates.push_back(result.summary.hit_rate());
+    hops.push_back(result.summary.avg_hops());
+    latencies.push_back(result.summary.avg_latency());
+  }
+  out.hit_rate = stats_of(hit_rates);
+  out.avg_hops = stats_of(hops);
+  out.avg_latency = stats_of(latencies);
+  return out;
+}
+
+}  // namespace adc::driver

@@ -1,0 +1,57 @@
+// Parallel experiment execution: fans independent run_experiment() calls
+// across a fixed-size thread pool (util::ThreadPool).
+//
+// run_experiment() is deterministic in (config, trace) and every run
+// builds its own simulator, proxies, and RNG from its config — runs share
+// only the immutable trace.  Results therefore come back bit-identical to
+// the serial path (modulo wall_seconds, which measures host time) in
+// submission order, regardless of worker count or OS scheduling; the
+// determinism test in tests/driver/parallel_test.cpp enforces this.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "driver/experiment.h"
+#include "workload/trace.h"
+
+namespace adc::driver {
+
+/// Resolves a --workers value: 0 means "hardware concurrency", anything
+/// below 1 clamps to 1 (the serial path).
+int resolve_workers(int workers) noexcept;
+
+/// Runs every config against `trace` and returns the results in the order
+/// the configs were given.  workers <= 1 runs inline on the calling thread
+/// (today's serial behavior); otherwise runs execute concurrently on
+/// min(workers, configs.size()) pool threads.  If a run throws, the first
+/// failing run's exception is rethrown once outstanding runs finish.
+std::vector<ExperimentResult> run_parallel(const std::vector<ExperimentConfig>& configs,
+                                           const workload::Trace& trace, int workers);
+
+/// Mean, sample standard deviation, and normal-approximation 95%
+/// confidence half-width (mean ± ci95) of one scalar metric over
+/// replicated runs.  stddev and ci95 are 0 for fewer than two runs.
+struct MetricStats {
+  double mean = 0.0;
+  double stddev = 0.0;
+  double ci95 = 0.0;
+};
+
+struct ReplicationResult {
+  std::size_t runs = 0;
+  MetricStats hit_rate;
+  MetricStats avg_hops;
+  MetricStats avg_latency;
+  /// Per-seed full results, in the order the seeds were given.
+  std::vector<ExperimentResult> results;
+};
+
+/// Replays the trace once per seed (everything else fixed) and aggregates
+/// mean/stddev/CI per metric — the error bars behind any single-seed
+/// comparison (bench/ext_variance).  Seed fan-out runs on `workers`
+/// threads; the aggregates are independent of the worker count.
+ReplicationResult run_replicated(const ExperimentConfig& base, const workload::Trace& trace,
+                                 const std::vector<std::uint64_t>& seeds, int workers = 1);
+
+}  // namespace adc::driver

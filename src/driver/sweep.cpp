@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "driver/parallel.h"
+
 namespace adc::driver {
 
 std::string_view swept_table_name(SweptTable table) noexcept {
@@ -30,9 +32,10 @@ std::vector<std::size_t> paper_sweep_sizes(double scale) {
 std::vector<SweepPoint> run_table_sweep(const ExperimentConfig& base,
                                         const workload::Trace& trace,
                                         const std::vector<SweptTable>& tables,
-                                        const std::vector<std::size_t>& sizes) {
-  std::vector<SweepPoint> points;
-  points.reserve(tables.size() * sizes.size());
+                                        const std::vector<std::size_t>& sizes,
+                                        int workers) {
+  std::vector<ExperimentConfig> configs;
+  configs.reserve(tables.size() * sizes.size());
   for (const SweptTable table : tables) {
     for (const std::size_t size : sizes) {
       ExperimentConfig config = base;
@@ -47,7 +50,18 @@ std::vector<SweepPoint> run_table_sweep(const ExperimentConfig& base,
           config.adc.single_table_size = size;
           break;
       }
-      const ExperimentResult result = run_experiment(config, trace);
+      configs.push_back(std::move(config));
+    }
+  }
+
+  const std::vector<ExperimentResult> results = run_parallel(configs, trace, workers);
+
+  std::vector<SweepPoint> points;
+  points.reserve(results.size());
+  std::size_t i = 0;
+  for (const SweptTable table : tables) {
+    for (const std::size_t size : sizes) {
+      const ExperimentResult& result = results[i++];
       SweepPoint point;
       point.table = table;
       point.size = size;

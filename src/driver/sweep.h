@@ -34,10 +34,13 @@ std::vector<std::size_t> paper_sweep_sizes(double scale);
 
 /// Runs `base` once per (table, size) combination; the swept table's size
 /// is overridden, everything else kept.  Points come back grouped by table
-/// in the order given, sizes ascending.
+/// in the order given, sizes ascending.  The grid is embarrassingly
+/// parallel: `workers` > 1 fans the runs across that many threads (0 =
+/// hardware concurrency) with bit-identical points except wall_seconds.
 std::vector<SweepPoint> run_table_sweep(const ExperimentConfig& base,
                                         const workload::Trace& trace,
                                         const std::vector<SweptTable>& tables,
-                                        const std::vector<std::size_t>& sizes);
+                                        const std::vector<std::size_t>& sizes,
+                                        int workers = 1);
 
 }  // namespace adc::driver

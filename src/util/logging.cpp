@@ -3,11 +3,16 @@
 #include <atomic>
 #include <cctype>
 #include <iostream>
+#include <mutex>
 
 namespace adc::util {
 namespace {
 
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+// Serializes sink writes so lines from parallel experiment workers never
+// interleave mid-line.
+std::mutex g_sink_mutex;
 
 }  // namespace
 
@@ -52,6 +57,7 @@ bool log_enabled(LogLevel level) noexcept {
 
 void log_line(LogLevel level, std::string_view message) {
   if (!log_enabled(level)) return;
+  std::lock_guard<std::mutex> lock(g_sink_mutex);
   std::cerr << '[' << log_level_name(level) << "] " << message << '\n';
 }
 

@@ -1,8 +1,10 @@
 // Minimal leveled logger.
 //
-// The simulator is deterministic and single-threaded, so the logger favours
-// simplicity: a global level, a stream sink (stderr by default), and cheap
-// early-out macros that avoid formatting when the level is disabled.
+// Each simulation is deterministic and single-threaded, but the parallel
+// experiment engine runs many simulations at once, so the logger is the
+// one piece of cross-run shared state: a global (atomic) level and a
+// mutex-serialized stderr sink, with cheap early-out macros that avoid
+// formatting when the level is disabled.
 #pragma once
 
 #include <sstream>
@@ -33,8 +35,8 @@ LogLevel log_level() noexcept;
 /// True when `level` would currently be emitted.
 bool log_enabled(LogLevel level) noexcept;
 
-/// Emits one formatted line: "[LEVEL] message\n".  Thread-compatible (the
-/// simulator is single-threaded; no locking is attempted).
+/// Emits one formatted line: "[LEVEL] message\n".  Thread-safe: lines from
+/// concurrent experiment runs are serialized, never interleaved.
 void log_line(LogLevel level, std::string_view message);
 
 namespace detail {

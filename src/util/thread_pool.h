@@ -1,0 +1,71 @@
+// Fixed-size thread pool for embarrassingly parallel experiment fan-out.
+//
+// Plain C++17 threading, no external dependencies: a mutex-guarded FIFO
+// task queue drained by a fixed set of worker threads.  Results (and
+// exceptions) travel back through std::future, so a task throwing on a
+// worker behaves exactly like the callable throwing inline at .get().
+// The destructor drains every queued task before joining, so no submitted
+// work is silently dropped.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace adc::util {
+
+class ThreadPool {
+ public:
+  /// Spawns `workers` threads (clamped to at least 1).
+  explicit ThreadPool(std::size_t workers);
+
+  /// Drains outstanding tasks, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t worker_count() const noexcept { return threads_.size(); }
+
+  /// Tasks queued but not yet picked up by a worker (snapshot).
+  std::size_t pending() const;
+
+  /// std::thread::hardware_concurrency() with a floor of 1 (the standard
+  /// allows it to report 0 when the count is unknowable).
+  static std::size_t hardware_workers() noexcept;
+
+  /// Enqueues `fn` and returns a future for its result.  An exception
+  /// thrown by `fn` is captured and rethrown by future::get().
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using Result = std::invoke_result_t<std::decay_t<F>>;
+    // packaged_task is move-only; std::function requires copyable targets,
+    // so the task rides in a shared_ptr.
+    auto task = std::make_shared<std::packaged_task<Result()>>(std::forward<F>(fn));
+    std::future<Result> future = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      tasks_.emplace([task]() { (*task)(); });
+    }
+    cv_.notify_one();
+    return future;
+  }
+
+ private:
+  void worker_loop();
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::queue<std::function<void()>> tasks_;
+  std::vector<std::thread> threads_;
+  bool stopping_ = false;
+};
+
+}  // namespace adc::util

@@ -1,0 +1,120 @@
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <stdexcept>
+#include <vector>
+
+namespace adc::util {
+namespace {
+
+TEST(ThreadPool, WorkerCountClampsToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.worker_count(), 1u);
+}
+
+TEST(ThreadPool, WorkerCountMatchesRequest) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.worker_count(), 3u);
+}
+
+TEST(ThreadPool, HardwareWorkersIsPositive) {
+  EXPECT_GE(ThreadPool::hardware_workers(), 1u);
+}
+
+TEST(ThreadPool, ZeroTasksDestructsCleanly) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.pending(), 0u);
+  // Destructor must join idle workers without a task ever being submitted.
+}
+
+TEST(ThreadPool, FuturesComeBackInSubmissionOrder) {
+  ThreadPool pool(4);
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 64; ++i) {
+    futures.push_back(pool.submit([i]() { return i * i; }));
+  }
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(futures[static_cast<std::size_t>(i)].get(), i * i);
+  }
+}
+
+TEST(ThreadPool, SingleWorkerRunsEverythingSequentially) {
+  ThreadPool pool(1);
+  std::atomic<int> concurrent{0};
+  std::atomic<int> max_concurrent{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 16; ++i) {
+    futures.push_back(pool.submit([&]() {
+      const int now = ++concurrent;
+      int seen = max_concurrent.load();
+      while (now > seen && !max_concurrent.compare_exchange_weak(seen, now)) {
+      }
+      --concurrent;
+    }));
+  }
+  for (auto& future : futures) future.get();
+  EXPECT_EQ(max_concurrent.load(), 1);
+}
+
+TEST(ThreadPool, RunsTasksConcurrently) {
+  // Two tasks that each wait for the other to start can only finish if
+  // they run on distinct workers at the same time.
+  ThreadPool pool(2);
+  std::mutex mutex;
+  std::condition_variable cv;
+  int started = 0;
+  const auto task = [&]() {
+    std::unique_lock<std::mutex> lock(mutex);
+    ++started;
+    cv.notify_all();
+    return cv.wait_for(lock, std::chrono::seconds(30), [&]() { return started == 2; });
+  };
+  auto a = pool.submit(task);
+  auto b = pool.submit(task);
+  EXPECT_TRUE(a.get());
+  EXPECT_TRUE(b.get());
+}
+
+TEST(ThreadPool, ExceptionPropagatesThroughFuture) {
+  ThreadPool pool(2);
+  auto failing = pool.submit([]() -> int { throw std::runtime_error("task failed"); });
+  auto fine = pool.submit([]() { return 7; });
+  EXPECT_THROW(
+      {
+        try {
+          failing.get();
+        } catch (const std::runtime_error& e) {
+          EXPECT_STREQ(e.what(), "task failed");
+          throw;
+        }
+      },
+      std::runtime_error);
+  // A throwing task must not take the worker (or the pool) down with it.
+  EXPECT_EQ(fine.get(), 7);
+}
+
+TEST(ThreadPool, DestructorDrainsQueuedTasks) {
+  std::atomic<int> executed{0};
+  {
+    ThreadPool pool(1);
+    // The first task occupies the single worker long enough for the rest
+    // to still be queued when the destructor runs.
+    std::vector<std::future<void>> futures;
+    for (int i = 0; i < 8; ++i) {
+      futures.push_back(pool.submit([&executed]() {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        ++executed;
+      }));
+    }
+    // Futures intentionally not waited on: destruction must drain.
+  }
+  EXPECT_EQ(executed.load(), 8);
+}
+
+}  // namespace
+}  // namespace adc::util

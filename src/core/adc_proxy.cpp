@@ -9,7 +9,7 @@ namespace adc::core {
 
 using sim::Message;
 using sim::MessageKind;
-using sim::Simulator;
+using sim::Transport;
 
 AdcProxy::AdcProxy(NodeId id, std::string name, const AdcConfig& config,
                    std::vector<NodeId> proxies, NodeId origin)
@@ -53,16 +53,16 @@ bool AdcProxy::is_locally_cached(ObjectId object) const noexcept {
   return lru_cache_->contains(object);
 }
 
-void AdcProxy::on_message(Simulator& sim, const Message& msg) {
+void AdcProxy::on_message(Transport& net, const Message& msg) {
   if (msg.kind == MessageKind::kRequest) {
-    receive_request(sim, msg);
+    receive_request(net, msg);
   } else {
-    receive_reply(sim, msg);
+    receive_reply(net, msg);
   }
 }
 
 // Paper Figure 5 (Receive_Request).
-void AdcProxy::receive_request(Simulator& sim, const Message& msg) {
+void AdcProxy::receive_request(Transport& net, const Message& msg) {
   ++local_time_;
   ++stats_.requests_received;
   const ObjectId object = msg.object;
@@ -80,7 +80,7 @@ void AdcProxy::receive_request(Simulator& sim, const Message& msg) {
     reply.cached = true;
     reply.proxy_hit = true;
     reply.version = stored_version(object);
-    sim.send(std::move(reply));
+    net.send(std::move(reply));
     return;
   }
 
@@ -101,18 +101,18 @@ void AdcProxy::receive_request(Simulator& sim, const Message& msg) {
     ++stats_.forwards_origin;
     forward.target = origin_;
   } else {
-    forward.target = forward_address(sim, object);
+    forward.target = forward_address(net, object);
   }
-  sim.send(std::move(forward));
+  net.send(std::move(forward));
 }
 
 // Paper Figure 6 (Forward_Addr).
-NodeId AdcProxy::forward_address(Simulator& sim, ObjectId object) {
+NodeId AdcProxy::forward_address(Transport& net, ObjectId object) {
   const auto location = tables_.forward_location(object);
   if (!location.has_value()) {
     // Unknown object: random peer over the full membership, self included.
     ++stats_.forwards_random;
-    return proxies_[sim.rng().index(proxies_.size())];
+    return proxies_[net.rng().index(proxies_.size())];
   }
   if (*location == id()) {
     // THIS marker: we are responsible but do not hold the data — the
@@ -125,7 +125,7 @@ NodeId AdcProxy::forward_address(Simulator& sim, ObjectId object) {
 }
 
 // Paper Figure 7 (Receive_Reply).
-void AdcProxy::receive_reply(Simulator& sim, const Message& msg) {
+void AdcProxy::receive_reply(Transport& net, const Message& msg) {
   Message reply = msg;
 
   // NULL resolver == the data came straight from the origin server; the
@@ -169,7 +169,7 @@ void AdcProxy::receive_reply(Simulator& sim, const Message& msg) {
   ++stats_.replies_relayed;
   reply.sender = id();
   reply.target = previous_hop;
-  sim.send(std::move(reply));
+  net.send(std::move(reply));
 }
 
 }  // namespace adc::core

@@ -11,7 +11,7 @@
 #include "core/mapping_tables.h"
 #include "cache/policies.h"
 #include "sim/node.h"
-#include "sim/simulator.h"
+#include "sim/transport.h"
 #include "util/types.h"
 
 namespace adc::core {
@@ -36,7 +36,7 @@ class AdcProxy final : public sim::Node {
   AdcProxy(NodeId id, std::string name, const AdcConfig& config,
            std::vector<NodeId> proxies, NodeId origin);
 
-  void on_message(sim::Simulator& sim, const sim::Message& msg) override;
+  void on_message(sim::Transport& net, const sim::Message& msg) override;
 
   const AdcConfig& config() const noexcept { return config_; }
   const MappingTables& tables() const noexcept { return tables_; }
@@ -61,11 +61,11 @@ class AdcProxy final : public sim::Node {
   void warm_cache(ObjectId object, std::uint64_t version = 0);
 
  private:
-  void receive_request(sim::Simulator& sim, const sim::Message& msg);
-  void receive_reply(sim::Simulator& sim, const sim::Message& msg);
+  void receive_request(sim::Transport& net, const sim::Message& msg);
+  void receive_reply(sim::Transport& net, const sim::Message& msg);
 
   /// Paper Figure 6: table lookup, THIS -> origin, unknown -> random peer.
-  NodeId forward_address(sim::Simulator& sim, ObjectId object);
+  NodeId forward_address(sim::Transport& net, ObjectId object);
 
   AdcConfig config_;
   MappingTables tables_;

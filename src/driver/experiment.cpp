@@ -242,6 +242,9 @@ ExperimentResult run_experiment(const ExperimentConfig& config, const workload::
   result.hops_p50 = sim.metrics().hop_histogram().percentile(0.50);
   result.hops_p95 = sim.metrics().hop_histogram().percentile(0.95);
   result.hops_max = sim.metrics().hop_histogram().max_seen();
+  result.latency_p50 = sim.metrics().latency_tracker().percentile(0.50);
+  result.latency_p95 = sim.metrics().latency_tracker().percentile(0.95);
+  result.latency_p99 = sim.metrics().latency_tracker().percentile(0.99);
 
   for (int i = 0; i < p; ++i) {
     const sim::Node& node = sim.node(proxy_ids[static_cast<std::size_t>(i)]);

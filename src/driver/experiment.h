@@ -133,6 +133,12 @@ struct ExperimentResult {
   int hops_p95 = -1;
   int hops_max = -1;
 
+  /// Whole-run simulated-latency percentiles (sim-time units), from the
+  /// deterministic PercentileTracker the live runtime's loadgen also uses.
+  double latency_p50 = 0.0;
+  double latency_p95 = 0.0;
+  double latency_p99 = 0.0;
+
   std::vector<ProxySnapshot> proxies;
 
   /// ADC only: aggregated algorithm counters over all proxies.

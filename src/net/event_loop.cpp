@@ -1,0 +1,88 @@
+#include "net/event_loop.h"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <vector>
+
+#include "net/socket.h"
+
+namespace adc::net {
+
+EventLoop::EventLoop() {
+  if (::pipe(wake_pipe_) == 0) {
+    set_nonblocking(wake_pipe_[0]);
+    set_nonblocking(wake_pipe_[1]);
+  }
+}
+
+EventLoop::~EventLoop() {
+  close_fd(wake_pipe_[0]);
+  close_fd(wake_pipe_[1]);
+}
+
+void EventLoop::watch(int fd, IoHandler handler) {
+  watches_[fd] = Watch{std::move(handler), false};
+}
+
+void EventLoop::unwatch(int fd) { watches_.erase(fd); }
+
+void EventLoop::request_write(int fd, bool enabled) {
+  const auto it = watches_.find(fd);
+  if (it != watches_.end()) it->second.want_write = enabled;
+}
+
+int EventLoop::poll_once(int timeout_ms) {
+  std::vector<pollfd> fds;
+  fds.reserve(watches_.size() + 1);
+  fds.push_back(pollfd{wake_pipe_[0], POLLIN, 0});
+  for (const auto& [fd, watch] : watches_) {
+    short events = POLLIN;
+    if (watch.want_write) events |= POLLOUT;
+    fds.push_back(pollfd{fd, events, 0});
+  }
+
+  const int ready = ::poll(fds.data(), fds.size(), timeout_ms);
+  if (ready < 0) return errno == EINTR ? 0 : -1;
+  if (ready == 0) return 0;
+
+  if ((fds[0].revents & POLLIN) != 0) {
+    std::uint8_t drain[64];
+    while (::read(wake_pipe_[0], drain, sizeof(drain)) > 0) {
+    }
+  }
+
+  int dispatched = 0;
+  for (std::size_t i = 1; i < fds.size(); ++i) {
+    const pollfd& pfd = fds[i];
+    if (pfd.revents == 0) continue;
+    // A handler may unwatch fds (its own or others'); re-check membership
+    // so closed connections are never dispatched on stale readiness.
+    const auto it = watches_.find(pfd.fd);
+    if (it == watches_.end()) continue;
+    const bool readable = (pfd.revents & (POLLIN | POLLERR | POLLHUP)) != 0;
+    const bool writable = (pfd.revents & POLLOUT) != 0;
+    // Copy the handler: the handler may unwatch its own fd, destroying the
+    // map entry (and the std::function) mid-call.
+    const IoHandler handler = it->second.handler;
+    handler(pfd.fd, readable, writable);
+    ++dispatched;
+  }
+  return dispatched;
+}
+
+void EventLoop::run() {
+  while (!stopped()) {
+    if (poll_once(-1) < 0) break;
+  }
+}
+
+void EventLoop::stop() {
+  stop_.store(true, std::memory_order_release);
+  const std::uint8_t byte = 1;
+  [[maybe_unused]] const ssize_t n = ::write(wake_pipe_[1], &byte, 1);
+}
+
+}  // namespace adc::net

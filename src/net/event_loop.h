@@ -1,0 +1,63 @@
+// poll()-based single-threaded event loop.
+//
+// The daemon and the load generator are reactors: every fd (listener,
+// peer connection, client connection) registers a handler, and run()
+// dispatches readiness until stop() is called.  stop() is the only
+// thread-safe entry point — it writes one byte into a self-pipe the loop
+// watches, so a signal handler thread or the test harness can end a loop
+// blocked in poll() without races.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+
+namespace adc::net {
+
+class EventLoop {
+ public:
+  /// Called with the fd's readiness; POLLERR/POLLHUP are reported as
+  /// readable so handlers observe the failure via read_some().
+  using IoHandler = std::function<void(int fd, bool readable, bool writable)>;
+
+  EventLoop();
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Registers `fd` for read-readiness.  Replaces any prior handler.
+  void watch(int fd, IoHandler handler);
+
+  /// Deregisters `fd`.  Safe to call from inside a handler (including the
+  /// handler of `fd` itself); the fd is not dispatched again this round.
+  void unwatch(int fd);
+
+  /// Enables or disables POLLOUT interest for a watched fd.
+  void request_write(int fd, bool enabled);
+
+  /// One poll round.  Returns the number of handlers dispatched, or -1 on
+  /// poll() failure.  `timeout_ms` < 0 blocks indefinitely.
+  int poll_once(int timeout_ms);
+
+  /// Dispatches until stop().
+  void run();
+
+  /// Thread-safe: wakes a blocked poll() and makes run() return.
+  void stop();
+
+  bool stopped() const noexcept { return stop_.load(std::memory_order_acquire); }
+
+ private:
+  struct Watch {
+    IoHandler handler;
+    bool want_write = false;
+  };
+
+  std::map<int, Watch> watches_;
+  int wake_pipe_[2] = {-1, -1};
+  std::atomic<bool> stop_{false};
+};
+
+}  // namespace adc::net

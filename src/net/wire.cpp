@@ -1,0 +1,175 @@
+#include "net/wire.h"
+
+namespace adc::net {
+namespace {
+
+constexpr std::uint8_t kFlagCached = 0x01;
+constexpr std::uint8_t kFlagProxyHit = 0x02;
+
+// Fixed REQUEST/REPLY payload size excluding path entries:
+// type(1) + request_id(8) + object(8) + sender/target/client/forward_count/
+// hops/resolver(6 × 4) + flags(1) + version(8) + issued_at(8) + path_len(2).
+constexpr std::size_t kMessageFixedBytes = 1 + 8 + 8 + 6 * 4 + 1 + 8 + 8 + 2;
+
+// type(1) + node_kind(1) + node_id(4).
+constexpr std::size_t kHelloBytes = 6;
+
+void put_u8(std::vector<std::uint8_t>* out, std::uint8_t v) { out->push_back(v); }
+
+void put_u16(std::vector<std::uint8_t>* out, std::uint16_t v) {
+  out->push_back(static_cast<std::uint8_t>(v));
+  out->push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void put_u32(std::vector<std::uint8_t>* out, std::uint32_t v) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    out->push_back(static_cast<std::uint8_t>(v >> shift));
+  }
+}
+
+void put_u64(std::vector<std::uint8_t>* out, std::uint64_t v) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    out->push_back(static_cast<std::uint8_t>(v >> shift));
+  }
+}
+
+void put_i32(std::vector<std::uint8_t>* out, std::int32_t v) {
+  put_u32(out, static_cast<std::uint32_t>(v));
+}
+
+void put_i64(std::vector<std::uint8_t>* out, std::int64_t v) {
+  put_u64(out, static_cast<std::uint64_t>(v));
+}
+
+// Readers over a bounds-checked-by-caller cursor.
+std::uint8_t get_u8(const std::uint8_t* p) { return p[0]; }
+
+std::uint16_t get_u16(const std::uint8_t* p) {
+  return static_cast<std::uint16_t>(p[0] | (std::uint16_t{p[1]} << 8));
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+std::uint64_t get_u64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+std::int32_t get_i32(const std::uint8_t* p) { return static_cast<std::int32_t>(get_u32(p)); }
+
+std::int64_t get_i64(const std::uint8_t* p) { return static_cast<std::int64_t>(get_u64(p)); }
+
+DecodeResult fail(std::string* error, const char* reason) {
+  if (error) *error = reason;
+  return DecodeResult::kCorrupt;
+}
+
+}  // namespace
+
+void encode_message(const WireMessage& wire, std::vector<std::uint8_t>* out) {
+  const std::size_t keep = wire.path.size() > kMaxPath ? kMaxPath : wire.path.size();
+  const std::size_t skip = wire.path.size() - keep;
+  const std::uint32_t payload_len = static_cast<std::uint32_t>(kMessageFixedBytes + 4 * keep);
+  out->reserve(out->size() + kLengthPrefixBytes + payload_len);
+  put_u32(out, payload_len);
+  put_u8(out, wire.msg.kind == sim::MessageKind::kRequest
+                  ? static_cast<std::uint8_t>(FrameType::kRequest)
+                  : static_cast<std::uint8_t>(FrameType::kReply));
+  put_u64(out, wire.msg.request_id);
+  put_u64(out, wire.msg.object);
+  put_i32(out, wire.msg.sender);
+  put_i32(out, wire.msg.target);
+  put_i32(out, wire.msg.client);
+  put_i32(out, wire.msg.forward_count);
+  put_i32(out, wire.msg.hops);
+  put_i32(out, wire.msg.resolver);
+  std::uint8_t flags = 0;
+  if (wire.msg.cached) flags |= kFlagCached;
+  if (wire.msg.proxy_hit) flags |= kFlagProxyHit;
+  put_u8(out, flags);
+  put_u64(out, wire.msg.version);
+  put_i64(out, wire.msg.issued_at);
+  put_u16(out, static_cast<std::uint16_t>(keep));
+  for (std::size_t i = skip; i < wire.path.size(); ++i) put_i32(out, wire.path[i]);
+}
+
+void encode_hello(const Hello& hello, std::vector<std::uint8_t>* out) {
+  put_u32(out, kHelloBytes);
+  put_u8(out, static_cast<std::uint8_t>(FrameType::kHello));
+  put_u8(out, static_cast<std::uint8_t>(hello.kind));
+  put_i32(out, hello.node_id);
+}
+
+DecodeResult decode_frame(const std::uint8_t* data, std::size_t size, std::size_t* consumed,
+                          Frame* out, std::string* error) {
+  *consumed = 0;
+  if (size < kLengthPrefixBytes) return DecodeResult::kNeedMore;
+  const std::uint32_t payload_len = get_u32(data);
+  if (payload_len < 1) return fail(error, "frame with empty payload");
+  if (payload_len > kMaxFramePayload) return fail(error, "frame exceeds kMaxFramePayload");
+  if (size < kLengthPrefixBytes + payload_len) return DecodeResult::kNeedMore;
+
+  const std::uint8_t* p = data + kLengthPrefixBytes;
+  const std::uint8_t type = get_u8(p);
+  switch (type) {
+    case static_cast<std::uint8_t>(FrameType::kHello): {
+      if (payload_len != kHelloBytes) return fail(error, "HELLO payload size mismatch");
+      const std::uint8_t kind = get_u8(p + 1);
+      if (kind > static_cast<std::uint8_t>(sim::NodeKind::kOrigin)) {
+        return fail(error, "HELLO with unknown node kind");
+      }
+      *out = Frame{};
+      out->type = FrameType::kHello;
+      out->hello.kind = static_cast<sim::NodeKind>(kind);
+      out->hello.node_id = get_i32(p + 2);
+      break;
+    }
+    case static_cast<std::uint8_t>(FrameType::kRequest):
+    case static_cast<std::uint8_t>(FrameType::kReply): {
+      if (payload_len < kMessageFixedBytes) return fail(error, "message payload too short");
+      const std::uint16_t path_len = get_u16(p + kMessageFixedBytes - 2);
+      if (path_len > kMaxPath) return fail(error, "path_len exceeds kMaxPath");
+      if (payload_len != kMessageFixedBytes + 4u * path_len) {
+        return fail(error, "payload size does not match path_len");
+      }
+      *out = Frame{};
+      out->type = static_cast<FrameType>(type);
+      sim::Message& msg = out->message.msg;
+      msg.kind = out->type == FrameType::kRequest ? sim::MessageKind::kRequest
+                                                  : sim::MessageKind::kReply;
+      msg.request_id = get_u64(p + 1);
+      msg.object = get_u64(p + 9);
+      msg.sender = get_i32(p + 17);
+      msg.target = get_i32(p + 21);
+      msg.client = get_i32(p + 25);
+      msg.forward_count = get_i32(p + 29);
+      msg.hops = get_i32(p + 33);
+      msg.resolver = get_i32(p + 37);
+      const std::uint8_t flags = get_u8(p + 41);
+      if ((flags & ~(kFlagCached | kFlagProxyHit)) != 0) {
+        return fail(error, "unknown flag bits set");
+      }
+      msg.cached = (flags & kFlagCached) != 0;
+      msg.proxy_hit = (flags & kFlagProxyHit) != 0;
+      msg.version = get_u64(p + 42);
+      msg.issued_at = get_i64(p + 50);
+      out->message.path.resize(path_len);
+      const std::uint8_t* entries = p + kMessageFixedBytes;
+      for (std::uint16_t i = 0; i < path_len; ++i) {
+        out->message.path[i] = get_i32(entries + 4u * i);
+      }
+      break;
+    }
+    default:
+      return fail(error, "unknown frame type");
+  }
+  *consumed = kLengthPrefixBytes + payload_len;
+  return DecodeResult::kFrame;
+}
+
+}  // namespace adc::net

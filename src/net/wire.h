@@ -1,0 +1,105 @@
+// Length-prefixed binary wire protocol for the live cluster runtime.
+//
+// The protocol serializes exactly the message shapes the simulator moves
+// (sim::Message: REQUEST/REPLY with request id, URL id, hop counters and
+// the resolver annotation) so a TCP deployment and a simulation are two
+// transports for one protocol.  On top of the simulator's fields a frame
+// carries the request's *journey path* — the stack of node ids the message
+// has visited, which over the event queue is implicit in the per-proxy
+// backwarding records but on a wire is worth making explicit (debugging a
+// live random walk, asserting backwarding symmetry).
+//
+// Frame layout (all integers little-endian):
+//
+//   u32  payload_len                  (bytes after this prefix)
+//   u8   type                         1=REQUEST 2=REPLY 3=HELLO
+//
+// REQUEST/REPLY payload after `type`:
+//
+//   u64  request_id
+//   u64  object
+//   i32  sender
+//   i32  target
+//   i32  client
+//   i32  forward_count
+//   i32  hops
+//   i32  resolver
+//   u8   flags                        bit0=cached bit1=proxy_hit
+//   u64  version
+//   i64  issued_at
+//   u16  path_len                     (<= kMaxPath)
+//   i32 × path_len                    visited node ids, oldest first
+//
+// HELLO payload after `type` (sent once per connection by the initiating
+// side so the receiver can route by node id):
+//
+//   u8   node_kind                    0=client 1=proxy 2=origin
+//   i32  node_id
+//
+// Decoding is strict: unknown types, oversized lengths, path_len/payload
+// mismatches and truncated-beyond-the-prefix frames are kCorrupt, never
+// guessed at.  A prefix of a valid frame is kNeedMore.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/message.h"
+#include "sim/node.h"
+#include "util/types.h"
+
+namespace adc::net {
+
+/// Longest journey path a frame may carry; appending stops beyond it.
+inline constexpr std::size_t kMaxPath = 1024;
+
+/// Upper bound on `payload_len` (a max-path message needs 4156 bytes).
+inline constexpr std::size_t kMaxFramePayload = 8192;
+
+inline constexpr std::size_t kLengthPrefixBytes = 4;
+
+enum class FrameType : std::uint8_t {
+  kRequest = 1,
+  kReply = 2,
+  kHello = 3,
+};
+
+/// Connection handshake: who is on the other end of this socket.
+struct Hello {
+  NodeId node_id = kInvalidNode;
+  sim::NodeKind kind = sim::NodeKind::kClient;
+};
+
+/// A protocol message plus its journey path.
+struct WireMessage {
+  sim::Message msg;
+  std::vector<NodeId> path;
+};
+
+/// One decoded frame; `message` is valid for kRequest/kReply, `hello` for
+/// kHello.
+struct Frame {
+  FrameType type = FrameType::kRequest;
+  WireMessage message;
+  Hello hello;
+};
+
+/// Appends a complete frame (prefix included) to `out`.  The frame type is
+/// derived from `wire.msg.kind`; paths longer than kMaxPath are truncated
+/// to the most recent kMaxPath entries.
+void encode_message(const WireMessage& wire, std::vector<std::uint8_t>* out);
+void encode_hello(const Hello& hello, std::vector<std::uint8_t>* out);
+
+enum class DecodeResult {
+  kFrame,     // *out holds a frame, *consumed bytes were used
+  kNeedMore,  // the buffer holds a prefix of a valid frame
+  kCorrupt,   // the buffer can never become a valid frame
+};
+
+/// Attempts to decode one frame from the front of [data, data + size).
+/// On kFrame, `*consumed` is the total encoded size (prefix + payload).
+DecodeResult decode_frame(const std::uint8_t* data, std::size_t size, std::size_t* consumed,
+                          Frame* out, std::string* error = nullptr);
+
+}  // namespace adc::net

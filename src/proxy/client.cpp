@@ -17,6 +17,7 @@ Client::Client(NodeId id, std::string name, RequestStream& stream,
 }
 
 void Client::start(sim::Simulator& sim) {
+  sim_ = &sim;
   for (int i = 0; i < concurrency_; ++i) {
     // Stagger initial injections by one tick each so their delivery order
     // is well-defined.
@@ -59,9 +60,11 @@ void Client::at_completed(std::uint64_t completed, std::function<void()> callbac
   milestones_[completed].push_back(std::move(callback));
 }
 
-void Client::on_message(sim::Simulator& sim, const sim::Message& msg) {
+void Client::on_message(sim::Transport&, const sim::Message& msg) {
   assert(msg.kind == sim::MessageKind::kReply);
   assert(msg.client == id());
+  assert(sim_ != nullptr && "Client::start() must run before replies arrive");
+  sim::Simulator& sim = *sim_;
   ++completed_;
   const bool stale = msg.proxy_hit && oracle_ != nullptr &&
                      msg.version < oracle_->version_at(msg.object, sim.now());

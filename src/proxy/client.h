@@ -67,7 +67,10 @@ class Client final : public sim::Node {
   /// oracle's current version are counted as stale.
   void set_version_oracle(sim::VersionOraclePtr oracle) { oracle_ = std::move(oracle); }
 
-  void on_message(sim::Simulator& sim, const sim::Message& msg) override;
+  /// The client is the simulation-side load driver (the TCP runtime's
+  /// adc_loadgen replaces it), so unlike the proxy agents it needs the full
+  /// Simulator — scheduling and metrics — captured in start().
+  void on_message(sim::Transport& net, const sim::Message& msg) override;
 
   std::uint64_t issued() const noexcept { return issued_; }
   std::uint64_t completed() const noexcept { return completed_; }
@@ -77,6 +80,7 @@ class Client final : public sim::Node {
   void inject_next(sim::Simulator& sim);
   NodeId pick_entry(sim::Simulator& sim);
 
+  sim::Simulator* sim_ = nullptr;  // set by start()
   RequestStream& stream_;
   std::vector<NodeId> proxies_;
   EntryPolicy policy_;

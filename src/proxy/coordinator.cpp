@@ -7,7 +7,7 @@ namespace adc::proxy {
 
 using sim::Message;
 using sim::MessageKind;
-using sim::Simulator;
+using sim::Transport;
 
 Coordinator::Coordinator(NodeId id, std::string name, std::vector<NodeId> proxies,
                          CoordinatorConfig config)
@@ -23,10 +23,10 @@ double Coordinator::score(NodeId proxy) const noexcept {
   return it == scores_.end() ? 0.0 : it->second;
 }
 
-NodeId Coordinator::pick_proxy(Simulator& sim) {
-  if (sim.rng().chance(config_.epsilon)) {
+NodeId Coordinator::pick_proxy(Transport& net) {
+  if (net.rng().chance(config_.epsilon)) {
     ++stats_.explored;
-    return proxies_[sim.rng().index(proxies_.size())];
+    return proxies_[net.rng().index(proxies_.size())];
   }
   NodeId best = proxies_.front();
   double best_score = -1.0;
@@ -47,16 +47,16 @@ void Coordinator::reinforce(NodeId proxy, SimTime response_time) {
   s = (1.0 - config_.learning_rate) * s + config_.learning_rate * reward;
 }
 
-void Coordinator::on_message(Simulator& sim, const Message& msg) {
+void Coordinator::on_message(Transport& net, const Message& msg) {
   if (msg.kind == MessageKind::kRequest) {
-    const NodeId proxy = pick_proxy(sim);
+    const NodeId proxy = pick_proxy(net);
     ++stats_.dispatched;
-    pending_.emplace(msg.request_id, Dispatch{msg.client, proxy, sim.now()});
+    pending_.emplace(msg.request_id, Dispatch{msg.client, proxy, net.now()});
     Message forward = msg;
     forward.sender = id();
     forward.target = proxy;
     forward.forward_count = msg.forward_count + 1;
-    sim.send(std::move(forward));
+    net.send(std::move(forward));
     return;
   }
 
@@ -64,13 +64,13 @@ void Coordinator::on_message(Simulator& sim, const Message& msg) {
   assert(it != pending_.end());
   const Dispatch dispatch = it->second;
   pending_.erase(it);
-  reinforce(dispatch.proxy, sim.now() - dispatch.sent_at);
+  reinforce(dispatch.proxy, net.now() - dispatch.sent_at);
 
   ++stats_.replies_relayed;
   Message reply = msg;
   reply.sender = id();
   reply.target = dispatch.client;
-  sim.send(std::move(reply));
+  net.send(std::move(reply));
 }
 
 }  // namespace adc::proxy

@@ -14,7 +14,7 @@
 #include <vector>
 
 #include "sim/node.h"
-#include "sim/simulator.h"
+#include "sim/transport.h"
 #include "util/types.h"
 
 namespace adc::proxy {
@@ -38,7 +38,7 @@ class Coordinator final : public sim::Node {
   Coordinator(NodeId id, std::string name, std::vector<NodeId> proxies,
               CoordinatorConfig config = {});
 
-  void on_message(sim::Simulator& sim, const sim::Message& msg) override;
+  void on_message(sim::Transport& net, const sim::Message& msg) override;
 
   const CoordinatorStats& stats() const noexcept { return stats_; }
 
@@ -48,7 +48,7 @@ class Coordinator final : public sim::Node {
   std::size_t pending() const noexcept { return pending_.size(); }
 
  private:
-  NodeId pick_proxy(sim::Simulator& sim);
+  NodeId pick_proxy(sim::Transport& net);
   void reinforce(NodeId proxy, SimTime response_time);
 
   std::vector<NodeId> proxies_;

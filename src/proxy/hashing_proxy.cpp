@@ -7,7 +7,7 @@ namespace adc::proxy {
 
 using sim::Message;
 using sim::MessageKind;
-using sim::Simulator;
+using sim::Transport;
 
 HashingProxy::HashingProxy(NodeId id, std::string name,
                            std::shared_ptr<const OwnerMap> owners, NodeId origin,
@@ -21,24 +21,24 @@ HashingProxy::HashingProxy(NodeId id, std::string name,
   assert(owners_ != nullptr);
 }
 
-void HashingProxy::on_message(Simulator& sim, const Message& msg) {
+void HashingProxy::on_message(Transport& net, const Message& msg) {
   if (msg.kind == MessageKind::kRequest) {
-    receive_request(sim, msg);
+    receive_request(net, msg);
   } else {
-    receive_reply(sim, msg);
+    receive_reply(net, msg);
   }
 }
 
-void HashingProxy::send_reply_toward_client(Simulator& sim, Message reply, NodeId entry) {
+void HashingProxy::send_reply_toward_client(Transport& net, Message reply, NodeId entry) {
   reply.kind = MessageKind::kReply;
   reply.sender = id();
   // Entry-caching mode routes the reply through the entry proxy so it can
   // cache too; the paper's CARP baseline bypasses it.
   reply.target = (entry_caching_ && entry != kInvalidNode) ? entry : reply.client;
-  sim.send(std::move(reply));
+  net.send(std::move(reply));
 }
 
-void HashingProxy::receive_request(Simulator& sim, const Message& msg) {
+void HashingProxy::receive_request(Transport& net, const Message& msg) {
   ++stats_.requests_received;
   const ObjectId object = msg.object;
   const bool from_client = msg.sender == msg.client;
@@ -55,7 +55,7 @@ void HashingProxy::receive_request(Simulator& sim, const Message& msg) {
     // A hit at the owner is returned directly to the client (bypassing the
     // entry proxy) unless entry caching is on; a hit at the entry proxy
     // goes straight back anyway.
-    send_reply_toward_client(sim, std::move(reply), from_client ? kInvalidNode : msg.sender);
+    send_reply_toward_client(net, std::move(reply), from_client ? kInvalidNode : msg.sender);
     return;
   }
 
@@ -67,7 +67,7 @@ void HashingProxy::receive_request(Simulator& sim, const Message& msg) {
     forward.sender = id();
     forward.target = owner;
     forward.forward_count = msg.forward_count + 1;
-    sim.send(std::move(forward));
+    net.send(std::move(forward));
     return;
   }
 
@@ -79,10 +79,10 @@ void HashingProxy::receive_request(Simulator& sim, const Message& msg) {
   Message forward = msg;
   forward.sender = id();
   forward.target = origin_;
-  sim.send(std::move(forward));
+  net.send(std::move(forward));
 }
 
-void HashingProxy::receive_reply(Simulator& sim, const Message& msg) {
+void HashingProxy::receive_reply(Transport& net, const Message& msg) {
   const auto it = pending_.find(msg.request_id);
   if (it != pending_.end()) {
     // Origin answered our fetch: cache as owner, then route.
@@ -92,7 +92,7 @@ void HashingProxy::receive_reply(Simulator& sim, const Message& msg) {
     Message reply = msg;
     reply.resolver = id();
     reply.cached = true;
-    send_reply_toward_client(sim, std::move(reply), route.entry);
+    send_reply_toward_client(net, std::move(reply), route.entry);
     return;
   }
 
@@ -102,7 +102,7 @@ void HashingProxy::receive_reply(Simulator& sim, const Message& msg) {
   Message reply = msg;
   reply.sender = id();
   reply.target = msg.client;
-  sim.send(std::move(reply));
+  net.send(std::move(reply));
 }
 
 }  // namespace adc::proxy

@@ -23,7 +23,7 @@
 #include "hash/consistent_hash.h"
 #include "hash/rendezvous.h"
 #include "sim/node.h"
-#include "sim/simulator.h"
+#include "sim/transport.h"
 #include "util/types.h"
 
 namespace adc::proxy {
@@ -79,7 +79,7 @@ class HashingProxy final : public sim::Node {
                NodeId origin, std::size_t cache_capacity,
                cache::Policy policy = cache::Policy::kLru, bool entry_caching = false);
 
-  void on_message(sim::Simulator& sim, const sim::Message& msg) override;
+  void on_message(sim::Transport& net, const sim::Message& msg) override;
 
   const HashingProxyStats& stats() const noexcept { return stats_; }
   const cache::CacheSet& cache() const noexcept { return *cache_; }
@@ -93,9 +93,9 @@ class HashingProxy final : public sim::Node {
   }
 
  private:
-  void receive_request(sim::Simulator& sim, const sim::Message& msg);
-  void receive_reply(sim::Simulator& sim, const sim::Message& msg);
-  void send_reply_toward_client(sim::Simulator& sim, sim::Message reply, NodeId entry);
+  void receive_request(sim::Transport& net, const sim::Message& msg);
+  void receive_reply(sim::Transport& net, const sim::Message& msg);
+  void send_reply_toward_client(sim::Transport& net, sim::Message reply, NodeId entry);
 
   std::shared_ptr<const OwnerMap> owners_;
   NodeId origin_;

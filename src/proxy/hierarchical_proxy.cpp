@@ -7,7 +7,7 @@ namespace adc::proxy {
 
 using sim::Message;
 using sim::MessageKind;
-using sim::Simulator;
+using sim::Transport;
 
 CacheNode::CacheNode(NodeId id, std::string name, NodeId upstream,
                      std::size_t cache_capacity, cache::Policy policy)
@@ -15,7 +15,7 @@ CacheNode::CacheNode(NodeId id, std::string name, NodeId upstream,
       upstream_(upstream),
       cache_(cache::make_cache(cache_capacity, policy)) {}
 
-void CacheNode::on_message(Simulator& sim, const Message& msg) {
+void CacheNode::on_message(Transport& net, const Message& msg) {
   if (msg.kind == MessageKind::kRequest) {
     ++stats_.requests_received;
     if (cache_->lookup(msg.object)) {
@@ -29,7 +29,7 @@ void CacheNode::on_message(Simulator& sim, const Message& msg) {
       reply.proxy_hit = true;
       const auto version = versions_.find(msg.object);
       reply.version = version == versions_.end() ? 0 : version->second;
-      sim.send(std::move(reply));
+      net.send(std::move(reply));
       return;
     }
     ++stats_.forwards_upstream;
@@ -38,7 +38,7 @@ void CacheNode::on_message(Simulator& sim, const Message& msg) {
     forward.sender = id();
     forward.target = upstream_;
     forward.forward_count = msg.forward_count + 1;
-    sim.send(std::move(forward));
+    net.send(std::move(forward));
     return;
   }
 
@@ -55,7 +55,7 @@ void CacheNode::on_message(Simulator& sim, const Message& msg) {
   reply.sender = id();
   reply.target = requester;
   if (reply.resolver == kInvalidNode) reply.resolver = id();
-  sim.send(std::move(reply));
+  net.send(std::move(reply));
 }
 
 }  // namespace adc::proxy

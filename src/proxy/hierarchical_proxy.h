@@ -16,7 +16,7 @@
 
 #include "cache/policies.h"
 #include "sim/node.h"
-#include "sim/simulator.h"
+#include "sim/transport.h"
 #include "util/types.h"
 
 namespace adc::proxy {
@@ -32,7 +32,7 @@ class CacheNode final : public sim::Node {
   CacheNode(NodeId id, std::string name, NodeId upstream, std::size_t cache_capacity,
             cache::Policy policy = cache::Policy::kLru);
 
-  void on_message(sim::Simulator& sim, const sim::Message& msg) override;
+  void on_message(sim::Transport& net, const sim::Message& msg) override;
 
   const CacheNodeStats& stats() const noexcept { return stats_; }
   const cache::CacheSet& cache() const noexcept { return *cache_; }

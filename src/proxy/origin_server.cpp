@@ -4,7 +4,7 @@
 
 namespace adc::proxy {
 
-void OriginServer::on_message(sim::Simulator& sim, const sim::Message& msg) {
+void OriginServer::on_message(sim::Transport& net, const sim::Message& msg) {
   assert(msg.kind == sim::MessageKind::kRequest && "origin only receives requests");
   ++requests_served_;
 
@@ -18,8 +18,8 @@ void OriginServer::on_message(sim::Simulator& sim, const sim::Message& msg) {
   reply.resolver = kInvalidNode;
   reply.cached = false;
   reply.proxy_hit = false;
-  reply.version = oracle_ != nullptr ? oracle_->version_at(msg.object, sim.now()) : 0;
-  sim.send(std::move(reply));
+  reply.version = oracle_ != nullptr ? oracle_->version_at(msg.object, net.now()) : 0;
+  net.send(std::move(reply));
 }
 
 }  // namespace adc::proxy

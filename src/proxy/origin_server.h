@@ -6,7 +6,7 @@
 #include <utility>
 
 #include "sim/node.h"
-#include "sim/simulator.h"
+#include "sim/transport.h"
 #include "sim/version.h"
 
 namespace adc::proxy {
@@ -18,7 +18,7 @@ class OriginServer final : public sim::Node {
   OriginServer(NodeId id, std::string name, sim::VersionOraclePtr oracle = nullptr)
       : Node(id, sim::NodeKind::kOrigin, std::move(name)), oracle_(std::move(oracle)) {}
 
-  void on_message(sim::Simulator& sim, const sim::Message& msg) override;
+  void on_message(sim::Transport& net, const sim::Message& msg) override;
 
   std::uint64_t requests_served() const noexcept { return requests_served_; }
 

@@ -7,7 +7,7 @@ namespace adc::proxy {
 
 using sim::Message;
 using sim::MessageKind;
-using sim::Simulator;
+using sim::Transport;
 
 SoapProxy::SoapProxy(NodeId id, std::string name,
                      std::shared_ptr<const CategoryMap> categories,
@@ -31,10 +31,10 @@ double SoapProxy::score(std::size_t category, NodeId peer) const noexcept {
   return 0.0;
 }
 
-NodeId SoapProxy::pick_location(Simulator& sim, std::size_t category) {
-  if (sim.rng().chance(config_.epsilon)) {
+NodeId SoapProxy::pick_location(Transport& net, std::size_t category) {
+  if (net.rng().chance(config_.epsilon)) {
     ++stats_.forwards_explored;
-    return proxies_[sim.rng().index(proxies_.size())];
+    return proxies_[net.rng().index(proxies_.size())];
   }
   ++stats_.forwards_learned;
   std::size_t best = 0;
@@ -59,15 +59,15 @@ void SoapProxy::reinforce(std::size_t category, NodeId peer, SimTime response_ti
   }
 }
 
-void SoapProxy::on_message(Simulator& sim, const Message& msg) {
+void SoapProxy::on_message(Transport& net, const Message& msg) {
   if (msg.kind == MessageKind::kRequest) {
-    receive_request(sim, msg);
+    receive_request(net, msg);
   } else {
-    receive_reply(sim, msg);
+    receive_reply(net, msg);
   }
 }
 
-void SoapProxy::receive_request(Simulator& sim, const Message& msg) {
+void SoapProxy::receive_request(Transport& net, const Message& msg) {
   ++stats_.requests_received;
   const bool from_client = msg.sender == msg.client;
 
@@ -84,15 +84,15 @@ void SoapProxy::receive_request(Simulator& sim, const Message& msg) {
     reply.proxy_hit = true;
     const auto version = versions_.find(msg.object);
     reply.version = version == versions_.end() ? 0 : version->second;
-    sim.send(std::move(reply));
+    net.send(std::move(reply));
     return;
   }
 
   if (from_client) {
     const std::size_t category = categories_->category_of(msg.object);
-    const NodeId location = pick_location(sim, category);
+    const NodeId location = pick_location(net, category);
     pending_.emplace(msg.request_id,
-                     PendingFetch{msg.client, location, category, sim.now()});
+                     PendingFetch{msg.client, location, category, net.now()});
     Message forward = msg;
     forward.sender = id();
     forward.forward_count = msg.forward_count + 1;
@@ -103,7 +103,7 @@ void SoapProxy::receive_request(Simulator& sim, const Message& msg) {
     } else {
       forward.target = location;
     }
-    sim.send(std::move(forward));
+    net.send(std::move(forward));
     return;
   }
 
@@ -113,14 +113,14 @@ void SoapProxy::receive_request(Simulator& sim, const Message& msg) {
   ++stats_.forwards_to_origin;
   pending_.emplace(msg.request_id, PendingFetch{msg.sender, kInvalidNode,
                                                 categories_->category_of(msg.object),
-                                                sim.now()});
+                                                net.now()});
   Message forward = msg;
   forward.sender = id();
   forward.target = origin_;
-  sim.send(std::move(forward));
+  net.send(std::move(forward));
 }
 
-void SoapProxy::receive_reply(Simulator& sim, const Message& msg) {
+void SoapProxy::receive_reply(Transport& net, const Message& msg) {
   const auto it = pending_.find(msg.request_id);
   assert(it != pending_.end() && "reply without pending record");
   const PendingFetch fetch = it->second;
@@ -135,19 +135,19 @@ void SoapProxy::receive_reply(Simulator& sim, const Message& msg) {
     // answer whoever asked (entry proxy or client).
     remember_version(msg.object, msg.version, cache_->insert(msg.object));
     if (reply.resolver == kInvalidNode) reply.resolver = id();
-    sim.send(std::move(reply));
+    net.send(std::move(reply));
     return;
   }
 
   // A reply to a request we routed (possibly to ourselves via the origin):
   // learn from the response time, then relay to the client.
-  reinforce(fetch.category, fetch.forwarded_to, sim.now() - fetch.sent_at);
+  reinforce(fetch.category, fetch.forwarded_to, net.now() - fetch.sent_at);
   if (fetch.forwarded_to == id()) {
     // Self-route resolved at the origin: we are the category home.
     remember_version(msg.object, msg.version, cache_->insert(msg.object));
     if (reply.resolver == kInvalidNode) reply.resolver = id();
   }
-  sim.send(std::move(reply));
+  net.send(std::move(reply));
 }
 
 }  // namespace adc::proxy

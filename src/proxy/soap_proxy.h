@@ -18,7 +18,7 @@
 
 #include "cache/policies.h"
 #include "sim/node.h"
-#include "sim/simulator.h"
+#include "sim/transport.h"
 #include "util/types.h"
 
 namespace adc::proxy {
@@ -59,7 +59,7 @@ class SoapProxy final : public sim::Node {
             std::vector<NodeId> proxies, NodeId origin, std::size_t cache_capacity,
             SoapConfig config = {});
 
-  void on_message(sim::Simulator& sim, const sim::Message& msg) override;
+  void on_message(sim::Transport& net, const sim::Message& msg) override;
 
   const SoapProxyStats& stats() const noexcept { return stats_; }
   const cache::CacheSet& cache() const noexcept { return *cache_; }
@@ -77,9 +77,9 @@ class SoapProxy final : public sim::Node {
   }
 
  private:
-  void receive_request(sim::Simulator& sim, const sim::Message& msg);
-  void receive_reply(sim::Simulator& sim, const sim::Message& msg);
-  NodeId pick_location(sim::Simulator& sim, std::size_t category);
+  void receive_request(sim::Transport& net, const sim::Message& msg);
+  void receive_reply(sim::Transport& net, const sim::Message& msg);
+  NodeId pick_location(sim::Transport& net, std::size_t category);
   void reinforce(std::size_t category, NodeId peer, SimTime response_time);
 
   std::shared_ptr<const CategoryMap> categories_;

@@ -1,0 +1,284 @@
+#include "server/daemon.h"
+
+#include <iterator>
+#include <thread>
+#include <utility>
+
+#include "core/adc_proxy.h"
+#include "hash/carp.h"
+#include "proxy/hashing_proxy.h"
+#include "proxy/origin_server.h"
+#include "util/logging.h"
+
+namespace adc::server {
+namespace {
+
+std::string role_name(DaemonRole role) {
+  switch (role) {
+    case DaemonRole::kAdcProxy:
+      return "adc";
+    case DaemonRole::kCarpProxy:
+      return "carp";
+    case DaemonRole::kOrigin:
+      return "origin";
+  }
+  return "adc";
+}
+
+}  // namespace
+
+bool parse_daemon_role(std::string_view text, DaemonRole* out) {
+  if (text == "adc" || text == "proxy") {
+    *out = DaemonRole::kAdcProxy;
+    return true;
+  }
+  if (text == "carp") {
+    *out = DaemonRole::kCarpProxy;
+    return true;
+  }
+  if (text == "origin") {
+    *out = DaemonRole::kOrigin;
+    return true;
+  }
+  return false;
+}
+
+NodeDaemon::NodeDaemon(DaemonConfig config)
+    : config_(std::move(config)),
+      // Fold the node id into the seed so same-seeded daemons draw
+      // independent streams (the simulator has one Rng; a cluster has one
+      // per node, which only perturbs random-forwarding choices).
+      rng_(config_.seed * 0x9e3779b97f4a7c15ULL + static_cast<std::uint64_t>(config_.node_id)),
+      start_(std::chrono::steady_clock::now()) {
+  make_node();
+}
+
+NodeDaemon::~NodeDaemon() {
+  conns_.clear();
+  net::close_fd(listener_);
+}
+
+void NodeDaemon::make_node() {
+  const std::string name = role_name(config_.role) + "[" + std::to_string(config_.node_id) + "]";
+  switch (config_.role) {
+    case DaemonRole::kAdcProxy:
+      node_ = std::make_unique<core::AdcProxy>(config_.node_id, name, config_.adc,
+                                               config_.proxy_ids, config_.origin_id);
+      break;
+    case DaemonRole::kCarpProxy: {
+      std::vector<hash::CarpArray::Member> members;
+      for (const NodeId id : config_.proxy_ids) {
+        // Member names must match run_experiment's proxy_name() so the CARP
+        // hash — and therefore object ownership — is identical to the sim.
+        members.push_back({"proxy[" + std::to_string(id) + "]", id, 1.0});
+      }
+      auto owners = std::make_shared<proxy::CarpOwnerMap>(hash::CarpArray(std::move(members)));
+      node_ = std::make_unique<proxy::HashingProxy>(config_.node_id, name, std::move(owners),
+                                                    config_.origin_id,
+                                                    config_.carp_cache_capacity,
+                                                    config_.carp_policy);
+      break;
+    }
+    case DaemonRole::kOrigin:
+      node_ = std::make_unique<proxy::OriginServer>(config_.node_id, name);
+      break;
+  }
+}
+
+std::uint16_t NodeDaemon::bind(std::string* error) {
+  listener_ = net::listen_tcp(config_.listen, error);
+  if (listener_ < 0) return 0;
+  loop_.watch(listener_, [this](int, bool, bool) { on_listener_readable(); });
+  return net::local_port(listener_);
+}
+
+void NodeDaemon::run() {
+  while (!loop_.stopped()) {
+    if (loop_.poll_once(500) < 0) break;
+    if (tick_) tick_();
+  }
+}
+
+SimTime NodeDaemon::now() const noexcept {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - start_)
+      .count();
+}
+
+void NodeDaemon::on_listener_readable() {
+  for (;;) {
+    const int fd = net::accept_tcp(listener_);
+    if (fd < 0) return;
+    conns_.emplace(fd, std::make_unique<net::Conn>(fd));
+    loop_.watch(fd, [this](int f, bool r, bool w) { on_conn_event(f, r, w); });
+  }
+}
+
+void NodeDaemon::drop_conn(int fd) {
+  loop_.unwatch(fd);
+  for (auto it = routes_.begin(); it != routes_.end();) {
+    it = it->second == fd ? routes_.erase(it) : std::next(it);
+  }
+  conns_.erase(fd);  // closes the fd
+}
+
+void NodeDaemon::on_conn_event(int fd, bool readable, bool writable) {
+  const auto it = conns_.find(fd);
+  if (it == conns_.end()) return;
+  net::Conn& conn = *it->second;
+
+  if (writable) {
+    if (conn.flush() != net::Conn::Io::kOk) {
+      drop_conn(fd);
+      return;
+    }
+    if (!conn.wants_write()) loop_.request_write(fd, false);
+  }
+  if (!readable) return;
+
+  const net::Conn::Io io = conn.read_some();
+  for (;;) {
+    net::Frame frame;
+    std::string error;
+    const net::DecodeResult result = conn.next_frame(&frame, &error);
+    if (result == net::DecodeResult::kNeedMore) break;
+    if (result == net::DecodeResult::kCorrupt) {
+      ADC_LOG_WARN << "adcd[" << config_.node_id << "]: dropping connection fd=" << fd
+                   << " on corrupt frame: " << error;
+      ++stats_.drops_corrupt;
+      drop_conn(fd);
+      return;
+    }
+    ++stats_.frames_in;
+    if (frame.type == net::FrameType::kHello) {
+      ++stats_.hellos;
+      routes_[frame.hello.node_id] = fd;
+      continue;
+    }
+    deliver(std::move(frame.message));
+    if (conns_.find(fd) == conns_.end()) return;  // delivery dropped us
+  }
+  if (io != net::Conn::Io::kOk) drop_conn(fd);
+}
+
+void NodeDaemon::deliver(net::WireMessage wire) {
+  local_.push_back(std::move(wire));
+  if (draining_) return;
+  draining_ = true;
+  while (!local_.empty()) {
+    net::WireMessage next = std::move(local_.front());
+    local_.pop_front();
+    current_path_ = std::move(next.path);
+    if (current_path_.size() < net::kMaxPath) current_path_.push_back(config_.node_id);
+    ++stats_.deliveries;
+    node_->on_message(*this, next.msg);
+  }
+  draining_ = false;
+}
+
+int NodeDaemon::fd_for(NodeId id) {
+  if (const auto it = routes_.find(id); it != routes_.end()) return it->second;
+  const auto peer = config_.peers.find(id);
+  if (peer == config_.peers.end()) return -1;
+
+  // Tolerate cluster startup ordering: peers launched moments after us are
+  // worth a few seconds of retries before the message is dropped.
+  int fd = -1;
+  std::string error;
+  for (int attempt = 0; attempt < 100; ++attempt) {
+    fd = net::connect_tcp(peer->second, &error);
+    if (fd >= 0) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  if (fd < 0) {
+    ADC_LOG_WARN << "adcd[" << config_.node_id << "]: cannot reach peer " << id << ": " << error;
+    return -1;
+  }
+  auto conn = std::make_unique<net::Conn>(fd);
+  std::vector<std::uint8_t> hello;
+  net::encode_hello(net::Hello{config_.node_id,
+                               config_.role == DaemonRole::kOrigin ? sim::NodeKind::kOrigin
+                                                                   : sim::NodeKind::kProxy},
+                    &hello);
+  conn->queue(hello);
+  conns_.emplace(fd, std::move(conn));
+  routes_[id] = fd;
+  loop_.watch(fd, [this](int f, bool r, bool w) { on_conn_event(f, r, w); });
+  return fd;
+}
+
+void NodeDaemon::flush_conn(int fd, net::Conn& conn) {
+  if (conn.flush() != net::Conn::Io::kOk) {
+    drop_conn(fd);
+    return;
+  }
+  loop_.request_write(fd, conn.wants_write());
+}
+
+void NodeDaemon::send(sim::Message msg) {
+  // Mirror Simulator::send(): every transfer costs exactly one hop, self
+  // deliveries included.
+  msg.hops += 1;
+
+  if (msg.target == config_.node_id) {
+    deliver(net::WireMessage{msg, current_path_});
+    return;
+  }
+
+  const int fd = fd_for(msg.target);
+  if (fd < 0) {
+    ++stats_.drops_unroutable;
+    ADC_LOG_WARN << "adcd[" << config_.node_id << "]: no route to node " << msg.target
+                 << "; dropping " << (msg.kind == sim::MessageKind::kRequest ? "REQUEST" : "REPLY")
+                 << " req=" << msg.request_id;
+    return;
+  }
+  std::vector<std::uint8_t> bytes;
+  net::encode_message(net::WireMessage{msg, current_path_}, &bytes);
+  net::Conn& conn = *conns_.at(fd);
+  conn.queue(bytes);
+  ++stats_.frames_out;
+  flush_conn(fd, conn);
+}
+
+std::string NodeDaemon::stats_text() const {
+  std::string out = "adcd node " + std::to_string(config_.node_id) + " (" +
+                    role_name(config_.role) + ")\n";
+  out += "  frames_in=" + std::to_string(stats_.frames_in) +
+         " frames_out=" + std::to_string(stats_.frames_out) +
+         " deliveries=" + std::to_string(stats_.deliveries) +
+         " hellos=" + std::to_string(stats_.hellos) + "\n";
+  out += "  drops_unroutable=" + std::to_string(stats_.drops_unroutable) +
+         " drops_corrupt=" + std::to_string(stats_.drops_corrupt) + "\n";
+  switch (config_.role) {
+    case DaemonRole::kAdcProxy: {
+      const auto& stats = static_cast<const core::AdcProxy&>(*node_).stats();
+      out += "  requests_received=" + std::to_string(stats.requests_received) +
+             " local_hits=" + std::to_string(stats.local_hits) +
+             " forwards_learned=" + std::to_string(stats.forwards_learned) +
+             " forwards_random=" + std::to_string(stats.forwards_random) +
+             " forwards_origin=" + std::to_string(stats.forwards_origin) + "\n";
+      out += "  loops_detected=" + std::to_string(stats.loops_detected) +
+             " replies_relayed=" + std::to_string(stats.replies_relayed) +
+             " resolver_claims=" + std::to_string(stats.resolver_claims) +
+             " cache_admissions=" + std::to_string(stats.cache_admissions) + "\n";
+      break;
+    }
+    case DaemonRole::kCarpProxy: {
+      const auto& stats = static_cast<const proxy::HashingProxy&>(*node_).stats();
+      out += "  requests_received=" + std::to_string(stats.requests_received) +
+             " local_hits=" + std::to_string(stats.local_hits) +
+             " forwards_to_owner=" + std::to_string(stats.forwards_to_owner) +
+             " forwards_to_origin=" + std::to_string(stats.forwards_to_origin) + "\n";
+      break;
+    }
+    case DaemonRole::kOrigin: {
+      const auto& origin = static_cast<const proxy::OriginServer&>(*node_);
+      out += "  requests_served=" + std::to_string(origin.requests_served()) + "\n";
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace adc::server

@@ -1,0 +1,154 @@
+// adcd: a node daemon hosting one protocol agent over TCP.
+//
+// NodeDaemon is the live-runtime implementation of sim::Transport: it owns
+// exactly one sim::Node (an unmodified core::AdcProxy, the CARP baseline's
+// proxy::HashingProxy, or the proxy::OriginServer), a listening socket, and
+// lazily-established connections to its peers.  The agent code cannot tell
+// whether it is running under the discrete-event Simulator or here — both
+// deliver through Node::on_message and both increment Message::hops exactly
+// once per transfer, so hit-rate and hop accounting agree across media.
+//
+// Frames carry the request's journey path: on every delivery the daemon
+// extends the incoming path with its own id and stamps it onto each frame
+// the delivery triggers, so a wire capture shows the full random walk and
+// the backwarding return path.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cache/policies.h"
+#include "core/adc_config.h"
+#include "net/event_loop.h"
+#include "net/socket.h"
+#include "net/wire.h"
+#include "sim/node.h"
+#include "sim/transport.h"
+#include "util/rng.h"
+#include "util/types.h"
+
+namespace adc::server {
+
+enum class DaemonRole : std::uint8_t {
+  kAdcProxy,   // core::AdcProxy
+  kCarpProxy,  // proxy::HashingProxy over a CARP array of all proxies
+  kOrigin,     // proxy::OriginServer
+};
+
+struct DaemonConfig {
+  NodeId node_id = 0;
+  DaemonRole role = DaemonRole::kAdcProxy;
+
+  /// Listen address; port 0 binds an ephemeral port (bind() returns it).
+  net::Endpoint listen;
+
+  /// Other daemons by node id (proxies and the origin, not clients —
+  /// clients announce themselves with HELLO when they connect).
+  std::map<NodeId, net::Endpoint> peers;
+
+  /// Full proxy membership including this node when it is a proxy; must be
+  /// identical on every member (drives random forwarding and CARP).
+  std::vector<NodeId> proxy_ids;
+  NodeId origin_id = kInvalidNode;
+
+  core::AdcConfig adc;
+  std::size_t carp_cache_capacity = 10000;
+  cache::Policy carp_policy = cache::Policy::kLru;
+
+  std::uint64_t seed = 1;
+};
+
+struct DaemonStats {
+  std::uint64_t frames_in = 0;
+  std::uint64_t frames_out = 0;
+  std::uint64_t deliveries = 0;
+  std::uint64_t hellos = 0;
+  std::uint64_t drops_unroutable = 0;  // sends to a node we cannot reach
+  std::uint64_t drops_corrupt = 0;     // connections killed on bad frames
+};
+
+class NodeDaemon final : public sim::Transport {
+ public:
+  explicit NodeDaemon(DaemonConfig config);
+  ~NodeDaemon() override;
+
+  NodeDaemon(const NodeDaemon&) = delete;
+  NodeDaemon& operator=(const NodeDaemon&) = delete;
+
+  /// Binds the listener.  Returns the bound port, or 0 with a diagnostic
+  /// in `error`.  Must be called before run().
+  std::uint16_t bind(std::string* error);
+
+  /// Replaces the peer endpoint map.  Peers are only dialed lazily from
+  /// inside run(), so a harness may bind every daemon on an ephemeral port
+  /// first and distribute the resulting map before any daemon runs.
+  void set_peers(std::map<NodeId, net::Endpoint> peers) { config_.peers = std::move(peers); }
+
+  /// Serves until stop().  `tick`, when set, runs every poll timeout
+  /// (~500ms) on the loop thread — the signal-safe hook main() uses to
+  /// turn a sig_atomic_t flag into a stats dump or shutdown.
+  void run();
+  void set_tick(std::function<void()> tick) { tick_ = std::move(tick); }
+
+  /// Thread- and signal-safe.
+  void stop() { loop_.stop(); }
+
+  /// Human-readable stats: transport counters plus the hosted agent's own.
+  std::string stats_text() const;
+
+  const DaemonStats& stats() const noexcept { return stats_; }
+  NodeId node_id() const noexcept { return config_.node_id; }
+  sim::Node& hosted() noexcept { return *node_; }
+
+  // --- sim::Transport ----------------------------------------------------
+  void send(sim::Message msg) override;
+  util::Rng& rng() noexcept override { return rng_; }
+  SimTime now() const noexcept override;
+
+ private:
+  void make_node();
+  void on_listener_readable();
+  void on_conn_event(int fd, bool readable, bool writable);
+  void drop_conn(int fd);
+  void deliver(net::WireMessage wire);
+  void flush_conn(int fd, net::Conn& conn);
+
+  /// Connection that can reach `id`, connecting (with startup retries) to
+  /// a configured peer on first use.  -1 when the id is unreachable.
+  int fd_for(NodeId id);
+
+  DaemonConfig config_;
+  util::Rng rng_;
+  std::chrono::steady_clock::time_point start_;
+
+  std::unique_ptr<sim::Node> node_;
+  net::EventLoop loop_;
+  int listener_ = -1;
+  std::map<int, std::unique_ptr<net::Conn>> conns_;
+  std::map<NodeId, int> routes_;  // node id -> connection fd
+
+  /// Self-addressed messages queue here and drain in delivery order, so a
+  /// proxy forwarding to itself never recurses through on_message.
+  std::deque<net::WireMessage> local_;
+  bool draining_ = false;
+
+  /// Journey path of the delivery currently executing; stamped onto every
+  /// frame that delivery sends.
+  std::vector<NodeId> current_path_;
+
+  std::function<void()> tick_;
+  DaemonStats stats_;
+};
+
+/// Maps "adc"/"proxy" -> kAdcProxy, "carp" -> kCarpProxy, "origin" ->
+/// kOrigin; false on anything else.
+bool parse_daemon_role(std::string_view text, DaemonRole* out);
+
+}  // namespace adc::server

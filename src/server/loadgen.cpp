@@ -1,0 +1,193 @@
+#include "server/loadgen.h"
+
+#include <chrono>
+#include <sstream>
+#include <thread>
+
+#include "util/logging.h"
+
+namespace adc::server {
+namespace {
+
+std::int64_t now_us() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+std::string LoadGenReport::text() const {
+  std::ostringstream out;
+  out << "requests:   " << completed << " completed / " << issued << " issued"
+      << (timed_out ? "  [TIMED OUT]" : "") << "\n";
+  out << "hit rate:   " << hit_rate() << "\n";
+  out << "mean hops:  " << mean_hops() << "\n";
+  out << "throughput: " << throughput() << " req/s (" << wall_seconds << " s)\n";
+  out << "latency:    p50=" << latency_p50_us << "us p95=" << latency_p95_us
+      << "us p99=" << latency_p99_us << "us\n";
+  return out.str();
+}
+
+LoadGenerator::LoadGenerator(LoadGenConfig config)
+    : config_(std::move(config)), rng_(config_.seed) {
+  for (const auto& [id, endpoint] : config_.proxies) entries_.push_back(id);
+}
+
+LoadGenerator::~LoadGenerator() = default;
+
+bool LoadGenerator::connect(std::string* error) {
+  for (const auto& [id, endpoint] : config_.proxies) {
+    int fd = -1;
+    std::string last_error;
+    for (int attempt = 0; attempt < 100; ++attempt) {
+      fd = net::connect_tcp(endpoint, &last_error);
+      if (fd >= 0) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    if (fd < 0) {
+      if (error) {
+        *error = "cannot connect to proxy " + std::to_string(id) + " at " + endpoint.host + ":" +
+                 std::to_string(endpoint.port) + ": " + last_error;
+      }
+      return false;
+    }
+    auto conn = std::make_unique<net::Conn>(fd);
+    std::vector<std::uint8_t> hello;
+    net::encode_hello(net::Hello{config_.client_id, sim::NodeKind::kClient}, &hello);
+    conn->queue(hello);
+    if (conn->flush() == net::Conn::Io::kError) {
+      if (error) *error = "HELLO to proxy " + std::to_string(id) + " failed";
+      return false;
+    }
+    routes_[id] = fd;
+    conns_.emplace(fd, std::move(conn));
+    loop_.watch(fd, [this](int f, bool r, bool w) { on_conn_event(f, r, w); });
+  }
+  return true;
+}
+
+NodeId LoadGenerator::pick_entry() {
+  if (config_.entry == EntryChoice::kRoundRobin) {
+    const NodeId entry = entries_[cursor_];
+    cursor_ = (cursor_ + 1) % entries_.size();
+    return entry;
+  }
+  return entries_[rng_.index(entries_.size())];
+}
+
+void LoadGenerator::issue_next() {
+  if (failed_ || next_index_ >= objects_->size()) return;
+
+  sim::Message request;
+  request.kind = sim::MessageKind::kRequest;
+  request.request_id = make_request_id(config_.client_id, issued_);
+  request.object = (*objects_)[next_index_++];
+  request.sender = config_.client_id;
+  request.target = pick_entry();
+  request.client = config_.client_id;
+  request.forward_count = 0;
+  // The client-to-entry transfer counts one hop, exactly as
+  // Simulator::send() charges it when proxy::Client injects.
+  request.hops = 1;
+  request.issued_at = now_us();
+  ++issued_;
+
+  std::vector<std::uint8_t> bytes;
+  net::encode_message(net::WireMessage{request, {}}, &bytes);
+  const int fd = routes_.at(request.target);
+  net::Conn& conn = *conns_.at(fd);
+  conn.queue(bytes);
+  if (conn.flush() == net::Conn::Io::kError) {
+    ADC_LOG_WARN << "loadgen: write to proxy " << request.target << " failed";
+    failed_ = true;
+    return;
+  }
+  if (conn.wants_write()) loop_.request_write(fd, true);
+}
+
+void LoadGenerator::on_reply(const sim::Message& msg) {
+  if (msg.kind != sim::MessageKind::kReply || msg.client != config_.client_id) {
+    ADC_LOG_WARN << "loadgen: unexpected message for node " << msg.client;
+    return;
+  }
+  ++completed_;
+  if (msg.proxy_hit) ++hits_;
+  total_hops_ += static_cast<std::uint64_t>(msg.hops);
+  latency_us_.add(static_cast<double>(now_us() - msg.issued_at));
+  issue_next();
+}
+
+void LoadGenerator::on_conn_event(int fd, bool readable, bool writable) {
+  const auto it = conns_.find(fd);
+  if (it == conns_.end()) return;
+  net::Conn& conn = *it->second;
+
+  if (writable) {
+    if (conn.flush() == net::Conn::Io::kError) {
+      failed_ = true;
+      return;
+    }
+    if (!conn.wants_write()) loop_.request_write(fd, false);
+  }
+  if (!readable) return;
+
+  const net::Conn::Io io = conn.read_some();
+  for (;;) {
+    net::Frame frame;
+    std::string error;
+    const net::DecodeResult result = conn.next_frame(&frame, &error);
+    if (result == net::DecodeResult::kNeedMore) break;
+    if (result == net::DecodeResult::kCorrupt) {
+      ADC_LOG_WARN << "loadgen: corrupt frame from fd=" << fd << ": " << error;
+      failed_ = true;
+      return;
+    }
+    if (frame.type == net::FrameType::kHello) continue;
+    on_reply(frame.message.msg);
+  }
+  if (io != net::Conn::Io::kOk) {
+    ADC_LOG_WARN << "loadgen: proxy connection fd=" << fd << " closed mid-run";
+    failed_ = true;
+  }
+}
+
+LoadGenReport LoadGenerator::run(const std::vector<ObjectId>& objects) {
+  objects_ = &objects;
+  next_index_ = 0;
+  const auto wall_start = std::chrono::steady_clock::now();
+
+  for (int i = 0; i < config_.concurrency && !failed_; ++i) issue_next();
+
+  std::uint64_t last_completed = completed_;
+  auto last_progress = wall_start;
+  bool timed_out = false;
+  while (!failed_ && completed_ < issued_) {
+    loop_.poll_once(100);
+    const auto now = std::chrono::steady_clock::now();
+    if (completed_ != last_completed) {
+      last_completed = completed_;
+      last_progress = now;
+    } else if (config_.idle_timeout_ms > 0 &&
+               now - last_progress > std::chrono::milliseconds(config_.idle_timeout_ms)) {
+      ADC_LOG_WARN << "loadgen: no progress for " << config_.idle_timeout_ms << "ms; aborting";
+      timed_out = true;
+      break;
+    }
+  }
+  const auto wall_end = std::chrono::steady_clock::now();
+
+  LoadGenReport report;
+  report.issued = issued_;
+  report.completed = completed_;
+  report.hits = hits_;
+  report.total_hops = total_hops_;
+  report.wall_seconds = std::chrono::duration<double>(wall_end - wall_start).count();
+  report.latency_p50_us = latency_us_.percentile(0.50);
+  report.latency_p95_us = latency_us_.percentile(0.95);
+  report.latency_p99_us = latency_us_.percentile(0.99);
+  report.timed_out = timed_out || failed_;
+  return report;
+}
+
+}  // namespace adc::server

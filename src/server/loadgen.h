@@ -1,0 +1,113 @@
+// TCP load generator: the live-runtime counterpart of proxy::Client.
+//
+// Connects to every entry proxy of a running adcd cluster, announces
+// itself with HELLO (so CARP's owner-to-client direct replies can route),
+// and replays a workload trace closed-loop with a fixed number of
+// outstanding requests.  Accounting mirrors the simulator's client: a hit
+// is a reply with proxy_hit set, hops arrive pre-counted by the daemons
+// (one per transfer, the client-to-entry transfer included), and latency
+// is wall microseconds from issue to reply, summarized by the same
+// deterministic PercentileTracker the simulator reports with.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/event_loop.h"
+#include "net/socket.h"
+#include "net/wire.h"
+#include "sim/metrics.h"
+#include "util/rng.h"
+#include "util/types.h"
+
+namespace adc::server {
+
+enum class EntryChoice : std::uint8_t {
+  kRoundRobin,
+  kRandom,
+};
+
+struct LoadGenConfig {
+  NodeId client_id = 0;
+
+  /// Entry proxies by node id; requests spread across all of them.
+  std::map<NodeId, net::Endpoint> proxies;
+
+  int concurrency = 4;
+  EntryChoice entry = EntryChoice::kRoundRobin;
+  std::uint64_t seed = 1;
+
+  /// Abort when no reply arrives for this long (a wedged cluster must not
+  /// hang the test suite).  <= 0 disables.
+  int idle_timeout_ms = 30000;
+};
+
+struct LoadGenReport {
+  std::uint64_t issued = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t total_hops = 0;
+  double wall_seconds = 0.0;
+  double latency_p50_us = 0.0;
+  double latency_p95_us = 0.0;
+  double latency_p99_us = 0.0;
+  bool timed_out = false;
+
+  double hit_rate() const noexcept {
+    return completed == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(completed);
+  }
+  double mean_hops() const noexcept {
+    return completed == 0 ? 0.0
+                          : static_cast<double>(total_hops) / static_cast<double>(completed);
+  }
+  double throughput() const noexcept {
+    return wall_seconds <= 0.0 ? 0.0 : static_cast<double>(completed) / wall_seconds;
+  }
+
+  std::string text() const;
+};
+
+class LoadGenerator {
+ public:
+  explicit LoadGenerator(LoadGenConfig config);
+  ~LoadGenerator();
+
+  LoadGenerator(const LoadGenerator&) = delete;
+  LoadGenerator& operator=(const LoadGenerator&) = delete;
+
+  /// Connects and HELLOs to every configured proxy (with startup retries).
+  bool connect(std::string* error);
+
+  /// Replays `objects` and blocks until every request completed (or the
+  /// idle timeout fired).  connect() must have succeeded.
+  LoadGenReport run(const std::vector<ObjectId>& objects);
+
+ private:
+  void issue_next();
+  NodeId pick_entry();
+  void on_conn_event(int fd, bool readable, bool writable);
+  void on_reply(const sim::Message& msg);
+
+  LoadGenConfig config_;
+  util::Rng rng_;
+  std::vector<NodeId> entries_;  // sorted proxy ids, for round-robin order
+  std::size_t cursor_ = 0;
+
+  net::EventLoop loop_;
+  std::map<int, std::unique_ptr<net::Conn>> conns_;
+  std::map<NodeId, int> routes_;
+
+  const std::vector<ObjectId>* objects_ = nullptr;
+  std::size_t next_index_ = 0;
+  std::uint64_t issued_ = 0;
+  std::uint64_t completed_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t total_hops_ = 0;
+  sim::PercentileTracker latency_us_;
+  bool failed_ = false;
+};
+
+}  // namespace adc::server

@@ -1,0 +1,102 @@
+// adc_loadgen — replay a workload trace against a running adcd cluster.
+//
+//   ./adc_loadgen --peer 0=127.0.0.1:7000 ... --peer 4=127.0.0.1:7004
+//       --scale 0.01 --concurrency 4        (one command line)
+//
+// Reports hit rate, mean hops, throughput and latency percentiles; the
+// hit-rate and mean-hops numbers are directly comparable to a simulator
+// run over the same trace (see docs/RUNTIME.md).
+#include <csignal>
+#include <iostream>
+#include <string>
+
+#include "server/loadgen.h"
+#include "util/cli.h"
+#include "util/string_util.h"
+#include "workload/polygraph.h"
+#include "workload/trace.h"
+
+int main(int argc, char** argv) {
+  using namespace adc;
+
+  util::CliParser cli("adc_loadgen — TCP load generator for an adcd cluster.");
+  cli.option("client-id", "6", "this client's node id (must not collide with daemons)")
+      .option("trace", "", "replay a saved trace file (.txt or binary)")
+      .option("scale", "0.01", "no --trace: PolyMix scale vs the paper's 3.99M requests")
+      .option("trace-seed", "42", "no --trace: PolyMix generator seed")
+      .option("requests", "0", "truncate the trace to N requests (0 = all)")
+      .option("concurrency", "4", "requests kept in flight")
+      .option("entry", "rr", "entry proxy choice: rr | random")
+      .option("seed", "1", "seed for --entry random")
+      .option("idle-timeout", "30000", "abort after this many ms without a reply (0 = never)")
+      .multi_option("peer", "entry proxy as id=host:port");
+  std::string error;
+  if (!cli.parse(argc, argv, &error)) {
+    std::cerr << error << '\n' << cli.help_text();
+    return 1;
+  }
+  if (cli.help_requested()) {
+    std::cout << cli.help_text();
+    return 0;
+  }
+  const auto& options = cli.config();
+
+  server::LoadGenConfig config;
+  config.client_id = static_cast<NodeId>(options.get_int("client-id", 6));
+  config.concurrency = static_cast<int>(options.get_int("concurrency", 4));
+  config.seed = static_cast<std::uint64_t>(options.get_int("seed", 1));
+  config.idle_timeout_ms = static_cast<int>(options.get_int("idle-timeout", 30000));
+  const std::string entry = options.get_string("entry", "rr");
+  if (entry == "rr" || entry == "round-robin") {
+    config.entry = server::EntryChoice::kRoundRobin;
+  } else if (entry == "random") {
+    config.entry = server::EntryChoice::kRandom;
+  } else {
+    std::cerr << "unknown --entry '" << entry << "'\n";
+    return 1;
+  }
+  for (const std::string& spec : cli.values("peer")) {
+    NodeId id = kInvalidNode;
+    net::Endpoint endpoint;
+    if (!net::parse_peer_spec(spec, &id, &endpoint, &error)) {
+      std::cerr << error << '\n';
+      return 1;
+    }
+    config.proxies[id] = endpoint;
+  }
+  if (config.proxies.empty()) {
+    std::cerr << "at least one --peer is required\n" << cli.help_text();
+    return 1;
+  }
+
+  workload::Trace trace;
+  const std::string trace_path = options.get_string("trace", "");
+  if (!trace_path.empty()) {
+    const bool ok = util::ends_with(trace_path, ".txt")
+                        ? workload::Trace::load_text(trace_path, &trace, &error)
+                        : workload::Trace::load_binary(trace_path, &trace, &error);
+    if (!ok) {
+      std::cerr << "cannot load trace: " << error << '\n';
+      return 1;
+    }
+  } else {
+    auto poly = workload::PolygraphConfig::scaled(options.get_double("scale", 0.01));
+    poly.seed = static_cast<std::uint64_t>(options.get_int("trace-seed", 42));
+    trace = workload::generate_polygraph_trace(poly);
+  }
+  std::vector<ObjectId> objects = trace.requests();
+  const auto limit = static_cast<std::size_t>(options.get_int("requests", 0));
+  if (limit != 0 && limit < objects.size()) objects.resize(limit);
+
+  std::signal(SIGPIPE, SIG_IGN);
+
+  server::LoadGenerator loadgen(std::move(config));
+  if (!loadgen.connect(&error)) {
+    std::cerr << error << '\n';
+    return 1;
+  }
+  std::cout << "replaying " << objects.size() << " requests...\n";
+  const server::LoadGenReport report = loadgen.run(objects);
+  std::cout << report.text();
+  return report.timed_out ? 1 : 0;
+}

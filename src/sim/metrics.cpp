@@ -1,6 +1,60 @@
 #include "sim/metrics.h"
 
+#include <algorithm>
+#include <cmath>
+
 namespace adc::sim {
+
+PercentileTracker::PercentileTracker(std::size_t max_samples)
+    : cap_(max_samples < 2 ? 2 : max_samples) {
+  // An odd cap would drift the even-index decimation; keep it even.
+  cap_ &= ~std::size_t{1};
+}
+
+void PercentileTracker::add(double value) {
+  ++added_;
+  if (phase_ != 0) {
+    phase_ = (phase_ + 1) % stride_;
+    return;
+  }
+  phase_ = (phase_ + 1) % stride_;
+  if (samples_.size() == cap_) {
+    // Keep every other stored sample and halve the future sampling rate:
+    // deterministic, no RNG, bounded memory.  (If a percentile() call
+    // already sorted the store, this thins the order statistics uniformly
+    // instead of the arrival sequence — either is an unbiased subsample.)
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < samples_.size(); i += 2) samples_[kept++] = samples_[i];
+    samples_.resize(kept);
+    stride_ *= 2;
+    phase_ = 1 % stride_;
+  }
+  samples_.push_back(value);
+  sorted_ = false;
+}
+
+double PercentileTracker::percentile(double q) const {
+  if (samples_.empty()) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+  const auto n = static_cast<double>(samples_.size());
+  auto rank = static_cast<std::size_t>(std::ceil(q * n));
+  if (rank == 0) rank = 1;  // q == 0 means "the minimum value"
+  if (rank > samples_.size()) rank = samples_.size();
+  return samples_[rank - 1];
+}
+
+void PercentileTracker::clear() {
+  samples_.clear();
+  stride_ = 1;
+  phase_ = 0;
+  added_ = 0;
+  sorted_ = true;
+}
 
 void IntHistogram::add(int value) noexcept {
   if (value < 0) value = 0;
@@ -70,6 +124,7 @@ void MetricsCollector::on_request_completed(bool proxy_hit, int hops, SimTime la
   hops_ma_.add(static_cast<double>(hops));
   latency_ma_.add(static_cast<double>(latency));
   hops_hist_.add(hops);
+  latency_pt_.add(static_cast<double>(latency));
 
   if (sample_every_ != 0 && summary_.completed % sample_every_ == 0) {
     series_.push_back(SeriesPoint{summary_.completed, hit_ma_.value(), hops_ma_.value(),
@@ -84,6 +139,7 @@ void MetricsCollector::reset() {
   hops_ma_ = MovingAverage(window);
   latency_ma_ = MovingAverage(window);
   hops_hist_ = IntHistogram();
+  latency_pt_.clear();
   series_.clear();
 }
 

@@ -37,6 +37,44 @@ class IntHistogram {
   int max_seen_ = -1;
 };
 
+/// Deterministic percentile estimator over double-valued samples (request
+/// latencies).  Samples are stored and the percentile is read off a sorted
+/// copy, so the result is independent of accumulation order — unlike a
+/// running double sum, whose rounding depends on the order values arrive.
+/// The simulator's MetricsCollector and the live runtime's adc_loadgen
+/// share this class so both report percentiles with identical semantics.
+///
+/// Memory is bounded: when `max_samples` is reached the stored set is
+/// decimated to every other sample and the sampling stride doubles — a
+/// deterministic (RNG-free) reservoir, so a given input sequence always
+/// produces the same estimate.
+class PercentileTracker {
+ public:
+  explicit PercentileTracker(std::size_t max_samples = 1 << 20);
+
+  void add(double value);
+
+  /// Nearest-rank percentile (smallest stored value v with CDF(v) >= q),
+  /// matching IntHistogram::percentile; q clamped to [0, 1].  Returns 0
+  /// when no samples were added.
+  double percentile(double q) const;
+
+  /// Total samples offered (including ones the stride skipped).
+  std::uint64_t count() const noexcept { return added_; }
+  std::size_t stored() const noexcept { return samples_.size(); }
+  std::size_t stride() const noexcept { return stride_; }
+
+  void clear();
+
+ private:
+  std::size_t cap_;
+  std::size_t stride_ = 1;   // record every stride_-th sample once cap_ was hit
+  std::size_t phase_ = 0;    // position within the current stride
+  std::uint64_t added_ = 0;
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+};
+
 /// Fixed-window moving average over doubles.
 class MovingAverage {
  public:
@@ -109,6 +147,10 @@ class MetricsCollector {
   /// Whole-run distribution of per-request hop counts.
   const IntHistogram& hop_histogram() const noexcept { return hops_hist_; }
 
+  /// Whole-run per-request latency distribution (deterministic; shared
+  /// semantics with the live runtime's load generator).
+  const PercentileTracker& latency_tracker() const noexcept { return latency_pt_; }
+
   /// Resets counters (summary + series + windows), e.g. to exclude a warmup
   /// phase from the reported totals.
   void reset();
@@ -119,6 +161,7 @@ class MetricsCollector {
   MovingAverage hops_ma_;
   MovingAverage latency_ma_;
   IntHistogram hops_hist_;
+  PercentileTracker latency_pt_;
   std::uint64_t sample_every_;
   std::vector<SeriesPoint> series_;
 };

@@ -8,7 +8,7 @@
 
 namespace adc::sim {
 
-class Simulator;
+class Transport;
 
 enum class NodeKind : std::uint8_t {
   kClient,
@@ -16,9 +16,10 @@ enum class NodeKind : std::uint8_t {
   kOrigin,
 };
 
-/// A participant in the simulation.  Nodes communicate exclusively through
-/// Simulator::send(); direct calls between nodes are not allowed, keeping
-/// hop accounting and delivery ordering in one place.
+/// A participant in the system.  Nodes communicate exclusively through
+/// Transport::send(); direct calls between nodes are not allowed, keeping
+/// hop accounting and delivery ordering in one place.  The same node runs
+/// unchanged under the discrete-event Simulator or a live TCP daemon.
 class Node {
  public:
   Node(NodeId id, NodeKind kind, std::string name)
@@ -33,7 +34,7 @@ class Node {
   const std::string& name() const noexcept { return name_; }
 
   /// Delivery callback; `msg` is the node's to own.
-  virtual void on_message(Simulator& sim, const Message& msg) = 0;
+  virtual void on_message(Transport& net, const Message& msg) = 0;
 
  private:
   NodeId id_;

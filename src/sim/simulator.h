@@ -18,12 +18,13 @@
 #include "sim/metrics.h"
 #include "sim/network.h"
 #include "sim/node.h"
+#include "sim/transport.h"
 #include "util/rng.h"
 #include "util/types.h"
 
 namespace adc::sim {
 
-class Simulator {
+class Simulator final : public Transport {
  public:
   explicit Simulator(std::uint64_t seed = 1, LatencyModel latency = {});
 
@@ -39,7 +40,7 @@ class Simulator {
   /// `msg.target` the destination; the hop counter is incremented here so
   /// every transfer — including a proxy forwarding to itself — counts
   /// exactly once.
-  void send(Message msg);
+  void send(Message msg) override;
 
   /// Schedules an arbitrary action (request injection, membership change).
   void schedule(SimTime at, std::function<void()> action);
@@ -49,10 +50,10 @@ class Simulator {
   /// Returns the number of events executed by this call.
   std::uint64_t run(std::uint64_t max_events = UINT64_MAX);
 
-  SimTime now() const noexcept { return now_; }
+  SimTime now() const noexcept override { return now_; }
   bool idle() const noexcept { return queue_.empty(); }
 
-  util::Rng& rng() noexcept { return rng_; }
+  util::Rng& rng() noexcept override { return rng_; }
   Network& network() noexcept { return network_; }
   MetricsCollector& metrics() noexcept { return metrics_; }
   const MetricsCollector& metrics() const noexcept { return metrics_; }

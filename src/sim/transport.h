@@ -1,0 +1,39 @@
+// The seam between protocol logic and the medium that carries it.
+//
+// The paper validated its simulator by checking that a single-host run
+// "returns the same results as a run spread over a distributed set of
+// machines".  This interface is what makes that claim testable in-repo:
+// proxy agents (core::AdcProxy, the baselines) speak only to a Transport,
+// and both the discrete-event Simulator and the TCP node daemon
+// (server::NodeDaemon) implement it.  The same unmodified agent code runs
+// in-process against the event queue or live against real sockets.
+#pragma once
+
+#include "sim/message.h"
+#include "util/rng.h"
+#include "util/types.h"
+
+namespace adc::sim {
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Transfers a message.  `msg.sender` must name the sending node and
+  /// `msg.target` the destination.  Implementations increment `msg.hops`
+  /// exactly once per transfer — including self-addressed messages — so
+  /// hop accounting is identical across media.
+  virtual void send(Message msg) = 0;
+
+  /// Source of every stochastic protocol choice (random forwarding
+  /// targets, epsilon-greedy exploration).  Deterministic per transport
+  /// instance given its seed.
+  virtual util::Rng& rng() = 0;
+
+  /// Current time in the transport's clock domain: simulated ticks for the
+  /// Simulator, microseconds since start for the live runtime.  Only used
+  /// for ordering and interval measurement, never compared across domains.
+  virtual SimTime now() const = 0;
+};
+
+}  // namespace adc::sim

@@ -16,6 +16,18 @@ CliParser& CliParser::option(std::string_view key, std::string_view default_valu
   return *this;
 }
 
+CliParser& CliParser::multi_option(std::string_view key, std::string_view help) {
+  options_.push_back(Option{std::string(key), std::string(), std::string(help), false, true});
+  multi_values_[std::string(key)];  // reserve the slot so values() can return it
+  return *this;
+}
+
+const std::vector<std::string>& CliParser::values(std::string_view key) const noexcept {
+  static const std::vector<std::string> kEmpty;
+  const auto it = multi_values_.find(key);
+  return it == multi_values_.end() ? kEmpty : it->second;
+}
+
 const CliParser::Option* CliParser::find(std::string_view key) const noexcept {
   for (const auto& opt : options_) {
     if (opt.key == key) return &opt;
@@ -64,7 +76,11 @@ bool CliParser::parse(int argc, const char* const* argv, std::string* error) {
       }
       value = argv[++i];
     }
-    config_.set(key, value);
+    if (opt->repeatable) {
+      multi_values_[opt->key].emplace_back(value);
+    } else {
+      config_.set(key, value);
+    }
   }
   return true;
 }
@@ -76,6 +92,7 @@ std::string CliParser::help_text() const {
     out << "  --" << opt.key;
     if (!opt.is_flag) out << " <value>";
     out << "\n      " << opt.help;
+    if (opt.repeatable) out << " (repeatable)";
     if (!opt.default_value.empty()) out << " (default: " << opt.default_value << ")";
     out << '\n';
   }

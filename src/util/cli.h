@@ -6,6 +6,7 @@
 // source regardless of whether a value came from a file or the CLI.
 #pragma once
 
+#include <map>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -22,6 +23,15 @@ class CliParser {
   /// name (`--key`).  `is_flag` options take no value and store "true".
   CliParser& option(std::string_view key, std::string_view default_value,
                     std::string_view help, bool is_flag = false);
+
+  /// Registers a repeatable option: every `--key value` occurrence is
+  /// appended to values(key), in argv order (cluster binaries pass one
+  /// `--peer id=host:port` per member).  Repeatable options always take a
+  /// value and are not mirrored into config().
+  CliParser& multi_option(std::string_view key, std::string_view help);
+
+  /// Collected values of a repeatable option (empty when never given).
+  const std::vector<std::string>& values(std::string_view key) const noexcept;
 
   /// Parses argv.  Unknown flags or missing values produce false plus a
   /// diagnostic in `error`.  `--help` sets help_requested() and returns
@@ -45,6 +55,7 @@ class CliParser {
     std::string default_value;
     std::string help;
     bool is_flag = false;
+    bool repeatable = false;
   };
 
   const Option* find(std::string_view key) const noexcept;
@@ -52,6 +63,7 @@ class CliParser {
   std::string description_;
   std::vector<Option> options_;
   Config config_;
+  std::map<std::string, std::vector<std::string>, std::less<>> multi_values_;
   std::vector<std::string> positional_;
   bool help_requested_ = false;
 };

@@ -1,0 +1,223 @@
+// Live-cluster cross-validation (ctest label: tier2-net).
+//
+// Boots a real cluster — every daemon on its own thread with its own
+// listening TCP socket on 127.0.0.1, all traffic through the wire protocol
+// — replays a scaled Polygraph trace with the TCP load generator, and
+// compares the outcome against run_experiment() on the identical trace.
+//
+// This is the repo's analogue of the paper's simulator-validation claim
+// (single-host simulation "returns the same results" as the 8-host
+// deployment): the ADC cluster must land within 1% of the simulator's hit
+// rate and mean hops (the runs differ only in per-node RNG streams and
+// real-network interleaving; the seed-to-seed spread of the simulator
+// itself at this scale is ~0.35%), and the deterministic CARP baseline —
+// no random forwarding, one request in flight — must match *exactly*,
+// transfer for transfer.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "driver/experiment.h"
+#include "net/socket.h"
+#include "server/daemon.h"
+#include "server/loadgen.h"
+#include "workload/polygraph.h"
+#include "workload/trace.h"
+
+namespace adc {
+namespace {
+
+constexpr int kProxies = 5;
+constexpr NodeId kOriginId = 5;  // run_experiment layout: proxies [0,5), origin, client
+constexpr NodeId kClientId = 6;
+
+class Cluster {
+ public:
+  explicit Cluster(std::vector<server::DaemonConfig> configs) {
+    std::map<NodeId, net::Endpoint> endpoints;
+    for (auto& config : configs) {
+      config.listen = net::Endpoint{"127.0.0.1", 0};
+      auto daemon = std::make_unique<server::NodeDaemon>(config);
+      std::string error;
+      const std::uint16_t port = daemon->bind(&error);
+      EXPECT_NE(port, 0) << error;
+      endpoints[config.node_id] = net::Endpoint{"127.0.0.1", port};
+      daemons_.push_back(std::move(daemon));
+    }
+    for (auto& daemon : daemons_) daemon->set_peers(endpoints);
+    endpoints_ = std::move(endpoints);
+    for (auto& daemon : daemons_) {
+      threads_.emplace_back([&daemon]() { daemon->run(); });
+    }
+  }
+
+  ~Cluster() { shutdown(); }
+
+  /// Stops every daemon and joins its thread; after this, reading daemon
+  /// stats from the test thread is race-free.
+  void shutdown() {
+    for (auto& daemon : daemons_) daemon->stop();
+    for (auto& thread : threads_) {
+      if (thread.joinable()) thread.join();
+    }
+  }
+
+  /// Endpoints of the proxy daemons only (what the load generator dials).
+  std::map<NodeId, net::Endpoint> proxy_endpoints() const {
+    std::map<NodeId, net::Endpoint> out;
+    for (const auto& [id, endpoint] : endpoints_) {
+      if (id != kOriginId) out[id] = endpoint;
+    }
+    return out;
+  }
+
+  const server::NodeDaemon& daemon(std::size_t i) const { return *daemons_[i]; }
+
+ private:
+  std::vector<std::unique_ptr<server::NodeDaemon>> daemons_;
+  std::vector<std::thread> threads_;
+  std::map<NodeId, net::Endpoint> endpoints_;
+};
+
+std::vector<server::DaemonConfig> cluster_configs(server::DaemonRole proxy_role,
+                                                  const core::AdcConfig& adc,
+                                                  std::size_t carp_capacity) {
+  std::vector<server::DaemonConfig> configs;
+  for (NodeId id = 0; id <= kOriginId; ++id) {
+    server::DaemonConfig config;
+    config.node_id = id;
+    config.role = id == kOriginId ? server::DaemonRole::kOrigin : proxy_role;
+    config.proxy_ids = {0, 1, 2, 3, 4};
+    config.origin_id = kOriginId;
+    config.adc = adc;
+    config.carp_cache_capacity = carp_capacity;
+    config.seed = 1;
+    configs.push_back(std::move(config));
+  }
+  return configs;
+}
+
+server::LoadGenReport replay(const Cluster& cluster, const std::vector<ObjectId>& objects,
+                             int concurrency) {
+  server::LoadGenConfig config;
+  config.client_id = kClientId;
+  config.proxies = cluster.proxy_endpoints();
+  config.concurrency = concurrency;
+  config.entry = server::EntryChoice::kRoundRobin;
+  config.idle_timeout_ms = 30000;
+  server::LoadGenerator loadgen(std::move(config));
+  std::string error;
+  if (!loadgen.connect(&error)) {
+    ADD_FAILURE() << error;
+    server::LoadGenReport failed;
+    failed.timed_out = true;
+    return failed;
+  }
+  return loadgen.run(objects);
+}
+
+TEST(Cluster, AdcFiveNodeLoopbackMatchesSimulatorWithinOnePercent) {
+  auto poly = workload::PolygraphConfig::scaled(0.01);  // 39,900 requests
+  poly.seed = 42;
+  const workload::Trace trace = workload::generate_polygraph_trace(poly);
+
+  core::AdcConfig adc;
+  adc.single_table_size = 2000;
+  adc.multiple_table_size = 2000;
+  adc.caching_table_size = 1000;
+
+  driver::ExperimentConfig sim_config;
+  sim_config.scheme = driver::Scheme::kAdc;
+  sim_config.proxies = kProxies;
+  sim_config.adc = adc;
+  sim_config.entry_policy = proxy::EntryPolicy::kRoundRobin;
+  sim_config.concurrency = 4;
+  sim_config.seed = 1;
+  const driver::ExperimentResult expected = run_experiment(sim_config, trace);
+  ASSERT_EQ(expected.summary.completed, trace.size());
+
+  const Cluster cluster(cluster_configs(server::DaemonRole::kAdcProxy, adc, 1000));
+  const server::LoadGenReport report = replay(cluster, trace.requests(), 4);
+
+  ASSERT_FALSE(report.timed_out);
+  ASSERT_EQ(report.completed, trace.size());
+
+  const double sim_hit_rate = expected.summary.hit_rate();
+  const double sim_mean_hops = expected.summary.avg_hops();
+  EXPECT_NEAR(report.hit_rate(), sim_hit_rate, 0.01 * sim_hit_rate)
+      << "cluster=" << report.hit_rate() << " sim=" << sim_hit_rate;
+  EXPECT_NEAR(report.mean_hops(), sim_mean_hops, 0.01 * sim_mean_hops)
+      << "cluster=" << report.mean_hops() << " sim=" << sim_mean_hops;
+
+  // The loadgen's headline numbers must be present and coherent.
+  EXPECT_GT(report.throughput(), 0.0);
+  EXPECT_GT(report.latency_p50_us, 0.0);
+  EXPECT_LE(report.latency_p50_us, report.latency_p95_us);
+  EXPECT_LE(report.latency_p95_us, report.latency_p99_us);
+}
+
+TEST(Cluster, CarpClusterMatchesSimulatorExactly) {
+  // CARP has no stochastic choice and the closed loop keeps one request in
+  // flight, so the live cluster's message sequence is identical to the
+  // simulator's: hits and hop totals must agree exactly, not statistically.
+  auto poly = workload::PolygraphConfig::scaled(0.01);
+  poly.seed = 42;
+  const workload::Trace full = workload::generate_polygraph_trace(poly);
+  const workload::Trace trace = full.slice(8000, 20000);  // spans fill into phase 2
+
+  core::AdcConfig adc;  // only caching_table_size matters for CARP capacity
+  adc.caching_table_size = 1000;
+
+  driver::ExperimentConfig sim_config;
+  sim_config.scheme = driver::Scheme::kCarp;
+  sim_config.proxies = kProxies;
+  sim_config.adc = adc;
+  sim_config.entry_policy = proxy::EntryPolicy::kRoundRobin;
+  sim_config.concurrency = 1;
+  sim_config.seed = 1;
+  const driver::ExperimentResult expected = run_experiment(sim_config, trace);
+  ASSERT_EQ(expected.summary.completed, trace.size());
+
+  const Cluster cluster(cluster_configs(server::DaemonRole::kCarpProxy, adc, 1000));
+  const server::LoadGenReport report = replay(cluster, trace.requests(), 1);
+
+  ASSERT_FALSE(report.timed_out);
+  EXPECT_EQ(report.completed, expected.summary.completed);
+  EXPECT_EQ(report.hits, expected.summary.hits);
+  EXPECT_EQ(report.total_hops, expected.summary.total_hops);
+  EXPECT_GT(report.hits, 0u);
+}
+
+TEST(Cluster, DaemonStatsTextReportsTraffic) {
+  const workload::Trace trace =
+      workload::generate_polygraph_trace(workload::PolygraphConfig::scaled(0.001));
+
+  core::AdcConfig adc;
+  adc.single_table_size = 500;
+  adc.multiple_table_size = 500;
+  adc.caching_table_size = 250;
+
+  Cluster cluster(cluster_configs(server::DaemonRole::kAdcProxy, adc, 250));
+  const server::LoadGenReport report = replay(cluster, trace.requests(), 2);
+  ASSERT_FALSE(report.timed_out);
+  ASSERT_EQ(report.completed, trace.size());
+  cluster.shutdown();
+
+  std::uint64_t total_deliveries = 0;
+  for (std::size_t i = 0; i < kProxies; ++i) {
+    const std::string text = cluster.daemon(i).stats_text();
+    EXPECT_NE(text.find("requests_received="), std::string::npos);
+    total_deliveries += cluster.daemon(i).stats().deliveries;
+  }
+  // Every request passed through at least one proxy delivery.
+  EXPECT_GE(total_deliveries, trace.size());
+  EXPECT_NE(cluster.daemon(kOriginId).stats_text().find("requests_served="),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace adc

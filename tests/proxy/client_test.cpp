@@ -15,14 +15,14 @@ class Responder final : public sim::Node {
  public:
   Responder(NodeId id, std::string name) : Node(id, sim::NodeKind::kProxy, std::move(name)) {}
 
-  void on_message(sim::Simulator& sim, const sim::Message& msg) override {
+  void on_message(sim::Transport& net, const sim::Message& msg) override {
     ++requests;
     sim::Message reply = msg;
     reply.kind = sim::MessageKind::kReply;
     reply.sender = id();
     reply.target = msg.sender;
     reply.proxy_hit = true;
-    sim.send(std::move(reply));
+    net.send(std::move(reply));
   }
 
   int requests = 0;

@@ -12,7 +12,7 @@ namespace {
 class Catcher final : public sim::Node {
  public:
   Catcher(NodeId id, std::string name) : Node(id, sim::NodeKind::kProxy, std::move(name)) {}
-  void on_message(sim::Simulator&, const sim::Message& msg) override { replies.push_back(msg); }
+  void on_message(sim::Transport&, const sim::Message& msg) override { replies.push_back(msg); }
   std::vector<sim::Message> replies;
 };
 

@@ -153,5 +153,75 @@ TEST(Metrics, ResetClearsEverything) {
   EXPECT_EQ(metrics.summary().completed, 1u);
 }
 
+TEST(PercentileTracker, EmptyIsZero) {
+  PercentileTracker tracker;
+  EXPECT_EQ(tracker.percentile(0.5), 0.0);
+  EXPECT_EQ(tracker.count(), 0u);
+}
+
+TEST(PercentileTracker, NearestRankMatchesDefinition) {
+  PercentileTracker tracker;
+  for (int v = 1; v <= 100; ++v) tracker.add(static_cast<double>(v));
+  EXPECT_EQ(tracker.percentile(0.0), 1.0);
+  EXPECT_EQ(tracker.percentile(0.50), 50.0);
+  EXPECT_EQ(tracker.percentile(0.95), 95.0);
+  EXPECT_EQ(tracker.percentile(0.99), 99.0);
+  EXPECT_EQ(tracker.percentile(1.0), 100.0);
+}
+
+TEST(PercentileTracker, OrderIndependentBelowCap) {
+  PercentileTracker ascending;
+  PercentileTracker descending;
+  PercentileTracker interleaved;
+  for (int v = 0; v < 1000; ++v) {
+    ascending.add(static_cast<double>(v));
+    descending.add(static_cast<double>(999 - v));
+    interleaved.add(static_cast<double>((v * 7919) % 1000));  // a permutation
+  }
+  for (const double q : {0.0, 0.1, 0.5, 0.9, 0.95, 0.99, 1.0}) {
+    EXPECT_EQ(ascending.percentile(q), descending.percentile(q)) << q;
+    EXPECT_EQ(ascending.percentile(q), interleaved.percentile(q)) << q;
+  }
+}
+
+TEST(PercentileTracker, DecimationBoundsMemoryAndStaysDeterministic) {
+  PercentileTracker a(64);
+  PercentileTracker b(64);
+  for (int v = 0; v < 10000; ++v) {
+    a.add(static_cast<double>(v % 977));
+    b.add(static_cast<double>(v % 977));
+  }
+  EXPECT_EQ(a.count(), 10000u);
+  EXPECT_LE(a.stored(), 64u);
+  EXPECT_GT(a.stride(), 1u);
+  // Same input sequence, same estimate — bit-identical.
+  for (const double q : {0.0, 0.5, 0.95, 0.99, 1.0}) {
+    EXPECT_EQ(a.percentile(q), b.percentile(q)) << q;
+  }
+  // The decimated estimate still tracks the true distribution.
+  EXPECT_NEAR(a.percentile(0.5), 977 / 2.0, 977 * 0.15);
+}
+
+TEST(PercentileTracker, ClearResetsEverything) {
+  PercentileTracker tracker(8);
+  for (int v = 0; v < 100; ++v) tracker.add(v);
+  tracker.clear();
+  EXPECT_EQ(tracker.count(), 0u);
+  EXPECT_EQ(tracker.stored(), 0u);
+  EXPECT_EQ(tracker.stride(), 1u);
+  EXPECT_EQ(tracker.percentile(0.5), 0.0);
+}
+
+TEST(MetricsCollector, LatencyTrackerFollowsCompletions) {
+  MetricsCollector metrics(10, 0);
+  metrics.on_request_completed(true, 2, 5);
+  metrics.on_request_completed(false, 3, 15);
+  metrics.on_request_completed(true, 4, 10);
+  EXPECT_EQ(metrics.latency_tracker().count(), 3u);
+  EXPECT_EQ(metrics.latency_tracker().percentile(0.5), 10.0);
+  metrics.reset();
+  EXPECT_EQ(metrics.latency_tracker().count(), 0u);
+}
+
 }  // namespace
 }  // namespace adc::sim

@@ -14,15 +14,15 @@ class RecorderNode final : public Node {
   RecorderNode(NodeId id, NodeKind kind, std::string name, bool echo = false)
       : Node(id, kind, std::move(name)), echo_(echo) {}
 
-  void on_message(Simulator& sim, const Message& msg) override {
+  void on_message(Transport& net, const Message& msg) override {
     received.push_back(msg);
-    receive_times.push_back(sim.now());
+    receive_times.push_back(net.now());
     if (echo_ && msg.kind == MessageKind::kRequest) {
       Message reply = msg;
       reply.kind = MessageKind::kReply;
       reply.sender = id();
       reply.target = msg.sender;
-      sim.send(std::move(reply));
+      net.send(std::move(reply));
     }
   }
 

@@ -95,5 +95,57 @@ TEST(Cli, LastFlagWins) {
   EXPECT_EQ(cli.config().get_int("n", 0), 2);
 }
 
+TEST(Cli, MultiOptionAccumulatesInArgvOrder) {
+  CliParser cli("test");
+  cli.multi_option("peer", "cluster member id=host:port");
+  ASSERT_TRUE(run(cli, {"--peer", "0=127.0.0.1:7000", "--peer=1=127.0.0.1:7001", "--peer",
+                        "2=127.0.0.1:7002"}));
+  ASSERT_EQ(cli.values("peer").size(), 3u);
+  EXPECT_EQ(cli.values("peer")[0], "0=127.0.0.1:7000");
+  EXPECT_EQ(cli.values("peer")[1], "1=127.0.0.1:7001");
+  EXPECT_EQ(cli.values("peer")[2], "2=127.0.0.1:7002");
+}
+
+TEST(Cli, MultiOptionNeverGivenIsEmpty) {
+  CliParser cli("test");
+  cli.multi_option("peer", "cluster member");
+  ASSERT_TRUE(run(cli, {}));
+  EXPECT_TRUE(cli.values("peer").empty());
+  EXPECT_TRUE(cli.values("unregistered").empty());
+}
+
+TEST(Cli, MultiOptionMissingValueFails) {
+  CliParser cli("test");
+  cli.multi_option("peer", "cluster member");
+  std::string error;
+  EXPECT_FALSE(run(cli, {"--peer"}, &error));
+  EXPECT_NE(error.find("--peer"), std::string::npos);
+  EXPECT_NE(error.find("expects a value"), std::string::npos);
+}
+
+TEST(Cli, MultiOptionDoesNotLeakIntoConfig) {
+  CliParser cli("test");
+  cli.multi_option("peer", "cluster member");
+  ASSERT_TRUE(run(cli, {"--peer", "0=h:1"}));
+  EXPECT_FALSE(cli.config().contains("peer"));
+}
+
+TEST(Cli, MultiOptionMixesWithScalarOptions) {
+  CliParser cli("test");
+  cli.option("n", "5", "a number");
+  cli.multi_option("peer", "cluster member");
+  ASSERT_TRUE(run(cli, {"--peer", "a", "--n", "7", "--peer", "b"}));
+  EXPECT_EQ(cli.config().get_int("n", 0), 7);
+  ASSERT_EQ(cli.values("peer").size(), 2u);
+  EXPECT_EQ(cli.values("peer")[0], "a");
+  EXPECT_EQ(cli.values("peer")[1], "b");
+}
+
+TEST(Cli, HelpTextMarksRepeatableOptions) {
+  CliParser cli("test");
+  cli.multi_option("peer", "cluster member");
+  EXPECT_NE(cli.help_text().find("(repeatable)"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace adc::util

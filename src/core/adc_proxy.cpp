@@ -39,6 +39,12 @@ void AdcProxy::warm_cache(ObjectId object, std::uint64_t version) {
   lru_versions_[object] = version;
 }
 
+std::size_t AdcProxy::invalidate_peer(NodeId peer) {
+  const std::size_t removed = tables_.invalidate_location(peer);
+  stats_.peer_invalidations += removed;
+  return removed;
+}
+
 std::uint64_t AdcProxy::stored_version(ObjectId object) const noexcept {
   if (config_.selective_caching) {
     const cache::TableEntry* entry = tables_.caching().find(object);
@@ -126,6 +132,16 @@ NodeId AdcProxy::forward_address(Transport& net, ObjectId object) {
 
 // Paper Figure 7 (Receive_Reply).
 void AdcProxy::receive_reply(Transport& net, const Message& msg) {
+  // A reply with no backwarding record is an orphan: a duplicated message,
+  // or a journey whose record died with a restart.  Drop it without
+  // learning — processing it twice would double-count table updates and
+  // could claim resolver status for a journey that already completed.
+  const auto pending_check = pending_.find(msg.request_id);
+  if (pending_check == pending_.end() || pending_check->second.empty()) {
+    ++stats_.orphan_replies;
+    return;
+  }
+
   Message reply = msg;
 
   // NULL resolver == the data came straight from the origin server; the
@@ -160,8 +176,7 @@ void AdcProxy::receive_reply(Transport& net, const Message& msg) {
 
   // Backward along the stored path (LIFO per request id).
   const auto it = pending_.find(reply.request_id);
-  assert(it != pending_.end() && !it->second.empty() &&
-         "reply without a pending backwarding record");
+  assert(it != pending_.end() && !it->second.empty());
   const NodeId previous_hop = it->second.back();
   it->second.pop_back();
   if (it->second.empty()) pending_.erase(it);

@@ -27,6 +27,9 @@ struct AdcProxyStats {
   std::uint64_t replies_relayed = 0;
   std::uint64_t resolver_claims = 0;    // times this proxy set itself as resolver
   std::uint64_t cache_admissions = 0;   // objects newly admitted to the cache
+  std::uint64_t orphan_replies = 0;     // replies with no pending record (duplicates
+                                        // or post-restart arrivals), dropped
+  std::uint64_t peer_invalidations = 0; // table entries aged out for dead peers
 };
 
 class AdcProxy final : public sim::Node {
@@ -59,6 +62,11 @@ class AdcProxy final : public sim::Node {
   /// Cache warming: makes this proxy a holder of the object without any
   /// message traffic (so peers learn nothing).
   void warm_cache(ObjectId object, std::uint64_t version = 0);
+
+  /// Peer-death notification: drops every mapping entry that points at
+  /// `peer`, so lookups fall back to random forwarding instead of chasing
+  /// a dead address.  Returns the number of entries removed.
+  std::size_t invalidate_peer(NodeId peer);
 
  private:
   void receive_request(sim::Transport& net, const sim::Message& msg);

@@ -36,6 +36,23 @@ void MappingTables::clear() {
   if (caching_ != nullptr) caching_->clear();
 }
 
+std::size_t MappingTables::invalidate_location(NodeId location) {
+  std::vector<ObjectId> victims;
+  for (const TableEntry& e : single_.snapshot()) {
+    if (e.location == location) victims.push_back(e.object);
+  }
+  for (ObjectId object : victims) single_.remove(object);
+  std::size_t removed = victims.size();
+
+  victims.clear();
+  multiple_->for_each([&victims, location](const TableEntry& e) {
+    if (e.location == location) victims.push_back(e.object);
+  });
+  for (ObjectId object : victims) multiple_->remove(object);
+  removed += victims.size();
+  return removed;
+}
+
 void MappingTables::warm_cache(ObjectId object, NodeId location, SimTime now,
                                std::uint64_t version) {
   if (caching_ == nullptr || caching_->contains(object)) return;

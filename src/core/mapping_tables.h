@@ -59,6 +59,13 @@ class MappingTables {
   /// single table and returns the stored location; nullopt when unknown.
   std::optional<NodeId> forward_location(ObjectId object) const noexcept;
 
+  /// Drops every single- and multiple-table entry whose believed location
+  /// is `location` — used when a peer is detected dead, so requests stop
+  /// forwarding into a black hole.  Caching-table entries survive: the
+  /// data is held locally regardless of where it once came from.  Returns
+  /// the number of entries removed.
+  std::size_t invalidate_location(NodeId location);
+
   /// Cache warming: places the object directly into the caching table as a
   /// maximally hot entry (operators prefill caches; the walk-model tests
   /// construct exact replica counts with it).  Evicts the current worst

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <memory>
 
+#include "fault/faulty_network.h"
 #include "hash/carp.h"
 #include "hash/consistent_hash.h"
 #include "hash/rendezvous.h"
@@ -24,6 +25,31 @@ std::string proxy_name(int index) { return "proxy[" + std::to_string(index) + "]
 std::size_t baseline_capacity(const ExperimentConfig& config) {
   return config.baseline_cache_capacity != 0 ? config.baseline_cache_capacity
                                              : config.adc.caching_table_size;
+}
+
+// Cold-restarts a proxy node: its cache and learned tables are wiped,
+// connectivity survives.  Shared by the milestone-triggered FaultSpec and
+// the time-triggered crash windows of a FaultPlan.
+void flush_proxy(sim::Simulator& sim, NodeId victim, Scheme scheme) {
+  sim::Node& node = sim.node(victim);
+  switch (scheme) {
+    case Scheme::kAdc:
+      static_cast<core::AdcProxy&>(node).flush();
+      break;
+    case Scheme::kCarp:
+    case Scheme::kConsistent:
+    case Scheme::kRendezvous:
+      static_cast<proxy::HashingProxy&>(node).flush();
+      break;
+    case Scheme::kHierarchical:
+    case Scheme::kCoordinator:
+      static_cast<proxy::CacheNode&>(node).flush();
+      break;
+    case Scheme::kSoap:
+      static_cast<proxy::SoapProxy&>(node).flush();
+      break;
+  }
+  ADC_LOG_INFO << "fault injected: flushed " << node.name() << " at t=" << sim.now();
 }
 
 }  // namespace
@@ -196,28 +222,28 @@ ExperimentResult run_experiment(const ExperimentConfig& config, const workload::
     assert(index >= 0 && index < p && "fault.proxy_index out of range");
     const NodeId victim = proxy_ids[static_cast<std::size_t>(index)];
     const Scheme scheme = config.scheme;
-    client.at_completed(config.fault.at_completed, [&sim, victim, scheme]() {
-      sim::Node& node = sim.node(victim);
-      switch (scheme) {
-        case Scheme::kAdc:
-          static_cast<core::AdcProxy&>(node).flush();
-          break;
-        case Scheme::kCarp:
-        case Scheme::kConsistent:
-        case Scheme::kRendezvous:
-          static_cast<proxy::HashingProxy&>(node).flush();
-          break;
-        case Scheme::kHierarchical:
-        case Scheme::kCoordinator:
-          static_cast<proxy::CacheNode&>(node).flush();
-          break;
-        case Scheme::kSoap:
-          static_cast<proxy::SoapProxy&>(node).flush();
-          break;
-      }
-      ADC_LOG_INFO << "fault injected: flushed " << node.name() << " at t=" << sim.now();
-    });
+    client.at_completed(config.fault.at_completed,
+                        [&sim, victim, scheme]() { flush_proxy(sim, victim, scheme); });
   }
+
+  // Message-level fault injection: the FaultyNetwork decides per transfer
+  // on the simulator's send path; crash windows additionally wipe the
+  // victim's state at the window start (the messages it would have
+  // received while down are dropped by the hook).
+  std::unique_ptr<fault::FaultyNetwork> chaos;
+  if (!config.fault_plan.is_zero()) {
+    chaos = std::make_unique<fault::FaultyNetwork>(config.fault_plan);
+    sim.set_fault_hook(chaos.get());
+    const Scheme scheme = config.scheme;
+    for (const fault::CrashWindow& window : config.fault_plan.crashes) {
+      if (!window.flush_state) continue;
+      assert(window.node >= 0 && window.node < static_cast<NodeId>(p) &&
+             "crash window must name a proxy");
+      sim.schedule(window.at,
+                   [&sim, victim = window.node, scheme]() { flush_proxy(sim, victim, scheme); });
+    }
+  }
+  client.set_request_timeout(config.request_timeout);
 
   client.start(sim);
 
@@ -226,7 +252,8 @@ ExperimentResult run_experiment(const ExperimentConfig& config, const workload::
   const auto wall_end = std::chrono::steady_clock::now();
 
   if (!client.drained()) {
-    ADC_LOG_WARN << "experiment ended with " << (client.issued() - client.completed())
+    ADC_LOG_WARN << "experiment ended with "
+                 << (client.issued() - client.completed() - client.failed())
                  << " requests still in flight";
   }
 
@@ -245,6 +272,8 @@ ExperimentResult run_experiment(const ExperimentConfig& config, const workload::
   result.latency_p50 = sim.metrics().latency_tracker().percentile(0.50);
   result.latency_p95 = sim.metrics().latency_tracker().percentile(0.95);
   result.latency_p99 = sim.metrics().latency_tracker().percentile(0.99);
+  if (chaos != nullptr) result.faults = chaos->counters();
+  result.faults.timeouts += client.failed();
 
   for (int i = 0; i < p; ++i) {
     const sim::Node& node = sim.node(proxy_ids[static_cast<std::size_t>(i)]);
@@ -274,6 +303,8 @@ ExperimentResult run_experiment(const ExperimentConfig& config, const workload::
       result.adc_totals.replies_relayed += adc.stats().replies_relayed;
       result.adc_totals.resolver_claims += adc.stats().resolver_claims;
       result.adc_totals.cache_admissions += adc.stats().cache_admissions;
+      result.adc_totals.orphan_replies += adc.stats().orphan_replies;
+      result.adc_totals.peer_invalidations += adc.stats().peer_invalidations;
     } else if (config.scheme == Scheme::kHierarchical ||
                config.scheme == Scheme::kCoordinator) {
       const auto& cn = static_cast<const proxy::CacheNode&>(node);

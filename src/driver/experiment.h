@@ -12,6 +12,7 @@
 #include "cache/policies.h"
 #include "core/adc_config.h"
 #include "core/adc_proxy.h"
+#include "fault/fault_plan.h"
 #include "proxy/client.h"
 #include "sim/metrics.h"
 #include "sim/network.h"
@@ -71,6 +72,20 @@ struct ExperimentConfig {
     int proxy_index = 0;
   };
   FaultSpec fault;
+
+  /// Message-level fault injection: the plan drives a fault::FaultyNetwork
+  /// installed on the simulator's send path (drops, duplicates, extra
+  /// delays, partitions, crash windows).  A crash window whose
+  /// `flush_state` is set also cold-restarts the proxy at the window
+  /// start, like FaultSpec but time- rather than milestone-triggered.
+  /// A zero plan (the default) installs nothing — runs stay bit-identical
+  /// to pre-fault builds.
+  fault::FaultPlan fault_plan;
+
+  /// Per-request client deadline in sim ticks (0 = off).  Required for a
+  /// lossy fault_plan: a dropped message would otherwise stall the closed
+  /// loop forever.  Expired requests count into MetricsSummary::failed.
+  SimTime request_timeout = 0;
 
   /// When true, each ProxySnapshot also lists the object ids cached at
   /// the end of the run (for duplication/partitioning analysis); costs
@@ -143,6 +158,11 @@ struct ExperimentResult {
 
   /// ADC only: aggregated algorithm counters over all proxies.
   core::AdcProxyStats adc_totals;
+
+  /// Fault-injection counters (all zero when fault_plan.is_zero()):
+  /// injection side from the FaultyNetwork, `timeouts` from the client's
+  /// expired deadlines.
+  sim::FaultCounters faults;
 };
 
 /// Adapts a workload::Trace to the client's pull interface.

@@ -1,0 +1,47 @@
+// FaultyNetwork: the deterministic fault decorator for a transport.
+//
+// Implements sim::FaultHook, so installing it on a Simulator decorates
+// sim::Network's delivery semantics — the network still computes the link
+// latency, this layer decides whether the transfer survives, multiplies,
+// or arrives late.  The live daemon consults the same object directly for
+// its injected chaos (drop/duplicate; wall-clock delays are left to the
+// real network).
+//
+// Every stochastic decision draws from a private RNG seeded by the plan,
+// never from the transport's, so:
+//  * a zero-rate plan is bit-identical to running without the hook
+//    (tests/fault/faulty_network_test.cpp), and
+//  * a sweep over fault plans is reproducible at any --workers count —
+//    each run owns its own FaultyNetwork.
+#pragma once
+
+#include "fault/fault_plan.h"
+#include "sim/fault_hook.h"
+#include "sim/metrics.h"
+#include "util/rng.h"
+#include "util/types.h"
+
+namespace adc::fault {
+
+class FaultyNetwork final : public sim::FaultHook {
+ public:
+  explicit FaultyNetwork(FaultPlan plan);
+
+  sim::FaultDecision on_send(const sim::Message& msg, SimTime now) override;
+
+  /// True while `node` sits inside one of its crash windows at `now`.
+  bool node_down(NodeId node, SimTime now) const noexcept;
+
+  /// True while the (a, b) link is inside a partition window at `now`.
+  bool link_cut(NodeId a, NodeId b, SimTime now) const noexcept;
+
+  const FaultPlan& plan() const noexcept { return plan_; }
+  const sim::FaultCounters& counters() const noexcept { return counters_; }
+
+ private:
+  FaultPlan plan_;
+  util::Rng rng_;
+  sim::FaultCounters counters_;
+};
+
+}  // namespace adc::fault

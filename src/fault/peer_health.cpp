@@ -1,0 +1,74 @@
+#include "fault/peer_health.h"
+
+#include <algorithm>
+
+namespace adc::fault {
+
+PeerHealth::PeerHealth() : PeerHealth(Config{}) {}
+
+PeerHealth::PeerHealth(Config config) : config_(config), rng_(config.seed) {
+  if (config_.base_backoff_us < 1) config_.base_backoff_us = 1;
+  if (config_.max_backoff_us < config_.base_backoff_us) {
+    config_.max_backoff_us = config_.base_backoff_us;
+  }
+  config_.jitter = std::clamp(config_.jitter, 0.0, 0.99);
+}
+
+std::int64_t PeerHealth::backoff_for(int streak) {
+  // streak >= 1: base * 2^(streak-1), saturating at the ceiling.
+  std::int64_t backoff = config_.base_backoff_us;
+  for (int i = 1; i < streak && backoff < config_.max_backoff_us; ++i) {
+    backoff *= 2;
+  }
+  backoff = std::min(backoff, config_.max_backoff_us);
+  if (config_.jitter > 0.0) {
+    // Uniform in [1-jitter, 1+jitter).
+    const double factor = 1.0 + config_.jitter * (2.0 * rng_.uniform() - 1.0);
+    backoff = std::max<std::int64_t>(1, static_cast<std::int64_t>(
+                                            static_cast<double>(backoff) * factor));
+  }
+  return backoff;
+}
+
+bool PeerHealth::can_attempt(NodeId peer, std::int64_t now_us) {
+  auto it = peers_.find(peer);
+  if (it == peers_.end() || it->second.streak == 0) return true;
+  return now_us >= it->second.next_try_us;
+}
+
+bool PeerHealth::record_failure(NodeId peer, std::int64_t now_us) {
+  State& s = peers_[peer];
+  const bool became_down = s.streak == 0;
+  ++s.streak;
+  s.next_try_us = now_us + backoff_for(s.streak);
+  return became_down;
+}
+
+bool PeerHealth::record_success(NodeId peer) {
+  auto it = peers_.find(peer);
+  if (it == peers_.end()) return false;
+  const bool was_down = it->second.streak > 0;
+  peers_.erase(it);
+  return was_down;
+}
+
+bool PeerHealth::is_down(NodeId peer) const {
+  auto it = peers_.find(peer);
+  return it != peers_.end() && it->second.streak > 0;
+}
+
+std::vector<NodeId> PeerHealth::down_peers() const {
+  std::vector<NodeId> out;
+  for (const auto& [peer, state] : peers_) {
+    if (state.streak > 0) out.push_back(peer);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+int PeerHealth::failure_streak(NodeId peer) const {
+  auto it = peers_.find(peer);
+  return it == peers_.end() ? 0 : it->second.streak;
+}
+
+}  // namespace adc::fault

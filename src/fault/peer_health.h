@@ -1,0 +1,68 @@
+// Peer-health tracking with capped exponential backoff.
+//
+// Pure state machine, no sockets: the live daemon and the load generator
+// feed it dial/write outcomes and ask whether a peer is worth another
+// attempt yet.  Keeping it transport-free makes the backoff schedule unit
+// testable (tests/fault/peer_health_test.cpp) and reusable from both ends
+// of a connection.
+//
+// Backoff doubles per consecutive failure from `base_backoff_us` up to
+// `max_backoff_us`, with +/- `jitter` relative randomization so a cluster
+// of dialers does not thunder in lockstep.  Jitter draws from a private
+// seeded RNG, keeping retry schedules reproducible in tests.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/types.h"
+
+namespace adc::fault {
+
+class PeerHealth {
+ public:
+  struct Config {
+    std::int64_t base_backoff_us = 50'000;   // first retry delay
+    std::int64_t max_backoff_us = 2'000'000; // backoff ceiling
+    double jitter = 0.2;                     // relative, in [0, 1)
+    std::uint64_t seed = 0xbacc0ffULL;
+  };
+
+  PeerHealth();
+  explicit PeerHealth(Config config);
+
+  /// True when the peer is healthy, unknown, or its backoff has elapsed.
+  bool can_attempt(NodeId peer, std::int64_t now_us);
+
+  /// Records a dial/write failure at `now_us`.  Returns true when this
+  /// transition took the peer from up to down (first failure of a streak).
+  bool record_failure(NodeId peer, std::int64_t now_us);
+
+  /// Records a successful exchange.  Returns true when the peer had been
+  /// down — i.e. this is a reconnect.
+  bool record_success(NodeId peer);
+
+  bool is_down(NodeId peer) const;
+  std::vector<NodeId> down_peers() const;
+
+  /// Consecutive failures in the current streak (0 when healthy).
+  int failure_streak(NodeId peer) const;
+
+  const Config& config() const noexcept { return config_; }
+
+ private:
+  struct State {
+    int streak = 0;             // consecutive failures
+    std::int64_t next_try_us = 0;  // earliest next attempt
+  };
+
+  std::int64_t backoff_for(int streak);
+
+  Config config_;
+  util::Rng rng_;
+  std::unordered_map<NodeId, State> peers_;
+};
+
+}  // namespace adc::fault

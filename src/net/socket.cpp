@@ -149,6 +149,7 @@ Conn::Io Conn::read_some() {
     if (n == 0) return Io::kClosed;
     if (errno == EAGAIN || errno == EWOULDBLOCK) return Io::kOk;
     if (errno == EINTR) continue;
+    if (errno == ECONNRESET) return Io::kReset;
     return Io::kError;
   }
 }
@@ -183,7 +184,7 @@ Conn::Io Conn::flush() {
     if (n == 0) return Io::kClosed;
     if (errno == EAGAIN || errno == EWOULDBLOCK) return Io::kOk;
     if (errno == EINTR) continue;
-    if (errno == EPIPE || errno == ECONNRESET) return Io::kClosed;
+    if (errno == EPIPE || errno == ECONNRESET) return Io::kReset;
     return Io::kError;
   }
   out_.clear();

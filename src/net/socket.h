@@ -62,6 +62,7 @@ class Conn {
   enum class Io {
     kOk,      // progressed (possibly zero bytes on EAGAIN)
     kClosed,  // orderly shutdown by the peer
+    kReset,   // peer closed hard (ECONNRESET/EPIPE); the connection is dead
     kError,   // socket error; the connection is dead
   };
 

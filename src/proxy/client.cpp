@@ -51,8 +51,19 @@ void Client::inject_next(sim::Simulator& sim) {
   request.forward_count = 0;
   request.hops = 0;
   request.issued_at = sim.now();
+  const RequestId request_id = request.request_id;
   ++issued_;
+  outstanding_.insert(request_id);
   sim.send(std::move(request));
+
+  if (request_timeout_ > 0) {
+    sim.schedule_after(request_timeout_, [this, &sim, request_id]() {
+      if (outstanding_.erase(request_id) == 0) return;  // reply beat the deadline
+      ++failed_;
+      sim.metrics().on_request_failed();
+      inject_next(sim);  // keep the closed loop running
+    });
+  }
 }
 
 void Client::at_completed(std::uint64_t completed, std::function<void()> callback) {
@@ -65,6 +76,12 @@ void Client::on_message(sim::Transport&, const sim::Message& msg) {
   assert(msg.client == id());
   assert(sim_ != nullptr && "Client::start() must run before replies arrive");
   sim::Simulator& sim = *sim_;
+  if (outstanding_.erase(msg.request_id) == 0) {
+    // A duplicated reply, or one that lost the race against its deadline:
+    // the request already resolved, so this copy must not count.
+    ++duplicate_replies_;
+    return;
+  }
   ++completed_;
   const bool stale = msg.proxy_hit && oracle_ != nullptr &&
                      msg.version < oracle_->version_at(msg.object, sim.now());

@@ -10,6 +10,7 @@
 #include <functional>
 #include <map>
 #include <optional>
+#include <unordered_set>
 #include <vector>
 
 #include "sim/node.h"
@@ -67,6 +68,15 @@ class Client final : public sim::Node {
   /// oracle's current version are counted as stale.
   void set_version_oracle(sim::VersionOraclePtr oracle) { oracle_ = std::move(oracle); }
 
+  /// Per-request deadline in simulated ticks (0 disables, the default).
+  /// When a request's deadline fires before its reply, the request counts
+  /// as failed (metrics.on_request_failed) and its slot reinjects, so a
+  /// lossy network cannot stall the closed loop.  A reply arriving after
+  /// its deadline is ignored.  Must be set before start(); with the
+  /// timeout off no extra events are scheduled, keeping fault-free runs
+  /// bit-identical to pre-timeout behavior.
+  void set_request_timeout(SimTime timeout) { request_timeout_ = timeout; }
+
   /// The client is the simulation-side load driver (the TCP runtime's
   /// adc_loadgen replaces it), so unlike the proxy agents it needs the full
   /// Simulator — scheduling and metrics — captured in start().
@@ -74,7 +84,9 @@ class Client final : public sim::Node {
 
   std::uint64_t issued() const noexcept { return issued_; }
   std::uint64_t completed() const noexcept { return completed_; }
-  bool drained() const noexcept { return drained_ && issued_ == completed_; }
+  std::uint64_t failed() const noexcept { return failed_; }
+  std::uint64_t duplicate_replies() const noexcept { return duplicate_replies_; }
+  bool drained() const noexcept { return drained_ && issued_ == completed_ + failed_; }
 
  private:
   void inject_next(sim::Simulator& sim);
@@ -88,6 +100,12 @@ class Client final : public sim::Node {
   std::size_t round_robin_cursor_ = 0;
   std::uint64_t issued_ = 0;
   std::uint64_t completed_ = 0;
+  std::uint64_t failed_ = 0;
+  std::uint64_t duplicate_replies_ = 0;
+  SimTime request_timeout_ = 0;  // 0 = off
+  /// Requests in flight; only consulted when faults can lose or duplicate
+  /// replies (every reply matches an outstanding id in a fault-free run).
+  std::unordered_set<RequestId> outstanding_;
   bool drained_ = false;
   std::map<std::uint64_t, std::vector<std::function<void()>>> milestones_;
   sim::VersionOraclePtr oracle_;

@@ -96,9 +96,17 @@ void HashingProxy::receive_reply(Transport& net, const Message& msg) {
     return;
   }
 
-  // A relayed reply passing through the entry proxy (entry-caching mode).
-  assert(entry_caching_ && "unexpected relayed reply with entry caching disabled");
-  remember_version(msg.object, msg.version, cache_->insert(msg.object));
+  // No pending route.  In entry-caching mode this is a relayed reply
+  // passing through the entry proxy: cache it.  Otherwise it is a degraded
+  // origin reply — the transport rerouted a forward around a dead owner,
+  // so the origin answered a fetch we never initiated.  Relay it to the
+  // client without caching: this proxy does not own the object, and
+  // caching it would shadow the hash allocation once the owner returns.
+  if (entry_caching_) {
+    remember_version(msg.object, msg.version, cache_->insert(msg.object));
+  } else {
+    ++stats_.degraded_replies;
+  }
   Message reply = msg;
   reply.sender = id();
   reply.target = msg.client;

@@ -69,6 +69,8 @@ struct HashingProxyStats {
   std::uint64_t forwards_to_owner = 0;
   std::uint64_t forwards_to_origin = 0;
   std::uint64_t owned_objects_served = 0;
+  std::uint64_t degraded_replies = 0;  // origin replies relayed for requests that
+                                       // were rerouted around a dead owner
 };
 
 class HashingProxy final : public sim::Node {

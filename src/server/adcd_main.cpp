@@ -47,6 +47,9 @@ int main(int argc, char** argv) {
       .option("max-forwards", "8", "ADC search cutoff")
       .option("cache-capacity", "10000", "CARP per-proxy LRU capacity")
       .option("seed", "1", "random seed (perturbed by --id per daemon)")
+      .option("fault-drop", "0", "chaos: probability of dropping each outbound message")
+      .option("fault-dup", "0", "chaos: probability of duplicating each outbound message")
+      .option("fault-seed", "64023", "chaos: seed of the fault layer's private RNG")
       .multi_option("peer", "cluster member as id=host:port; the origin too");
   std::string error;
   if (!cli.parse(argc, argv, &error)) {
@@ -75,6 +78,10 @@ int main(int argc, char** argv) {
   config.carp_cache_capacity =
       static_cast<std::size_t>(options.get_int("cache-capacity", 10000));
   config.seed = static_cast<std::uint64_t>(options.get_int("seed", 1));
+  config.fault_plan.drop_prob = options.get_double("fault-drop", 0.0);
+  config.fault_plan.dup_prob = options.get_double("fault-dup", 0.0);
+  config.fault_plan.seed = static_cast<std::uint64_t>(options.get_int("fault-seed", 0x0fa17)) +
+                           static_cast<std::uint64_t>(config.node_id);
 
   for (const std::string& spec : cli.values("peer")) {
     NodeId id = kInvalidNode;

@@ -43,13 +43,29 @@ bool parse_daemon_role(std::string_view text, DaemonRole* out) {
   return false;
 }
 
+namespace {
+
+fault::PeerHealth::Config health_for_node(fault::PeerHealth::Config health, NodeId node) {
+  // Per-node jitter streams, so members do not redial in lockstep.
+  health.seed += static_cast<std::uint64_t>(node);
+  return health;
+}
+
+}  // namespace
+
 NodeDaemon::NodeDaemon(DaemonConfig config)
     : config_(std::move(config)),
       // Fold the node id into the seed so same-seeded daemons draw
       // independent streams (the simulator has one Rng; a cluster has one
       // per node, which only perturbs random-forwarding choices).
       rng_(config_.seed * 0x9e3779b97f4a7c15ULL + static_cast<std::uint64_t>(config_.node_id)),
-      start_(std::chrono::steady_clock::now()) {
+      start_(std::chrono::steady_clock::now()),
+      health_(health_for_node(config_.health, config_.node_id)) {
+  if (!config_.fault_plan.is_zero()) {
+    chaos_ = std::make_unique<fault::FaultyNetwork>(config_.fault_plan);
+    ADC_LOG_INFO << "adcd[" << config_.node_id
+                 << "]: chaos enabled: " << config_.fault_plan.describe();
+  }
   make_node();
 }
 
@@ -128,7 +144,9 @@ void NodeDaemon::on_conn_event(int fd, bool readable, bool writable) {
   net::Conn& conn = *it->second;
 
   if (writable) {
-    if (conn.flush() != net::Conn::Io::kOk) {
+    const net::Conn::Io io = conn.flush();
+    if (io != net::Conn::Io::kOk) {
+      account_dead_conn(fd, io);
       drop_conn(fd);
       return;
     }
@@ -153,12 +171,18 @@ void NodeDaemon::on_conn_event(int fd, bool readable, bool writable) {
     if (frame.type == net::FrameType::kHello) {
       ++stats_.hellos;
       routes_[frame.hello.node_id] = fd;
+      // A configured peer dialing in proves it is alive — possibly a
+      // restarted daemon reconnecting.
+      if (config_.peers.count(frame.hello.node_id) != 0) note_peer_up(frame.hello.node_id);
       continue;
     }
     deliver(std::move(frame.message));
     if (conns_.find(fd) == conns_.end()) return;  // delivery dropped us
   }
-  if (io != net::Conn::Io::kOk) drop_conn(fd);
+  if (io != net::Conn::Io::kOk) {
+    account_dead_conn(fd, io);
+    drop_conn(fd);
+  }
 }
 
 void NodeDaemon::deliver(net::WireMessage wire) {
@@ -176,24 +200,76 @@ void NodeDaemon::deliver(net::WireMessage wire) {
   draining_ = false;
 }
 
+void NodeDaemon::note_peer_down(NodeId peer) {
+  if (!health_.record_failure(peer, now())) return;  // deeper into an existing streak
+  ADC_LOG_WARN << "adcd[" << config_.node_id << "]: peer " << peer << " is down";
+  if (config_.role == DaemonRole::kAdcProxy && peer != config_.origin_id) {
+    // Age out mapping entries pointing at the dead peer so lookups fall
+    // back to random forwarding instead of chasing a black hole.
+    const std::size_t removed = static_cast<core::AdcProxy&>(*node_).invalidate_peer(peer);
+    fault_stats_.entries_invalidated += removed;
+    if (removed != 0) {
+      ADC_LOG_INFO << "adcd[" << config_.node_id << "]: invalidated " << removed
+                   << " table entries for dead peer " << peer;
+    }
+  }
+}
+
+void NodeDaemon::note_peer_up(NodeId peer) {
+  if (!health_.record_success(peer)) return;  // was not down
+  ++fault_stats_.reconnects;
+  ADC_LOG_INFO << "adcd[" << config_.node_id << "]: peer " << peer << " reconnected";
+}
+
+void NodeDaemon::account_dead_conn(int fd, net::Conn::Io io) {
+  if (io == net::Conn::Io::kClosed) {
+    ++stats_.peer_closes;
+  } else {
+    ++stats_.peer_resets;
+  }
+  // An orderly close is not a failure signal (daemons close on shutdown,
+  // clients when their run ends); resets and errors are.
+  if (io == net::Conn::Io::kClosed) return;
+  for (const auto& [id, route_fd] : routes_) {
+    if (route_fd == fd && config_.peers.count(id) != 0) note_peer_down(id);
+  }
+}
+
 int NodeDaemon::fd_for(NodeId id) {
   if (const auto it = routes_.find(id); it != routes_.end()) return it->second;
   const auto peer = config_.peers.find(id);
   if (peer == config_.peers.end()) return -1;
 
-  // Tolerate cluster startup ordering: peers launched moments after us are
-  // worth a few seconds of retries before the message is dropped.
   int fd = -1;
   std::string error;
-  for (int attempt = 0; attempt < 100; ++attempt) {
+  if (dialed_before_.insert(id).second) {
+    // First-ever dial: tolerate cluster startup ordering — peers launched
+    // moments after us are worth a few seconds of retries before the
+    // message is dropped.
+    for (int attempt = 0; attempt < 100; ++attempt) {
+      fd = net::connect_tcp(peer->second, &error);
+      if (fd >= 0) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    if (fd < 0) {
+      ADC_LOG_WARN << "adcd[" << config_.node_id << "]: cannot reach peer " << id << ": "
+                   << error;
+      note_peer_down(id);
+      return -1;
+    }
+  } else {
+    // Redial of a previously reached peer: one non-blocking attempt under
+    // the capped-exponential-backoff schedule, so a dead peer costs one
+    // connect() per backoff window instead of a 5-second stall per send.
+    if (!health_.can_attempt(id, now())) return -1;
+    if (health_.is_down(id)) ++fault_stats_.retries;
     fd = net::connect_tcp(peer->second, &error);
-    if (fd >= 0) break;
-    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    if (fd < 0) {
+      note_peer_down(id);
+      return -1;
+    }
   }
-  if (fd < 0) {
-    ADC_LOG_WARN << "adcd[" << config_.node_id << "]: cannot reach peer " << id << ": " << error;
-    return -1;
-  }
+  note_peer_up(id);
   auto conn = std::make_unique<net::Conn>(fd);
   std::vector<std::uint8_t> hello;
   net::encode_hello(net::Hello{config_.node_id,
@@ -208,7 +284,9 @@ int NodeDaemon::fd_for(NodeId id) {
 }
 
 void NodeDaemon::flush_conn(int fd, net::Conn& conn) {
-  if (conn.flush() != net::Conn::Io::kOk) {
+  const net::Conn::Io io = conn.flush();
+  if (io != net::Conn::Io::kOk) {
+    account_dead_conn(fd, io);
     drop_conn(fd);
     return;
   }
@@ -220,12 +298,38 @@ void NodeDaemon::send(sim::Message msg) {
   // deliveries included.
   msg.hops += 1;
 
+  // Chaos injection mirrors the simulator's hook placement: after hop
+  // accounting, before routing.  Live chaos is drop/duplicate only; the
+  // poll loop keeps no timers, so extra-delay faults have no effect here.
+  int duplicates = 0;
+  if (chaos_ != nullptr) {
+    const sim::FaultDecision fate = chaos_->on_send(msg, now());
+    if (fate.drop) return;
+    duplicates = fate.duplicates;
+  }
+
   if (msg.target == config_.node_id) {
-    deliver(net::WireMessage{msg, current_path_});
+    for (int copy = 0; copy <= duplicates; ++copy) {
+      deliver(net::WireMessage{msg, current_path_});
+    }
     return;
   }
 
-  const int fd = fd_for(msg.target);
+  int fd = fd_for(msg.target);
+  if (fd < 0 && msg.kind == sim::MessageKind::kRequest &&
+      msg.target != config_.origin_id) {
+    // Graceful degradation: the forwarding target is down, so resolve at
+    // the origin instead of dropping the search.  The origin replies to
+    // this node (msg.sender stays intact), which backwards it normally.
+    const int origin_fd = fd_for(config_.origin_id);
+    if (origin_fd >= 0) {
+      ++fault_stats_.degraded_fetches;
+      ADC_LOG_INFO << "adcd[" << config_.node_id << "]: peer " << msg.target
+                   << " unreachable; degrading req=" << msg.request_id << " to origin fetch";
+      msg.target = config_.origin_id;
+      fd = origin_fd;
+    }
+  }
   if (fd < 0) {
     ++stats_.drops_unroutable;
     ADC_LOG_WARN << "adcd[" << config_.node_id << "]: no route to node " << msg.target
@@ -236,9 +340,24 @@ void NodeDaemon::send(sim::Message msg) {
   std::vector<std::uint8_t> bytes;
   net::encode_message(net::WireMessage{msg, current_path_}, &bytes);
   net::Conn& conn = *conns_.at(fd);
-  conn.queue(bytes);
-  ++stats_.frames_out;
+  for (int copy = 0; copy <= duplicates; ++copy) {
+    conn.queue(bytes);
+    ++stats_.frames_out;
+  }
   flush_conn(fd, conn);
+}
+
+sim::FaultCounters NodeDaemon::fault_stats() const {
+  sim::FaultCounters merged = fault_stats_;
+  if (chaos_ != nullptr) {
+    const sim::FaultCounters& injected = chaos_->counters();
+    merged.drops_random = injected.drops_random;
+    merged.drops_partition = injected.drops_partition;
+    merged.drops_crash = injected.drops_crash;
+    merged.duplicates = injected.duplicates;
+    merged.delays = injected.delays;
+  }
+  return merged;
 }
 
 std::string NodeDaemon::stats_text() const {
@@ -249,7 +368,16 @@ std::string NodeDaemon::stats_text() const {
          " deliveries=" + std::to_string(stats_.deliveries) +
          " hellos=" + std::to_string(stats_.hellos) + "\n";
   out += "  drops_unroutable=" + std::to_string(stats_.drops_unroutable) +
-         " drops_corrupt=" + std::to_string(stats_.drops_corrupt) + "\n";
+         " drops_corrupt=" + std::to_string(stats_.drops_corrupt) +
+         " peer_resets=" + std::to_string(stats_.peer_resets) +
+         " peer_closes=" + std::to_string(stats_.peer_closes) + "\n";
+  out += "  faults: " + fault_stats().text() + "\n";
+  const std::vector<NodeId> down = health_.down_peers();
+  if (!down.empty()) {
+    out += "  down_peers:";
+    for (const NodeId peer : down) out += " " + std::to_string(peer);
+    out += "\n";
+  }
   switch (config_.role) {
     case DaemonRole::kAdcProxy: {
       const auto& stats = static_cast<const core::AdcProxy&>(*node_).stats();
@@ -261,7 +389,8 @@ std::string NodeDaemon::stats_text() const {
       out += "  loops_detected=" + std::to_string(stats.loops_detected) +
              " replies_relayed=" + std::to_string(stats.replies_relayed) +
              " resolver_claims=" + std::to_string(stats.resolver_claims) +
-             " cache_admissions=" + std::to_string(stats.cache_admissions) + "\n";
+             " cache_admissions=" + std::to_string(stats.cache_admissions) +
+             " orphan_replies=" + std::to_string(stats.orphan_replies) + "\n";
       break;
     }
     case DaemonRole::kCarpProxy: {

@@ -20,15 +20,20 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "cache/policies.h"
 #include "core/adc_config.h"
+#include "fault/fault_plan.h"
+#include "fault/faulty_network.h"
+#include "fault/peer_health.h"
 #include "net/event_loop.h"
 #include "net/socket.h"
 #include "net/wire.h"
+#include "sim/metrics.h"
 #include "sim/node.h"
 #include "sim/transport.h"
 #include "util/rng.h"
@@ -63,6 +68,15 @@ struct DaemonConfig {
   cache::Policy carp_policy = cache::Policy::kLru;
 
   std::uint64_t seed = 1;
+
+  /// Chaos injection on this daemon's outbound sends.  Only the
+  /// probabilistic drop/duplicate faults apply live — extra delay would
+  /// need timers the poll loop does not keep, and crash windows are the
+  /// operator's job (kill the process).  Zero plan (default) = no chaos.
+  fault::FaultPlan fault_plan;
+
+  /// Reconnect backoff parameters for peer-health tracking.
+  fault::PeerHealth::Config health;
 };
 
 struct DaemonStats {
@@ -72,6 +86,8 @@ struct DaemonStats {
   std::uint64_t hellos = 0;
   std::uint64_t drops_unroutable = 0;  // sends to a node we cannot reach
   std::uint64_t drops_corrupt = 0;     // connections killed on bad frames
+  std::uint64_t peer_resets = 0;       // connections lost to a hard reset / error
+  std::uint64_t peer_closes = 0;       // connections closed in order
 };
 
 class NodeDaemon final : public sim::Transport {
@@ -107,6 +123,12 @@ class NodeDaemon final : public sim::Transport {
   NodeId node_id() const noexcept { return config_.node_id; }
   sim::Node& hosted() noexcept { return *node_; }
 
+  /// Resilience counters (retries/reconnects/degraded fetches/table
+  /// invalidations) merged with the injection side when a fault plan is
+  /// active.
+  sim::FaultCounters fault_stats() const;
+  const fault::PeerHealth& peer_health() const noexcept { return health_; }
+
   // --- sim::Transport ----------------------------------------------------
   void send(sim::Message msg) override;
   util::Rng& rng() noexcept override { return rng_; }
@@ -120,13 +142,30 @@ class NodeDaemon final : public sim::Transport {
   void deliver(net::WireMessage wire);
   void flush_conn(int fd, net::Conn& conn);
 
-  /// Connection that can reach `id`, connecting (with startup retries) to
-  /// a configured peer on first use.  -1 when the id is unreachable.
+  /// Connection that can reach `id`.  The first-ever dial to a configured
+  /// peer retries for a few seconds (cluster startup ordering); later
+  /// redials are single non-blocking attempts gated by the peer-health
+  /// backoff.  -1 when the id is unreachable right now.
   int fd_for(NodeId id);
+
+  /// Peer-health transitions: a peer observed down (dial/write/read
+  /// failure) or back up.  Down transitions age out ADC mapping entries
+  /// pointing at the dead peer so lookups stop chasing it.
+  void note_peer_down(NodeId peer);
+  void note_peer_up(NodeId peer);
+
+  /// Classifies a dead connection's ending into reset/close counters and
+  /// records the failure against any peer routed over it.
+  void account_dead_conn(int fd, net::Conn::Io io);
 
   DaemonConfig config_;
   util::Rng rng_;
   std::chrono::steady_clock::time_point start_;
+
+  fault::PeerHealth health_;
+  std::unique_ptr<fault::FaultyNetwork> chaos_;  // null without a fault plan
+  sim::FaultCounters fault_stats_;
+  std::set<NodeId> dialed_before_;  // peers that had their startup dial
 
   std::unique_ptr<sim::Node> node_;
   net::EventLoop loop_;

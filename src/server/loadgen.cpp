@@ -1,6 +1,7 @@
 #include "server/loadgen.h"
 
 #include <chrono>
+#include <limits>
 #include <sstream>
 #include <thread>
 
@@ -17,20 +18,31 @@ std::int64_t now_us() {
 
 }  // namespace
 
+std::string LoadGenErrors::text() const {
+  std::ostringstream out;
+  out << "connect_refused=" << connect_refused << " peer_resets=" << peer_resets
+      << " orderly_closes=" << orderly_closes << " write_errors=" << write_errors
+      << " corrupt_frames=" << corrupt_frames << " reconnects=" << reconnects;
+  return out.str();
+}
+
 std::string LoadGenReport::text() const {
   std::ostringstream out;
-  out << "requests:   " << completed << " completed / " << issued << " issued"
-      << (timed_out ? "  [TIMED OUT]" : "") << "\n";
+  out << "requests:   " << completed << " completed / " << failed << " failed / " << issued
+      << " issued" << (timed_out ? "  [TIMED OUT]" : "") << "\n";
   out << "hit rate:   " << hit_rate() << "\n";
+  if (failed > 0) out << "failure:    " << failure_rate() << "\n";
+  if (duplicate_replies > 0) out << "dup replies: " << duplicate_replies << "\n";
   out << "mean hops:  " << mean_hops() << "\n";
   out << "throughput: " << throughput() << " req/s (" << wall_seconds << " s)\n";
   out << "latency:    p50=" << latency_p50_us << "us p95=" << latency_p95_us
       << "us p99=" << latency_p99_us << "us\n";
+  out << "conn errors: " << errors.text() << "\n";
   return out.str();
 }
 
 LoadGenerator::LoadGenerator(LoadGenConfig config)
-    : config_(std::move(config)), rng_(config_.seed) {
+    : config_(std::move(config)), rng_(config_.seed), health_(config_.health) {
   for (const auto& [id, endpoint] : config_.proxies) entries_.push_back(id);
 }
 
@@ -56,7 +68,7 @@ bool LoadGenerator::connect(std::string* error) {
     std::vector<std::uint8_t> hello;
     net::encode_hello(net::Hello{config_.client_id, sim::NodeKind::kClient}, &hello);
     conn->queue(hello);
-    if (conn->flush() == net::Conn::Io::kError) {
+    if (conn->flush() != net::Conn::Io::kOk) {
       if (error) *error = "HELLO to proxy " + std::to_string(id) + " failed";
       return false;
     }
@@ -76,15 +88,60 @@ NodeId LoadGenerator::pick_entry() {
   return entries_[rng_.index(entries_.size())];
 }
 
-void LoadGenerator::issue_next() {
-  if (failed_ || next_index_ >= objects_->size()) return;
+int LoadGenerator::entry_fd(NodeId entry) {
+  if (const auto it = routes_.find(entry); it != routes_.end()) return it->second;
+  if (!health_.can_attempt(entry, now_us())) return -1;
+
+  const net::Endpoint& endpoint = config_.proxies.at(entry);
+  std::string error;
+  const int fd = net::connect_tcp(endpoint, &error);
+  if (fd < 0) {
+    ++errors_.connect_refused;
+    health_.record_failure(entry, now_us());
+    return -1;
+  }
+  auto conn = std::make_unique<net::Conn>(fd);
+  std::vector<std::uint8_t> hello;
+  net::encode_hello(net::Hello{config_.client_id, sim::NodeKind::kClient}, &hello);
+  conn->queue(hello);
+  if (conn->flush() != net::Conn::Io::kOk) {
+    ++errors_.connect_refused;
+    health_.record_failure(entry, now_us());
+    return -1;  // conn's destructor closes the fd
+  }
+  if (health_.record_success(entry)) {
+    ++errors_.reconnects;
+    ADC_LOG_INFO << "loadgen: entry proxy " << entry << " reconnected";
+  }
+  routes_[entry] = fd;
+  conns_.emplace(fd, std::move(conn));
+  loop_.watch(fd, [this](int f, bool r, bool w) { on_conn_event(f, r, w); });
+  return fd;
+}
+
+bool LoadGenerator::issue_next() {
+  if (objects_ == nullptr || next_index_ >= objects_->size()) return false;
+
+  // One try per configured entry: the preferred pick first, then the rest,
+  // so a single dead proxy degrades throughput instead of stopping the run.
+  int fd = -1;
+  NodeId target = kInvalidNode;
+  for (std::size_t attempt = 0; attempt < entries_.size(); ++attempt) {
+    const NodeId candidate = pick_entry();
+    fd = entry_fd(candidate);
+    if (fd >= 0) {
+      target = candidate;
+      break;
+    }
+  }
+  if (fd < 0) return false;  // every entry down; retry next poll round
 
   sim::Message request;
   request.kind = sim::MessageKind::kRequest;
-  request.request_id = make_request_id(config_.client_id, issued_);
+  request.request_id = make_request_id(config_.client_id, lifetime_issued_++);
   request.object = (*objects_)[next_index_++];
   request.sender = config_.client_id;
-  request.target = pick_entry();
+  request.target = target;
   request.client = config_.client_id;
   request.forward_count = 0;
   // The client-to-entry transfer counts one hop, exactly as
@@ -92,18 +149,36 @@ void LoadGenerator::issue_next() {
   request.hops = 1;
   request.issued_at = now_us();
   ++issued_;
+  outstanding_.emplace(request.request_id,
+                       config_.request_timeout_ms > 0
+                           ? request.issued_at + std::int64_t{config_.request_timeout_ms} * 1000
+                           : std::numeric_limits<std::int64_t>::max());
 
   std::vector<std::uint8_t> bytes;
   net::encode_message(net::WireMessage{request, {}}, &bytes);
-  const int fd = routes_.at(request.target);
   net::Conn& conn = *conns_.at(fd);
   conn.queue(bytes);
-  if (conn.flush() == net::Conn::Io::kError) {
-    ADC_LOG_WARN << "loadgen: write to proxy " << request.target << " failed";
-    failed_ = true;
-    return;
+  const net::Conn::Io io = conn.flush();
+  if (io != net::Conn::Io::kOk) {
+    if (io == net::Conn::Io::kError) ++errors_.write_errors;
+    conn_died(fd, io);
+    return true;  // the request is in flight bookkeeping-wise; it will expire
   }
   if (conn.wants_write()) loop_.request_write(fd, true);
+  return true;
+}
+
+void LoadGenerator::expire_overdue() {
+  if (config_.request_timeout_ms <= 0 || outstanding_.empty()) return;
+  const std::int64_t now = now_us();
+  for (auto it = outstanding_.begin(); it != outstanding_.end();) {
+    if (it->second <= now) {
+      it = outstanding_.erase(it);
+      ++failed_requests_;
+    } else {
+      ++it;
+    }
+  }
 }
 
 void LoadGenerator::on_reply(const sim::Message& msg) {
@@ -111,11 +186,42 @@ void LoadGenerator::on_reply(const sim::Message& msg) {
     ADC_LOG_WARN << "loadgen: unexpected message for node " << msg.client;
     return;
   }
+  if (outstanding_.erase(msg.request_id) == 0) {
+    // Chaos duplicated the reply, or it lost the race against its
+    // deadline; either way this request already resolved.
+    ++duplicate_replies_;
+    return;
+  }
   ++completed_;
   if (msg.proxy_hit) ++hits_;
   total_hops_ += static_cast<std::uint64_t>(msg.hops);
   latency_us_.add(static_cast<double>(now_us() - msg.issued_at));
-  issue_next();
+}
+
+void LoadGenerator::conn_died(int fd, net::Conn::Io io) {
+  switch (io) {
+    case net::Conn::Io::kClosed:
+      ++errors_.orderly_closes;
+      break;
+    case net::Conn::Io::kReset:
+      ++errors_.peer_resets;
+      break;
+    default:
+      break;  // kError call sites count write_errors/corrupt themselves
+  }
+  for (auto it = routes_.begin(); it != routes_.end();) {
+    if (it->second == fd) {
+      // An orderly close is still a down signal for a client: the proxy
+      // went away and must be redialed before it can serve us again.
+      health_.record_failure(it->first, now_us());
+      ADC_LOG_WARN << "loadgen: lost connection to entry proxy " << it->first;
+      it = routes_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  loop_.unwatch(fd);
+  conns_.erase(fd);  // closes the fd
 }
 
 void LoadGenerator::on_conn_event(int fd, bool readable, bool writable) {
@@ -124,8 +230,10 @@ void LoadGenerator::on_conn_event(int fd, bool readable, bool writable) {
   net::Conn& conn = *it->second;
 
   if (writable) {
-    if (conn.flush() == net::Conn::Io::kError) {
-      failed_ = true;
+    const net::Conn::Io io = conn.flush();
+    if (io != net::Conn::Io::kOk) {
+      if (io == net::Conn::Io::kError) ++errors_.write_errors;
+      conn_died(fd, io);
       return;
     }
     if (!conn.wants_write()) loop_.request_write(fd, false);
@@ -140,33 +248,48 @@ void LoadGenerator::on_conn_event(int fd, bool readable, bool writable) {
     if (result == net::DecodeResult::kNeedMore) break;
     if (result == net::DecodeResult::kCorrupt) {
       ADC_LOG_WARN << "loadgen: corrupt frame from fd=" << fd << ": " << error;
-      failed_ = true;
+      ++errors_.corrupt_frames;
+      conn_died(fd, net::Conn::Io::kError);
       return;
     }
     if (frame.type == net::FrameType::kHello) continue;
     on_reply(frame.message.msg);
   }
-  if (io != net::Conn::Io::kOk) {
-    ADC_LOG_WARN << "loadgen: proxy connection fd=" << fd << " closed mid-run";
-    failed_ = true;
-  }
+  if (io != net::Conn::Io::kOk) conn_died(fd, io);
 }
 
 LoadGenReport LoadGenerator::run(const std::vector<ObjectId>& objects) {
   objects_ = &objects;
   next_index_ = 0;
+  issued_ = 0;
+  completed_ = 0;
+  failed_requests_ = 0;
+  duplicate_replies_ = 0;
+  hits_ = 0;
+  total_hops_ = 0;
+  latency_us_.clear();
+  errors_ = LoadGenErrors{};
+  outstanding_.clear();
   const auto wall_start = std::chrono::steady_clock::now();
 
-  for (int i = 0; i < config_.concurrency && !failed_; ++i) issue_next();
-
-  std::uint64_t last_completed = completed_;
+  std::uint64_t last_resolved = 0;
   auto last_progress = wall_start;
   bool timed_out = false;
-  while (!failed_ && completed_ < issued_) {
+  for (;;) {
+    // Top up the closed loop; issue_next() returning false means either
+    // the trace is exhausted or every entry is in backoff right now.
+    while (outstanding_.size() < static_cast<std::size_t>(config_.concurrency)) {
+      if (!issue_next()) break;
+    }
+    if (next_index_ >= objects.size() && outstanding_.empty()) break;
+
     loop_.poll_once(100);
+    expire_overdue();
+
     const auto now = std::chrono::steady_clock::now();
-    if (completed_ != last_completed) {
-      last_completed = completed_;
+    const std::uint64_t resolved = completed_ + failed_requests_;
+    if (resolved != last_resolved) {
+      last_resolved = resolved;
       last_progress = now;
     } else if (config_.idle_timeout_ms > 0 &&
                now - last_progress > std::chrono::milliseconds(config_.idle_timeout_ms)) {
@@ -180,13 +303,16 @@ LoadGenReport LoadGenerator::run(const std::vector<ObjectId>& objects) {
   LoadGenReport report;
   report.issued = issued_;
   report.completed = completed_;
+  report.failed = failed_requests_;
+  report.duplicate_replies = duplicate_replies_;
   report.hits = hits_;
   report.total_hops = total_hops_;
   report.wall_seconds = std::chrono::duration<double>(wall_end - wall_start).count();
   report.latency_p50_us = latency_us_.percentile(0.50);
   report.latency_p95_us = latency_us_.percentile(0.95);
   report.latency_p99_us = latency_us_.percentile(0.99);
-  report.timed_out = timed_out || failed_;
+  report.timed_out = timed_out;
+  report.errors = errors_;
   return report;
 }
 

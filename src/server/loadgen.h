@@ -8,14 +8,22 @@
 // (one per transfer, the client-to-entry transfer included), and latency
 // is wall microseconds from issue to reply, summarized by the same
 // deterministic PercentileTracker the simulator reports with.
+//
+// The generator survives faults: a dead entry connection is classified
+// (refused / reset / orderly close / write error), the entry goes through
+// the shared capped-backoff health tracker and is redialed, and an
+// optional per-request deadline reclaims slots whose replies were lost,
+// so an injected-loss run completes instead of hanging.
 #pragma once
 
 #include <cstdint>
 #include <map>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
+#include "fault/peer_health.h"
 #include "net/event_loop.h"
 #include "net/socket.h"
 #include "net/wire.h"
@@ -43,11 +51,37 @@ struct LoadGenConfig {
   /// Abort when no reply arrives for this long (a wedged cluster must not
   /// hang the test suite).  <= 0 disables.
   int idle_timeout_ms = 30000;
+
+  /// Per-request deadline (<= 0 disables).  An expired request counts as
+  /// failed and frees its concurrency slot, so lost messages cannot stall
+  /// the closed loop.  A reply arriving after its deadline is ignored.
+  int request_timeout_ms = 0;
+
+  /// Reconnect backoff for entries whose connection died.
+  fault::PeerHealth::Config health;
+};
+
+/// Per-connection error accounting: how entry-proxy connections ended and
+/// how often requests could not complete.
+struct LoadGenErrors {
+  std::uint64_t connect_refused = 0;  // redial attempts that failed outright
+  std::uint64_t peer_resets = 0;      // connections lost to RST / hard errors
+  std::uint64_t orderly_closes = 0;   // connections the peer closed cleanly
+  std::uint64_t write_errors = 0;     // queued writes that killed the conn
+  std::uint64_t corrupt_frames = 0;   // connections dropped on undecodable data
+  std::uint64_t reconnects = 0;       // a down entry came back
+
+  std::uint64_t total_conn_failures() const noexcept {
+    return connect_refused + peer_resets + write_errors + corrupt_frames;
+  }
+  std::string text() const;
 };
 
 struct LoadGenReport {
   std::uint64_t issued = 0;
   std::uint64_t completed = 0;
+  std::uint64_t failed = 0;             // per-request deadlines that expired
+  std::uint64_t duplicate_replies = 0;  // replies for already-resolved requests
   std::uint64_t hits = 0;
   std::uint64_t total_hops = 0;
   double wall_seconds = 0.0;
@@ -55,9 +89,14 @@ struct LoadGenReport {
   double latency_p95_us = 0.0;
   double latency_p99_us = 0.0;
   bool timed_out = false;
+  LoadGenErrors errors;
 
   double hit_rate() const noexcept {
     return completed == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(completed);
+  }
+  double failure_rate() const noexcept {
+    const std::uint64_t resolved = completed + failed;
+    return resolved == 0 ? 0.0 : static_cast<double>(failed) / static_cast<double>(resolved);
   }
   double mean_hops() const noexcept {
     return completed == 0 ? 0.0
@@ -81,15 +120,28 @@ class LoadGenerator {
   /// Connects and HELLOs to every configured proxy (with startup retries).
   bool connect(std::string* error);
 
-  /// Replays `objects` and blocks until every request completed (or the
-  /// idle timeout fired).  connect() must have succeeded.
+  /// Replays `objects` and blocks until every request resolved — completed
+  /// or expired — or the idle timeout fired.  connect() must have
+  /// succeeded.  Counters reset per call, so a harness can replay two
+  /// phases through one generator and measure them separately.
   LoadGenReport run(const std::vector<ObjectId>& objects);
 
  private:
-  void issue_next();
+  bool issue_next();
+  void expire_overdue();
   NodeId pick_entry();
+
+  /// Usable fd for an entry: the live route, or a fresh backoff-gated
+  /// redial.  -1 while the entry is down.
+  int entry_fd(NodeId entry);
+
   void on_conn_event(int fd, bool readable, bool writable);
   void on_reply(const sim::Message& msg);
+
+  /// Classifies a dead connection, records the failure against its entry,
+  /// and forgets it.  Outstanding requests routed over it resolve via the
+  /// request timeout.
+  void conn_died(int fd, net::Conn::Io io);
 
   LoadGenConfig config_;
   util::Rng rng_;
@@ -99,15 +151,25 @@ class LoadGenerator {
   net::EventLoop loop_;
   std::map<int, std::unique_ptr<net::Conn>> conns_;
   std::map<NodeId, int> routes_;
+  fault::PeerHealth health_;
 
   const std::vector<ObjectId>* objects_ = nullptr;
   std::size_t next_index_ = 0;
+  /// Never reset: request ids must stay unique across run() calls, or a
+  /// straggler reply from a previous phase could resolve a new request.
+  std::uint64_t lifetime_issued_ = 0;
   std::uint64_t issued_ = 0;
   std::uint64_t completed_ = 0;
+  std::uint64_t failed_requests_ = 0;
+  std::uint64_t duplicate_replies_ = 0;
   std::uint64_t hits_ = 0;
   std::uint64_t total_hops_ = 0;
   sim::PercentileTracker latency_us_;
-  bool failed_ = false;
+  LoadGenErrors errors_;
+
+  /// In-flight requests: id -> deadline (microsecond steady-clock stamp;
+  /// INT64_MAX when the per-request timeout is off).
+  std::unordered_map<RequestId, std::int64_t> outstanding_;
 };
 
 }  // namespace adc::server

@@ -29,6 +29,8 @@ int main(int argc, char** argv) {
       .option("entry", "rr", "entry proxy choice: rr | random")
       .option("seed", "1", "seed for --entry random")
       .option("idle-timeout", "30000", "abort after this many ms without a reply (0 = never)")
+      .option("request-timeout", "0",
+              "per-request deadline in ms; expired requests count as failed (0 = off)")
       .multi_option("peer", "entry proxy as id=host:port");
   std::string error;
   if (!cli.parse(argc, argv, &error)) {
@@ -46,6 +48,7 @@ int main(int argc, char** argv) {
   config.concurrency = static_cast<int>(options.get_int("concurrency", 4));
   config.seed = static_cast<std::uint64_t>(options.get_int("seed", 1));
   config.idle_timeout_ms = static_cast<int>(options.get_int("idle-timeout", 30000));
+  config.request_timeout_ms = static_cast<int>(options.get_int("request-timeout", 0));
   const std::string entry = options.get_string("entry", "rr");
   if (entry == "rr" || entry == "round-robin") {
     config.entry = server::EntryChoice::kRoundRobin;

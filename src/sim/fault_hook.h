@@ -1,0 +1,34 @@
+// The simulator's fault seam.
+//
+// Simulator::send() consults an optional FaultHook after hop accounting
+// and before scheduling delivery, so a fault layer (src/fault) can drop,
+// duplicate, or delay any transfer without the simulator knowing a single
+// fault model.  The hook lives outside adc_sim to keep the dependency
+// arrow pointing one way: sim defines the seam, fault implements it.
+#pragma once
+
+#include "sim/message.h"
+#include "util/types.h"
+
+namespace adc::sim {
+
+/// What happens to one transfer.  The default decision is a faithful
+/// delivery — a hook that always returns it is indistinguishable from no
+/// hook at all (tests/fault/faulty_network_test.cpp pins this down).
+struct FaultDecision {
+  bool drop = false;       // the message vanishes in transit
+  int duplicates = 0;      // extra copies delivered after the original
+  SimTime extra_delay = 0; // added to the link latency
+};
+
+class FaultHook {
+ public:
+  virtual ~FaultHook() = default;
+
+  /// Called once per send, after the hop counter is charged (a lost
+  /// message still travelled).  Must be deterministic given the hook's
+  /// own seed; it must not touch the simulator's RNG.
+  virtual FaultDecision on_send(const Message& msg, SimTime now) = 0;
+};
+
+}  // namespace adc::sim

@@ -5,6 +5,21 @@
 
 namespace adc::sim {
 
+std::string FaultCounters::text() const {
+  std::string out;
+  out += "drops_random=" + std::to_string(drops_random);
+  out += " drops_partition=" + std::to_string(drops_partition);
+  out += " drops_crash=" + std::to_string(drops_crash);
+  out += " duplicates=" + std::to_string(duplicates);
+  out += " delays=" + std::to_string(delays);
+  out += " retries=" + std::to_string(retries);
+  out += " reconnects=" + std::to_string(reconnects);
+  out += " degraded_fetches=" + std::to_string(degraded_fetches);
+  out += " timeouts=" + std::to_string(timeouts);
+  out += " entries_invalidated=" + std::to_string(entries_invalidated);
+  return out;
+}
+
 PercentileTracker::PercentileTracker(std::size_t max_samples)
     : cap_(max_samples < 2 ? 2 : max_samples) {
   // An odd cap would drift the even-index decimation; keep it even.

@@ -7,11 +7,40 @@
 
 #include <cstdint>
 #include <deque>
+#include <string>
 #include <vector>
 
 #include "util/types.h"
 
 namespace adc::sim {
+
+/// Shared fault-and-resilience counter vocabulary.  The simulator's fault
+/// layer (fault::FaultyNetwork) fills the injection side; the live runtime
+/// (server::NodeDaemon, the load generator) fills the resilience side.
+/// Both report through the same struct so a chaos sweep and a SIGUSR1
+/// stats dump speak the same language.
+struct FaultCounters {
+  // Injection (what the fault plan did to traffic).
+  std::uint64_t drops_random = 0;     // lost to the loss probability
+  std::uint64_t drops_partition = 0;  // lost to a link partition window
+  std::uint64_t drops_crash = 0;      // lost to a node crash window
+  std::uint64_t duplicates = 0;       // extra copies delivered
+  std::uint64_t delays = 0;           // transfers given extra latency
+
+  // Resilience (how the runtime routed around failures).
+  std::uint64_t retries = 0;              // dial attempts after a failure
+  std::uint64_t reconnects = 0;           // a down peer came back
+  std::uint64_t degraded_fetches = 0;     // request rerouted to the origin
+  std::uint64_t timeouts = 0;             // per-request deadlines fired
+  std::uint64_t entries_invalidated = 0;  // table entries aged out for dead peers
+
+  std::uint64_t total_drops() const noexcept {
+    return drops_random + drops_partition + drops_crash;
+  }
+
+  /// One-line `key=value` rendering for stats dumps and bench tables.
+  std::string text() const;
+};
 
 /// Histogram over small non-negative integers (hop counts): exact counts
 /// up to `max_value`, an overflow bucket beyond.
@@ -102,6 +131,10 @@ struct SeriesPoint {
 struct MetricsSummary {
   std::uint64_t completed = 0;
   std::uint64_t hits = 0;
+  /// Requests that never completed: the per-request timeout expired (only
+  /// nonzero under fault injection).  Failed requests are excluded from
+  /// every other aggregate — hit_rate() stays hits/completed.
+  std::uint64_t failed = 0;
   /// Hits that served data older than the origin's current version
   /// (always 0 when versioning is disabled).
   std::uint64_t stale_hits = 0;
@@ -124,6 +157,12 @@ struct MetricsSummary {
   double stale_rate() const noexcept {
     return hits == 0 ? 0.0 : static_cast<double>(stale_hits) / static_cast<double>(hits);
   }
+  /// Fraction of all resolved requests (completed or timed out) that were
+  /// lost — the chaos sweeps' availability metric.
+  double failure_rate() const noexcept {
+    const std::uint64_t resolved = completed + failed;
+    return resolved == 0 ? 0.0 : static_cast<double>(failed) / static_cast<double>(resolved);
+  }
 };
 
 class MetricsCollector {
@@ -137,6 +176,10 @@ class MetricsCollector {
   /// Called by the client when a reply arrives.  `stale` marks a hit that
   /// served outdated data (ignored for misses).
   void on_request_completed(bool proxy_hit, int hops, SimTime latency, bool stale = false);
+
+  /// Called when a request's deadline expired with no reply (fault runs
+  /// only).  Counts into summary().failed and nothing else.
+  void on_request_failed() noexcept { ++summary_.failed; }
 
   const MetricsSummary& summary() const noexcept { return summary_; }
   const std::vector<SeriesPoint>& series() const noexcept { return series_; }

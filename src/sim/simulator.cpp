@@ -26,15 +26,26 @@ void Simulator::send(Message msg) {
   network_.count_message();
   if (observer_) observer_(msg, now_);
 
+  FaultDecision fate;
+  if (fault_ != nullptr) fate = fault_->on_send(msg, now_);
+  if (fate.drop) return;
+
   const bool self_message = msg.sender == msg.target;
   const SimTime delay = network_.latency(node(msg.sender).kind(), node(msg.target).kind(),
                                          self_message) +
-                        network_.node_delay(msg.target);
+                        network_.node_delay(msg.target) + fate.extra_delay;
   const NodeId target = msg.target;
   ADC_LOG_TRACE << "send t=" << now_ << " " << node(msg.sender).name() << " -> "
                 << node(target).name() << " req=" << msg.request_id
                 << " kind=" << (msg.kind == MessageKind::kRequest ? "REQ" : "RPL")
                 << " hops=" << msg.hops;
+  // Duplicates land one tick apart so delivery order stays well-defined.
+  for (int copy = 1; copy <= fate.duplicates; ++copy) {
+    queue_.schedule(now_ + delay + copy, [this, msg, target]() {
+      ++messages_delivered_;
+      nodes_[static_cast<std::size_t>(target)]->on_message(*this, msg);
+    });
+  }
   queue_.schedule(now_ + delay, [this, msg = std::move(msg), target]() {
     ++messages_delivered_;
     nodes_[static_cast<std::size_t>(target)]->on_message(*this, msg);

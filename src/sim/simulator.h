@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "sim/event_queue.h"
+#include "sim/fault_hook.h"
 #include "sim/message.h"
 #include "sim/metrics.h"
 #include "sim/network.h"
@@ -61,6 +62,14 @@ class Simulator final : public Transport {
   /// Replaces the metric collector (drivers configure window/sampling).
   void set_metrics(MetricsCollector collector) { metrics_ = std::move(collector); }
 
+  /// Installs a fault hook (non-owning; must outlive the simulation, or be
+  /// cleared with nullptr).  Consulted on every send after hop accounting:
+  /// the hook can drop the transfer, duplicate it, or stretch its latency.
+  /// With no hook — or a hook that always returns the default decision —
+  /// delivery is bit-identical to the fault-free simulator.
+  void set_fault_hook(FaultHook* hook) noexcept { fault_ = hook; }
+  FaultHook* fault_hook() const noexcept { return fault_; }
+
   /// Observes every message at send time (after hop accounting), e.g. to
   /// reconstruct journeys for protocol-level assertions or visualization.
   /// Pass nullptr to disable.  The observer must not send messages.
@@ -77,6 +86,7 @@ class Simulator final : public Transport {
   Network network_;
   MetricsCollector metrics_;
   MessageObserver observer_;
+  FaultHook* fault_ = nullptr;
   std::uint64_t messages_delivered_ = 0;
 };
 

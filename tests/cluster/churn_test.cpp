@@ -1,0 +1,332 @@
+// Live-cluster churn and chaos tests (ctest label: tier2-net).
+//
+// Where cluster_test.cpp proves the healthy cluster matches the
+// simulator, these tests break the cluster on purpose: a daemon dies
+// mid-replay (and later comes back on the same port), and in the second
+// test every daemon also drops 5% of its outbound messages.  The claims
+// under test are the resilience layer's: the load generator never hangs
+// (dead entries go through backoff, lost requests expire via the
+// per-request deadline), the daemons reroute unroutable forwards to the
+// origin and invalidate table entries pointing at the dead peer, and once
+// the peer returns the cluster reconverges to the healthy hit rate.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "driver/experiment.h"
+#include "fault/fault_plan.h"
+#include "net/socket.h"
+#include "server/daemon.h"
+#include "server/loadgen.h"
+#include "sim/metrics.h"
+#include "workload/polygraph.h"
+#include "workload/trace.h"
+
+namespace adc {
+namespace {
+
+constexpr int kProxies = 5;
+constexpr NodeId kOriginId = 5;
+constexpr NodeId kClientId = 6;
+constexpr NodeId kVictim = 2;  // the proxy that crashes mid-run
+
+/// A loopback cluster whose members can be killed and restarted on their
+/// original port mid-test.  Counters of killed instances are snapshotted
+/// before destruction so the end-of-test aggregate sees the whole story.
+class ChurnCluster {
+ public:
+  explicit ChurnCluster(std::vector<server::DaemonConfig> configs)
+      : configs_(std::move(configs)) {
+    daemons_.resize(configs_.size());
+    threads_.resize(configs_.size());
+    for (std::size_t i = 0; i < configs_.size(); ++i) {
+      configs_[i].listen = net::Endpoint{"127.0.0.1", 0};
+      daemons_[i] = std::make_unique<server::NodeDaemon>(configs_[i]);
+      std::string error;
+      const std::uint16_t port = daemons_[i]->bind(&error);
+      EXPECT_NE(port, 0) << error;
+      configs_[i].listen.port = port;  // restarts rebind the same port
+      endpoints_[configs_[i].node_id] = net::Endpoint{"127.0.0.1", port};
+    }
+    for (std::size_t i = 0; i < daemons_.size(); ++i) {
+      daemons_[i]->set_peers(endpoints_);
+      threads_[i] = std::thread([daemon = daemons_[i].get()]() { daemon->run(); });
+    }
+  }
+
+  ~ChurnCluster() { shutdown(); }
+
+  /// Stops daemon i, joins its thread, banks its counters, and closes its
+  /// listener so a restart can take the port back.
+  void kill(std::size_t i) {
+    daemons_[i]->stop();
+    threads_[i].join();
+    bank_counters(*daemons_[i]);
+    daemons_[i].reset();
+  }
+
+  void restart(std::size_t i) {
+    daemons_[i] = std::make_unique<server::NodeDaemon>(configs_[i]);
+    std::string error;
+    const std::uint16_t port = daemons_[i]->bind(&error);
+    ASSERT_EQ(port, configs_[i].listen.port) << error;
+    daemons_[i]->set_peers(endpoints_);
+    threads_[i] = std::thread([daemon = daemons_[i].get()]() { daemon->run(); });
+  }
+
+  void shutdown() {
+    for (std::size_t i = 0; i < daemons_.size(); ++i) {
+      if (daemons_[i] == nullptr) continue;
+      daemons_[i]->stop();
+      if (threads_[i].joinable()) threads_[i].join();
+    }
+  }
+
+  /// Whole-cluster fault counters: killed instances plus the survivors.
+  /// Only race-free after shutdown().
+  sim::FaultCounters total_faults() const {
+    sim::FaultCounters total = banked_;
+    for (const auto& daemon : daemons_) {
+      if (daemon == nullptr) continue;
+      const sim::FaultCounters f = daemon->fault_stats();
+      total.drops_random += f.drops_random;
+      total.duplicates += f.duplicates;
+      total.retries += f.retries;
+      total.reconnects += f.reconnects;
+      total.degraded_fetches += f.degraded_fetches;
+      total.entries_invalidated += f.entries_invalidated;
+    }
+    return total;
+  }
+
+  std::map<NodeId, net::Endpoint> proxy_endpoints() const {
+    std::map<NodeId, net::Endpoint> out;
+    for (const auto& [id, endpoint] : endpoints_) {
+      if (id != kOriginId) out[id] = endpoint;
+    }
+    return out;
+  }
+
+ private:
+  void bank_counters(const server::NodeDaemon& daemon) {
+    const sim::FaultCounters f = daemon.fault_stats();
+    banked_.drops_random += f.drops_random;
+    banked_.duplicates += f.duplicates;
+    banked_.retries += f.retries;
+    banked_.reconnects += f.reconnects;
+    banked_.degraded_fetches += f.degraded_fetches;
+    banked_.entries_invalidated += f.entries_invalidated;
+  }
+
+  std::vector<server::DaemonConfig> configs_;
+  std::vector<std::unique_ptr<server::NodeDaemon>> daemons_;
+  std::vector<std::thread> threads_;
+  std::map<NodeId, net::Endpoint> endpoints_;
+  sim::FaultCounters banked_;
+};
+
+std::vector<server::DaemonConfig> adc_configs(const core::AdcConfig& adc,
+                                              const fault::FaultPlan& plan) {
+  std::vector<server::DaemonConfig> configs;
+  for (NodeId id = 0; id <= kOriginId; ++id) {
+    server::DaemonConfig config;
+    config.node_id = id;
+    config.role = id == kOriginId ? server::DaemonRole::kOrigin : server::DaemonRole::kAdcProxy;
+    config.proxy_ids = {0, 1, 2, 3, 4};
+    config.origin_id = kOriginId;
+    config.adc = adc;
+    config.seed = 1;
+    config.fault_plan = plan;
+    config.fault_plan.seed = plan.seed + static_cast<std::uint64_t>(id);
+    configs.push_back(std::move(config));
+  }
+  return configs;
+}
+
+std::vector<ObjectId> slice(const std::vector<ObjectId>& objects, std::size_t from,
+                            std::size_t to) {
+  return {objects.begin() + static_cast<std::ptrdiff_t>(from),
+          objects.begin() + static_cast<std::ptrdiff_t>(to)};
+}
+
+double window_mean(const std::vector<sim::SeriesPoint>& series, std::uint64_t begin,
+                   std::uint64_t end) {
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (const auto& point : series) {
+    if (point.requests > begin && point.requests <= end) {
+      sum += point.hit_rate;
+      ++n;
+    }
+  }
+  return n == 0 ? 0.0 : sum / static_cast<double>(n);
+}
+
+TEST(Churn, AdcClusterReconvergesAfterDaemonRestart) {
+  auto poly = workload::PolygraphConfig::scaled(0.01);  // 39,900 requests
+  poly.seed = 42;
+  const workload::Trace trace = workload::generate_polygraph_trace(poly);
+  const std::vector<ObjectId> objects = trace.requests();
+
+  core::AdcConfig adc;
+  adc.single_table_size = 2000;
+  adc.multiple_table_size = 2000;
+  adc.caching_table_size = 1000;
+
+  // Healthy-simulator reference for the measurement window.
+  driver::ExperimentConfig sim_config;
+  sim_config.scheme = driver::Scheme::kAdc;
+  sim_config.proxies = kProxies;
+  sim_config.adc = adc;
+  sim_config.entry_policy = proxy::EntryPolicy::kRoundRobin;
+  sim_config.concurrency = 4;
+  sim_config.seed = 1;
+  sim_config.ma_window = 2000;
+  sim_config.sample_every = 250;
+  const driver::ExperimentResult expected = run_experiment(sim_config, trace);
+  ASSERT_EQ(expected.summary.completed, trace.size());
+
+  ChurnCluster cluster(adc_configs(adc, fault::FaultPlan{}));
+
+  server::LoadGenConfig lg;
+  lg.client_id = kClientId;
+  lg.proxies = cluster.proxy_endpoints();
+  lg.concurrency = 4;
+  lg.entry = server::EntryChoice::kRoundRobin;
+  lg.idle_timeout_ms = 30000;
+  // Reclaims the requests that were in flight on the victim's connections
+  // at the moment it died; everything else completes normally.
+  lg.request_timeout_ms = 2000;
+  // Loopback replays run at ~10k req/s, so the post-restart phases span
+  // only a couple of seconds of wall time; cap the redial backoff well
+  // below that or the reconnect may not be attempted before the run ends.
+  lg.health.max_backoff_us = 250'000;
+  server::LoadGenerator loadgen(std::move(lg));
+  std::string error;
+  ASSERT_TRUE(loadgen.connect(&error)) << error;
+
+  const std::size_t n = objects.size();
+  const std::size_t down_at = n * 35 / 100;
+  const std::size_t back_at = n * 45 / 100;
+  const std::size_t measure_at = n * 60 / 100;
+
+  const auto warm = loadgen.run(slice(objects, 0, down_at));
+  ASSERT_FALSE(warm.timed_out);
+  cluster.kill(kVictim);
+  const auto degraded = loadgen.run(slice(objects, down_at, back_at));
+  ASSERT_FALSE(degraded.timed_out);
+  cluster.restart(kVictim);
+  const auto recovery = loadgen.run(slice(objects, back_at, measure_at));
+  ASSERT_FALSE(recovery.timed_out);
+  const auto measured = loadgen.run(slice(objects, measure_at, n));
+  ASSERT_FALSE(measured.timed_out);
+  cluster.shutdown();
+
+  // Every phase drained: no request left unresolved, no hang.
+  EXPECT_EQ(warm.completed + warm.failed, static_cast<std::uint64_t>(down_at));
+  EXPECT_EQ(degraded.completed + degraded.failed,
+            static_cast<std::uint64_t>(back_at - down_at));
+  EXPECT_EQ(measured.completed + measured.failed,
+            static_cast<std::uint64_t>(n - measure_at));
+
+  // The load generator redialed the victim once it was back.
+  EXPECT_GE(recovery.errors.reconnects + measured.errors.reconnects, 1u);
+
+  // The surviving proxies noticed the death: forwards aimed at the victim
+  // fell back to the origin, and table entries naming it were invalidated.
+  const sim::FaultCounters faults = cluster.total_faults();
+  EXPECT_GT(faults.degraded_fetches, 0u);
+  EXPECT_GT(faults.entries_invalidated, 0u);
+
+  // After reconnection and relearning, the cluster is back at the healthy
+  // simulator's hit rate: within one percentage point over the final 40%
+  // of the trace (the window-mean of the sim's moving average carries a
+  // little estimator noise of its own).
+  const double sim_ref = window_mean(expected.series, measure_at, n);
+  EXPECT_NEAR(measured.hit_rate(), sim_ref, 0.01)
+      << "cluster=" << measured.hit_rate() << " sim=" << sim_ref;
+}
+
+TEST(Churn, LossyClusterWithMidRunCrashCompletesAndRecovers) {
+  auto poly = workload::PolygraphConfig::scaled(0.004);  // ~16k requests
+  poly.seed = 42;
+  const workload::Trace trace = workload::generate_polygraph_trace(poly);
+  const std::vector<ObjectId> objects = trace.requests();
+
+  core::AdcConfig adc;
+  adc.single_table_size = 1000;
+  adc.multiple_table_size = 1000;
+  adc.caching_table_size = 500;
+
+  fault::FaultPlan plan;
+  plan.drop_prob = 0.05;  // every daemon loses 5% of its outbound messages
+  ChurnCluster cluster(adc_configs(adc, plan));
+
+  server::LoadGenConfig lg;
+  lg.client_id = kClientId;
+  lg.proxies = cluster.proxy_endpoints();
+  lg.concurrency = 16;
+  lg.entry = server::EntryChoice::kRoundRobin;
+  lg.idle_timeout_ms = 30000;
+  // Loopback p99 is well under 10ms, so 150ms cleanly separates "lost to
+  // chaos" from "slow" while keeping ~2k expected expiries affordable.
+  lg.request_timeout_ms = 150;
+  lg.health.max_backoff_us = 250'000;  // see the restart test above
+  server::LoadGenerator loadgen(std::move(lg));
+  std::string error;
+  ASSERT_TRUE(loadgen.connect(&error)) << error;
+
+  const std::size_t n = objects.size();
+  const std::size_t down_at = n * 40 / 100;
+  const std::size_t back_at = n * 50 / 100;
+  const std::size_t measure_at = n * 70 / 100;
+
+  const auto warm = loadgen.run(slice(objects, 0, down_at));
+  ASSERT_FALSE(warm.timed_out);
+  cluster.kill(kVictim);
+  const auto degraded = loadgen.run(slice(objects, down_at, back_at));
+  ASSERT_FALSE(degraded.timed_out);
+  cluster.restart(kVictim);
+  const auto recovery = loadgen.run(slice(objects, back_at, measure_at));
+  ASSERT_FALSE(recovery.timed_out);
+  const auto measured = loadgen.run(slice(objects, measure_at, n));
+  ASSERT_FALSE(measured.timed_out);
+  cluster.shutdown();
+
+  // Zero hangs: every chunk resolved every request, lost ones as failures.
+  EXPECT_EQ(warm.completed + warm.failed, static_cast<std::uint64_t>(down_at));
+  EXPECT_EQ(degraded.completed + degraded.failed,
+            static_cast<std::uint64_t>(back_at - down_at));
+  EXPECT_EQ(recovery.completed + recovery.failed,
+            static_cast<std::uint64_t>(measure_at - back_at));
+  EXPECT_EQ(measured.completed + measured.failed,
+            static_cast<std::uint64_t>(n - measure_at));
+  EXPECT_GT(warm.failed, 0u);  // 5% loss really was injected
+
+  // The resilience counters all moved: the cluster retried the dead peer,
+  // reconnected to it, degraded forwards to the origin meanwhile, and
+  // invalidated the table entries that pointed at it.
+  const sim::FaultCounters faults = cluster.total_faults();
+  EXPECT_GT(faults.drops_random, 0u);
+  EXPECT_GT(faults.retries, 0u);
+  EXPECT_GT(faults.reconnects, 0u);
+  EXPECT_GT(faults.degraded_fetches, 0u);
+  EXPECT_GT(faults.entries_invalidated, 0u);
+  EXPECT_GE(recovery.errors.reconnects + measured.errors.reconnects, 1u);
+  EXPECT_GT(warm.errors.total_conn_failures() + degraded.errors.total_conn_failures() +
+                recovery.errors.total_conn_failures() + measured.errors.total_conn_failures() +
+                warm.errors.orderly_closes + degraded.errors.orderly_closes,
+            0u);
+
+  // Recovered: the post-restart window still serves a healthy share of
+  // hits (completed-only hit rate; the absolute bar is intentionally loose
+  // because 5% loss skews which requests complete).
+  EXPECT_GT(measured.hit_rate(), 0.25) << measured.text();
+}
+
+}  // namespace
+}  // namespace adc

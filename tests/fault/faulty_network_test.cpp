@@ -1,0 +1,227 @@
+// FaultyNetwork contract tests, unit level and end-to-end.
+//
+// The two properties everything else leans on:
+//  * a plan that never fires is invisible — bit-identical metrics to a run
+//    without any fault layer (the hook draws no RNG unless a probability
+//    is actually evaluated), and
+//  * fault decisions come only from the plan's seed, so lossy runs are
+//    reproducible at any --workers count.
+#include "fault/faulty_network.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "driver/parallel.h"
+#include "fault/fault_plan.h"
+#include "workload/polygraph.h"
+
+namespace adc::fault {
+namespace {
+
+sim::Message transfer(NodeId sender, NodeId target) {
+  sim::Message msg;
+  msg.sender = sender;
+  msg.target = target;
+  return msg;
+}
+
+TEST(FaultyNetwork, ZeroPlanNeverTouchesATransfer) {
+  FaultyNetwork chaos{FaultPlan{}};
+  for (int i = 0; i < 10'000; ++i) {
+    const sim::FaultDecision fate = chaos.on_send(transfer(0, 1), i);
+    EXPECT_FALSE(fate.drop);
+    EXPECT_EQ(fate.duplicates, 0);
+    EXPECT_EQ(fate.extra_delay, 0);
+  }
+  EXPECT_EQ(chaos.counters().total_drops(), 0u);
+  EXPECT_EQ(chaos.counters().duplicates, 0u);
+  EXPECT_EQ(chaos.counters().delays, 0u);
+}
+
+TEST(FaultyNetwork, DropProbabilityIsRoughlyHonored) {
+  FaultPlan plan;
+  plan.drop_prob = 0.5;
+  FaultyNetwork chaos{plan};
+  int drops = 0;
+  for (int i = 0; i < 10'000; ++i) {
+    if (chaos.on_send(transfer(0, 1), i).drop) ++drops;
+  }
+  EXPECT_GT(drops, 4500);
+  EXPECT_LT(drops, 5500);
+  EXPECT_EQ(chaos.counters().drops_random, static_cast<std::uint64_t>(drops));
+}
+
+TEST(FaultyNetwork, SameSeedSameDecisions) {
+  FaultPlan plan;
+  plan.drop_prob = 0.2;
+  plan.dup_prob = 0.1;
+  plan.extra_delay_prob = 0.1;
+  plan.extra_delay_mean = 25.0;
+  FaultyNetwork a{plan};
+  FaultyNetwork b{plan};
+  for (int i = 0; i < 5'000; ++i) {
+    const sim::FaultDecision fa = a.on_send(transfer(0, 1), i);
+    const sim::FaultDecision fb = b.on_send(transfer(0, 1), i);
+    ASSERT_EQ(fa.drop, fb.drop) << "transfer " << i;
+    ASSERT_EQ(fa.duplicates, fb.duplicates) << "transfer " << i;
+    ASSERT_EQ(fa.extra_delay, fb.extra_delay) << "transfer " << i;
+  }
+}
+
+TEST(FaultyNetwork, CrashWindowIsHalfOpenAndDirectionless) {
+  FaultPlan plan;
+  plan.crashes.push_back(CrashWindow{2, 100, 200, false});
+  FaultyNetwork chaos{plan};
+
+  EXPECT_FALSE(chaos.node_down(2, 99));
+  EXPECT_TRUE(chaos.node_down(2, 100));
+  EXPECT_TRUE(chaos.node_down(2, 199));
+  EXPECT_FALSE(chaos.node_down(2, 200));
+  EXPECT_FALSE(chaos.node_down(1, 150));
+
+  // Messages to and from the crashed node both drop; bystanders pass.
+  EXPECT_TRUE(chaos.on_send(transfer(0, 2), 150).drop);
+  EXPECT_TRUE(chaos.on_send(transfer(2, 0), 150).drop);
+  EXPECT_FALSE(chaos.on_send(transfer(0, 1), 150).drop);
+  EXPECT_EQ(chaos.counters().drops_crash, 2u);
+}
+
+TEST(FaultyNetwork, PartitionCutsBothDirectionsOfOneLink) {
+  FaultPlan plan;
+  plan.partitions.push_back(LinkPartition{0, 1, 100, 200});
+  FaultyNetwork chaos{plan};
+
+  EXPECT_TRUE(chaos.link_cut(0, 1, 150));
+  EXPECT_TRUE(chaos.link_cut(1, 0, 150));
+  EXPECT_FALSE(chaos.link_cut(0, 2, 150));
+  EXPECT_FALSE(chaos.link_cut(0, 1, 200));
+
+  EXPECT_TRUE(chaos.on_send(transfer(1, 0), 150).drop);
+  EXPECT_FALSE(chaos.on_send(transfer(0, 2), 150).drop);
+  EXPECT_EQ(chaos.counters().drops_partition, 1u);
+}
+
+// --- End-to-end through the driver --------------------------------------
+
+workload::Trace tiny_trace() {
+  workload::PolygraphConfig config;
+  config.fill_requests = 800;
+  config.phase2_requests = 1200;
+  config.phase3_requests = 1000;
+  config.hot_set_size = 100;
+  config.seed = 5;
+  return workload::generate_polygraph_trace(config);
+}
+
+driver::ExperimentConfig base_config() {
+  driver::ExperimentConfig config;
+  config.proxies = 3;
+  config.adc.single_table_size = 150;
+  config.adc.multiple_table_size = 150;
+  config.adc.caching_table_size = 80;
+  config.sample_every = 500;
+  return config;
+}
+
+void expect_identical(const driver::ExperimentResult& a, const driver::ExperimentResult& b) {
+  EXPECT_EQ(a.summary.completed, b.summary.completed);
+  EXPECT_EQ(a.summary.hits, b.summary.hits);
+  EXPECT_EQ(a.summary.failed, b.summary.failed);
+  EXPECT_EQ(a.summary.total_hops, b.summary.total_hops);
+  EXPECT_EQ(a.summary.total_latency, b.summary.total_latency);
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_EQ(a.messages, b.messages);
+  EXPECT_EQ(a.origin_served, b.origin_served);
+  EXPECT_EQ(a.sim_end_time, b.sim_end_time);
+  EXPECT_EQ(a.faults.total_drops(), b.faults.total_drops());
+  EXPECT_EQ(a.faults.duplicates, b.faults.duplicates);
+  EXPECT_EQ(a.faults.timeouts, b.faults.timeouts);
+  ASSERT_EQ(a.series.size(), b.series.size());
+  for (std::size_t i = 0; i < a.series.size(); ++i) {
+    EXPECT_EQ(a.series[i].requests, b.series[i].requests);
+    EXPECT_EQ(a.series[i].hit_rate, b.series[i].hit_rate);
+    EXPECT_EQ(a.series[i].hops, b.series[i].hops);
+    EXPECT_EQ(a.series[i].latency, b.series[i].latency);
+  }
+}
+
+TEST(FaultyNetworkExperiment, PlanThatNeverFiresIsByteIdentical) {
+  const workload::Trace trace = tiny_trace();
+  const driver::ExperimentResult baseline = driver::run_experiment(base_config(), trace);
+
+  // A partition between nodes that do not exist installs the full fault
+  // path (non-zero plan -> hook on every send) but can never fire and
+  // never draws randomness.  Metrics must match an undecorated run bit
+  // for bit.
+  driver::ExperimentConfig config = base_config();
+  config.fault_plan.partitions.push_back(LinkPartition{98, 99, 0, kSimTimeMax});
+  const driver::ExperimentResult decorated = driver::run_experiment(config, trace);
+
+  expect_identical(baseline, decorated);
+  EXPECT_EQ(decorated.faults.total_drops(), 0u);
+}
+
+TEST(FaultyNetworkExperiment, LossyRunCompletesViaRequestTimeouts) {
+  const workload::Trace trace = tiny_trace();
+  const driver::ExperimentResult probe = driver::run_experiment(base_config(), trace);
+
+  driver::ExperimentConfig config = base_config();
+  config.fault_plan.drop_prob = 0.05;
+  config.request_timeout =
+      std::max<SimTime>(static_cast<SimTime>(probe.latency_p99 * 20.0), 1000);
+  const driver::ExperimentResult result = driver::run_experiment(config, trace);
+
+  // Every request resolves — completed or expired — so the closed loop
+  // drained the whole trace despite the losses.
+  EXPECT_EQ(result.summary.completed + result.summary.failed, trace.size());
+  EXPECT_GT(result.summary.failed, 0u);
+  EXPECT_GT(result.faults.drops_random, 0u);
+  EXPECT_EQ(result.faults.timeouts, result.summary.failed);
+  EXPECT_GT(result.summary.hit_rate(), 0.0);
+}
+
+TEST(FaultyNetworkExperiment, CrashWindowDropsTrafficAndRunRecovers) {
+  const workload::Trace trace = tiny_trace();
+  const driver::ExperimentResult probe = driver::run_experiment(base_config(), trace);
+
+  driver::ExperimentConfig config = base_config();
+  CrashWindow window;
+  window.node = 2;
+  window.at = probe.sim_end_time * 2 / 5;
+  window.restart = probe.sim_end_time * 3 / 5;
+  window.flush_state = true;
+  config.fault_plan.crashes.push_back(window);
+  config.request_timeout =
+      std::max<SimTime>(static_cast<SimTime>(probe.latency_p99 * 20.0), 1000);
+  const driver::ExperimentResult result = driver::run_experiment(config, trace);
+
+  EXPECT_EQ(result.summary.completed + result.summary.failed, trace.size());
+  EXPECT_GT(result.faults.drops_crash, 0u);
+  EXPECT_EQ(result.faults.drops_random, 0u);  // no probabilistic faults drawn
+  EXPECT_GT(result.summary.hit_rate(), 0.0);
+}
+
+TEST(FaultyNetworkExperiment, LossySweepIsBitIdenticalAcrossWorkerCounts) {
+  const workload::Trace trace = tiny_trace();
+  const driver::ExperimentResult probe = driver::run_experiment(base_config(), trace);
+  const SimTime deadline =
+      std::max<SimTime>(static_cast<SimTime>(probe.latency_p99 * 20.0), 1000);
+
+  std::vector<driver::ExperimentConfig> configs;
+  for (const double loss : {0.01, 0.03, 0.05, 0.08}) {
+    driver::ExperimentConfig config = base_config();
+    config.fault_plan.drop_prob = loss;
+    config.request_timeout = deadline;
+    configs.push_back(config);
+  }
+  const auto serial = driver::run_parallel(configs, trace, 1);
+  const auto fanned = driver::run_parallel(configs, trace, 4);
+  ASSERT_EQ(serial.size(), fanned.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    expect_identical(serial[i], fanned[i]);
+  }
+}
+
+}  // namespace
+}  // namespace adc::fault

@@ -1,0 +1,109 @@
+// The backoff schedule behind every live reconnect decision.  PeerHealth
+// is a pure state machine, so the doubling, the cap, and the jitter
+// bounds are all exactly testable.
+#include "fault/peer_health.h"
+
+#include <gtest/gtest.h>
+
+namespace adc::fault {
+namespace {
+
+PeerHealth::Config no_jitter(std::int64_t base, std::int64_t max) {
+  PeerHealth::Config config;
+  config.base_backoff_us = base;
+  config.max_backoff_us = max;
+  config.jitter = 0.0;
+  return config;
+}
+
+TEST(PeerHealth, UnknownPeerIsHealthy) {
+  PeerHealth health;
+  EXPECT_TRUE(health.can_attempt(3, 0));
+  EXPECT_FALSE(health.is_down(3));
+  EXPECT_EQ(health.failure_streak(3), 0);
+  EXPECT_TRUE(health.down_peers().empty());
+}
+
+TEST(PeerHealth, FirstFailureOfAStreakReportsTheDownTransition) {
+  PeerHealth health(no_jitter(100, 1000));
+  EXPECT_TRUE(health.record_failure(3, 0));    // up -> down
+  EXPECT_FALSE(health.record_failure(3, 200)); // already down
+  EXPECT_TRUE(health.is_down(3));
+  EXPECT_EQ(health.failure_streak(3), 2);
+}
+
+TEST(PeerHealth, SuccessReportsTheReconnectAndResetsTheStreak) {
+  PeerHealth health(no_jitter(100, 1000));
+  EXPECT_FALSE(health.record_success(3));  // healthy peer: not a reconnect
+  health.record_failure(3, 0);
+  EXPECT_TRUE(health.record_success(3));
+  EXPECT_FALSE(health.is_down(3));
+  EXPECT_EQ(health.failure_streak(3), 0);
+  EXPECT_TRUE(health.can_attempt(3, 0));
+}
+
+TEST(PeerHealth, BackoffDoublesPerFailureUpToTheCap) {
+  PeerHealth health(no_jitter(100, 800));
+
+  health.record_failure(3, 0);  // streak 1: backoff 100
+  EXPECT_FALSE(health.can_attempt(3, 99));
+  EXPECT_TRUE(health.can_attempt(3, 100));
+
+  health.record_failure(3, 100);  // streak 2: backoff 200
+  EXPECT_FALSE(health.can_attempt(3, 299));
+  EXPECT_TRUE(health.can_attempt(3, 300));
+
+  health.record_failure(3, 300);  // streak 3: backoff 400
+  EXPECT_TRUE(health.can_attempt(3, 700));
+
+  health.record_failure(3, 700);  // streak 4: backoff 800 (= cap)
+  EXPECT_FALSE(health.can_attempt(3, 1499));
+  EXPECT_TRUE(health.can_attempt(3, 1500));
+
+  health.record_failure(3, 1500);  // streak 5: 1600 uncapped, stays 800
+  EXPECT_FALSE(health.can_attempt(3, 2299));
+  EXPECT_TRUE(health.can_attempt(3, 2300));
+}
+
+TEST(PeerHealth, JitterStaysWithinTheConfiguredBand) {
+  PeerHealth::Config config;
+  config.base_backoff_us = 1000;
+  config.max_backoff_us = 1'000'000;
+  config.jitter = 0.2;
+  // Many first-failure draws from one tracker's RNG: every first-retry
+  // backoff must land in [base*(1-jitter), base*(1+jitter)) = [800, 1200).
+  PeerHealth health(config);
+  for (NodeId peer = 0; peer < 64; ++peer) {
+    health.record_failure(peer, 0);
+    EXPECT_FALSE(health.can_attempt(peer, 799)) << "peer " << peer;
+    EXPECT_TRUE(health.can_attempt(peer, 1200)) << "peer " << peer;
+  }
+}
+
+TEST(PeerHealth, SameSeedSameSchedule) {
+  PeerHealth::Config config;
+  config.base_backoff_us = 1000;
+  config.jitter = 0.5;
+  config.seed = 42;
+  PeerHealth a(config);
+  PeerHealth b(config);
+  for (int i = 0; i < 10; ++i) {
+    a.record_failure(7, i * 10'000);
+    b.record_failure(7, i * 10'000);
+  }
+  // Identical draws mean identical next-try stamps: probe a few instants.
+  for (std::int64_t t = 90'000; t < 110'000; t += 100) {
+    EXPECT_EQ(a.can_attempt(7, t), b.can_attempt(7, t)) << "t=" << t;
+  }
+}
+
+TEST(PeerHealth, DownPeersAreSorted) {
+  PeerHealth health(no_jitter(100, 1000));
+  health.record_failure(5, 0);
+  health.record_failure(1, 0);
+  health.record_failure(3, 0);
+  EXPECT_EQ(health.down_peers(), (std::vector<NodeId>{1, 3, 5}));
+}
+
+}  // namespace
+}  // namespace adc::fault

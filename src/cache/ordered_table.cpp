@@ -27,6 +27,11 @@ class VectorOrderedTable final : public OrderedTable {
     return i == entries_.size() ? nullptr : &entries_[i];
   }
 
+  TableEntry* find_mutable(ObjectId object) noexcept override {
+    const std::size_t i = locate(object);
+    return i == entries_.size() ? nullptr : &entries_[i];
+  }
+
   std::optional<TableEntry> remove(ObjectId object) override {
     const std::size_t i = locate(object);
     if (i == entries_.size()) return std::nullopt;
@@ -91,6 +96,11 @@ class IndexedOrderedTable final : public OrderedTable {
   }
 
   const TableEntry* find(ObjectId object) const noexcept override {
+    const auto it = index_.find(object);
+    return it == index_.end() ? nullptr : &it->second->second;
+  }
+
+  TableEntry* find_mutable(ObjectId object) noexcept override {
     const auto it = index_.find(object);
     return it == index_.end() ? nullptr : &it->second->second;
   }

@@ -47,6 +47,10 @@ class OrderedTable {
   /// Read-only view; nullptr when absent.
   virtual const TableEntry* find(ObjectId object) const noexcept = 0;
 
+  /// Mutable view for in-place edits of fields that are not ordering keys
+  /// (location, claim, version — the order depends on skew alone).
+  virtual TableEntry* find_mutable(ObjectId object) noexcept = 0;
+
   /// Removes and returns an entry by object id (the paper's RemoveEntry).
   virtual std::optional<TableEntry> remove(ObjectId object) = 0;
 

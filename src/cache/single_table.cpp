@@ -41,6 +41,11 @@ const TableEntry* SingleTable::find(ObjectId object) const noexcept {
   return it == entries_.cend() ? nullptr : &*it;
 }
 
+TableEntry* SingleTable::find_mutable(ObjectId object) noexcept {
+  const auto it = locate(object);
+  return it == entries_.end() ? nullptr : &*it;
+}
+
 std::optional<TableEntry> SingleTable::remove(ObjectId object) {
   const auto it = locate(object);
   if (it == entries_.end()) return std::nullopt;

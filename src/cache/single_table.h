@@ -42,6 +42,10 @@ class SingleTable {
   /// recency (the ADC algorithm only reorders through remove + insert).
   const TableEntry* find(ObjectId object) const noexcept;
 
+  /// Mutable view for in-place edits of fields that are not ordering keys
+  /// (location, claim, version).  Recency is untouched.
+  TableEntry* find_mutable(ObjectId object) noexcept;
+
   /// Removes and returns the entry (the paper's RemoveEntry).
   std::optional<TableEntry> remove(ObjectId object);
 

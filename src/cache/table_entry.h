@@ -39,6 +39,12 @@ struct TableEntry {
   /// versioning is disabled.
   std::uint64_t version = 0;
 
+  /// Resolver-claim version this location was learned at (monotone per
+  /// object; see sim::Message::claim).  Update_Entry rejects updates whose
+  /// claim is older than this.  Not an ordering key — the tables order on
+  /// skew only — so it may be rewritten in place.  0 = unversioned.
+  std::uint64_t claim = 0;
+
   /// Paper Figure 9 (Calc_Average): on the second request the raw gap
   /// becomes the average; afterwards a two-point moving average.  Always
   /// refreshes the last-access stamp and increments HITS.

@@ -1,5 +1,6 @@
 #include "core/adc_proxy.h"
 
+#include <algorithm>
 #include <cassert>
 #include <utility>
 
@@ -45,6 +46,70 @@ std::size_t AdcProxy::invalidate_peer(NodeId peer) {
   return removed;
 }
 
+std::size_t AdcProxy::handle_peer_dead(NodeId peer) {
+  if (peer == id()) return 0;
+  proxies_.erase(std::remove(proxies_.begin(), proxies_.end(), peer), proxies_.end());
+  if (proxies_.empty()) proxies_.push_back(id());
+  return invalidate_peer(peer);
+}
+
+void AdcProxy::handle_peer_joined(NodeId peer) {
+  const auto pos = std::lower_bound(proxies_.begin(), proxies_.end(), peer);
+  if (pos != proxies_.end() && *pos == peer) return;
+  proxies_.insert(pos, peer);
+}
+
+void AdcProxy::seed_location(ObjectId object, NodeId location, std::uint64_t claim) {
+  tables_.update_entry(object, location, local_time_, std::nullopt, claim);
+}
+
+void AdcProxy::send_anti_entropy(sim::Transport& net, NodeId peer, std::size_t batch) {
+  if (peer == id() || batch == 0) return;
+  std::size_t sent = 0;
+  const auto offer = [this, &net, peer, batch, &sent](const cache::TableEntry& e) {
+    if (sent >= batch || e.claim == 0) return;
+    Message msg;
+    msg.kind = MessageKind::kRepairOffer;
+    msg.object = e.object;
+    msg.sender = id();
+    msg.target = peer;
+    msg.resolver = e.location;
+    msg.claim = e.claim;
+    net.send(std::move(msg));
+    ++sent;
+    ++stats_.repair_offers;
+  };
+  // Hottest opinions first: the caching table holds the objects this proxy
+  // itself resolves, the multiple-table its directory of remote locations.
+  if (tables_.has_caching_table()) tables_.caching().for_each(offer);
+  tables_.multiple().for_each(offer);
+}
+
+void AdcProxy::receive_opinion(sim::Transport& net, const Message& msg) {
+  const cache::TableEntry* mine = tables_.find(msg.object);
+  if (mine == nullptr) return;  // unknown object: never pollute the tables
+  if (mine->claim > msg.claim) {
+    // Our opinion is strictly fresher — push it back once (offers only, so
+    // a disagreement settles in a single exchange instead of echoing).
+    if (msg.kind == MessageKind::kRepairOffer) {
+      Message counter;
+      counter.kind = MessageKind::kRepairReply;
+      counter.object = msg.object;
+      counter.sender = id();
+      counter.target = msg.sender;
+      counter.resolver = mine->location;
+      counter.claim = mine->claim;
+      net.send(std::move(counter));
+      ++stats_.repair_counter_offers;
+    }
+    return;
+  }
+  if (mine->claim == msg.claim) return;  // agreement or tie: keep ours
+  if (tables_.repair_location(msg.object, msg.resolver, msg.claim)) {
+    ++stats_.repairs_applied;
+  }
+}
+
 std::uint64_t AdcProxy::stored_version(ObjectId object) const noexcept {
   if (config_.selective_caching) {
     const cache::TableEntry* entry = tables_.caching().find(object);
@@ -60,10 +125,21 @@ bool AdcProxy::is_locally_cached(ObjectId object) const noexcept {
 }
 
 void AdcProxy::on_message(Transport& net, const Message& msg) {
-  if (msg.kind == MessageKind::kRequest) {
-    receive_request(net, msg);
-  } else {
-    receive_reply(net, msg);
+  switch (msg.kind) {
+    case MessageKind::kRequest:
+      receive_request(net, msg);
+      break;
+    case MessageKind::kReply:
+      receive_reply(net, msg);
+      break;
+    case MessageKind::kRepairOffer:
+    case MessageKind::kRepairReply:
+      receive_opinion(net, msg);
+      break;
+    default:
+      // SWIM kinds are routed to the failure detector by the hosting
+      // MemberAgent / NodeDaemon before reaching the agent.
+      break;
   }
 }
 
@@ -76,7 +152,11 @@ void AdcProxy::receive_request(Transport& net, const Message& msg) {
   if (is_locally_cached(object)) {
     ++stats_.local_hits;
     if (!config_.selective_caching) lru_cache_->touch(object);
-    tables_.update_entry(object, id(), local_time_);
+    // Resolver event: answering locally re-asserts this proxy as the
+    // object's location, one claim above everything the request saw on its
+    // way here (its floor) and above our own stored claim.
+    const std::uint64_t claim = std::max(msg.claim, tables_.claim_of(object)) + 1;
+    tables_.update_entry(object, id(), local_time_, std::nullopt, claim);
 
     Message reply = msg;
     reply.kind = MessageKind::kReply;
@@ -86,6 +166,7 @@ void AdcProxy::receive_request(Transport& net, const Message& msg) {
     reply.cached = true;
     reply.proxy_hit = true;
     reply.version = stored_version(object);
+    reply.claim = claim;
     net.send(std::move(reply));
     return;
   }
@@ -99,6 +180,12 @@ void AdcProxy::receive_request(Transport& net, const Message& msg) {
   Message forward = msg;
   forward.sender = id();
   forward.forward_count = msg.forward_count + 1;
+  // Claim floor: the request accumulates the freshest claim any proxy on
+  // its path stores for the object, so whoever eventually claims resolver
+  // status claims strictly above every participant's current knowledge —
+  // which is what makes stale-claim rejection impossible on the journey's
+  // own backward path (see mapping_tables.h).
+  forward.claim = std::max(msg.claim, tables_.claim_of(object));
 
   const bool max_hops = msg.forward_count >= config_.max_forwards;
   if (loop || max_hops) {
@@ -145,17 +232,21 @@ void AdcProxy::receive_reply(Transport& net, const Message& msg) {
   Message reply = msg;
 
   // NULL resolver == the data came straight from the origin server; the
-  // first proxy on the backwarding path claims responsibility.
+  // first proxy on the backwarding path claims responsibility.  The origin
+  // echoed the request's claim floor, so floor + 1 outbids every entry the
+  // forward walk saw.
   if (reply.resolver == kInvalidNode) {
     reply.resolver = id();
+    reply.claim = std::max(reply.claim, tables_.claim_of(reply.object)) + 1;
     ++stats_.resolver_claims;
   }
 
   const bool learn = config_.backward_multicast || reply.resolver == id();
   if (learn) {
-    const UpdateResult update =
-        tables_.update_entry(reply.object, reply.resolver, local_time_, reply.version);
+    const UpdateResult update = tables_.update_entry(reply.object, reply.resolver, local_time_,
+                                                     reply.version, reply.claim);
     if (update.promoted_to_cache) ++stats_.cache_admissions;
+    if (update.rejected_stale) ++stats_.stale_claims_rejected;
   }
 
   if (!config_.selective_caching) {
@@ -167,10 +258,13 @@ void AdcProxy::receive_reply(Transport& net, const Message& msg) {
 
   // If the update admitted the object into our cache and nobody on the
   // path cached it yet, we become the official location for upstream
-  // proxies (focus on a single caching location, Section IV.2).
+  // proxies (focus on a single caching location, Section IV.2).  Another
+  // resolver event: re-claim one above the reply's running claim.
   if (is_locally_cached(reply.object) && !reply.cached) {
     reply.resolver = id();
     reply.cached = true;
+    reply.claim = std::max(reply.claim, tables_.claim_of(reply.object)) + 1;
+    tables_.stamp_claim(reply.object, reply.claim);
     ++stats_.resolver_claims;
   }
 

@@ -30,6 +30,10 @@ struct AdcProxyStats {
   std::uint64_t orphan_replies = 0;     // replies with no pending record (duplicates
                                         // or post-restart arrivals), dropped
   std::uint64_t peer_invalidations = 0; // table entries aged out for dead peers
+  std::uint64_t stale_claims_rejected = 0;  // updates dropped for an older claim
+  std::uint64_t repair_offers = 0;          // anti-entropy opinions sent
+  std::uint64_t repair_counter_offers = 0;  // fresher opinions pushed back
+  std::uint64_t repairs_applied = 0;        // entries fixed by incoming opinions
 };
 
 class AdcProxy final : public sim::Node {
@@ -68,9 +72,29 @@ class AdcProxy final : public sim::Node {
   /// a dead address.  Returns the number of entries removed.
   std::size_t invalidate_peer(NodeId peer);
 
+  /// Confirmed membership change (failure detector callbacks).  Death
+  /// removes the peer from the random-forwarding membership *and*
+  /// invalidates entries naming it; a join reinstates it (sorted order is
+  /// preserved so forwarding stays deterministic for a given rng stream).
+  std::size_t handle_peer_dead(NodeId peer);
+  void handle_peer_joined(NodeId peer);
+
+  /// Test/operator prefill of a mapping entry (the table analogue of
+  /// warm_cache): makes this proxy believe `object` resolves at
+  /// `location` with the given claim, without any message traffic.
+  void seed_location(ObjectId object, NodeId location, std::uint64_t claim = 0);
+
+  /// Anti-entropy: sends up to `batch` resolver opinions (hottest caching
+  /// and multiple-table entries with a nonzero claim) to `peer` as
+  /// kRepairOffer messages.  The receiver adopts strictly fresher claims
+  /// and pushes back its own opinion when it holds a strictly fresher one
+  /// (one bounce, no further echo — convergence without storms).
+  void send_anti_entropy(sim::Transport& net, NodeId peer, std::size_t batch);
+
  private:
   void receive_request(sim::Transport& net, const sim::Message& msg);
   void receive_reply(sim::Transport& net, const sim::Message& msg);
+  void receive_opinion(sim::Transport& net, const sim::Message& msg);
 
   /// Paper Figure 6: table lookup, THIS -> origin, unknown -> random peer.
   NodeId forward_address(sim::Transport& net, ObjectId object);

@@ -18,12 +18,38 @@ bool MappingTables::is_cached(ObjectId object) const noexcept {
 }
 
 std::optional<NodeId> MappingTables::forward_location(ObjectId object) const noexcept {
-  if (caching_ != nullptr) {
-    if (const TableEntry* e = caching_->find(object)) return e->location;
-  }
-  if (const TableEntry* e = multiple_->find(object)) return e->location;
-  if (const TableEntry* e = single_.find(object)) return e->location;
+  if (const TableEntry* e = find(object)) return e->location;
   return std::nullopt;
+}
+
+const TableEntry* MappingTables::find(ObjectId object) const noexcept {
+  if (caching_ != nullptr) {
+    if (const TableEntry* e = caching_->find(object)) return e;
+  }
+  if (const TableEntry* e = multiple_->find(object)) return e;
+  return single_.find(object);
+}
+
+std::uint64_t MappingTables::claim_of(ObjectId object) const noexcept {
+  const TableEntry* e = find(object);
+  return e != nullptr ? e->claim : 0;
+}
+
+bool MappingTables::repair_location(ObjectId object, NodeId location, std::uint64_t claim) {
+  if (caching_ != nullptr && caching_->contains(object)) return false;
+  TableEntry* e = multiple_->find_mutable(object);
+  if (e == nullptr) e = single_.find_mutable(object);
+  if (e == nullptr) return false;
+  e->location = location;
+  e->claim = claim;
+  return true;
+}
+
+void MappingTables::stamp_claim(ObjectId object, std::uint64_t claim) {
+  TableEntry* e = caching_ != nullptr ? caching_->find_mutable(object) : nullptr;
+  if (e == nullptr) e = multiple_->find_mutable(object);
+  if (e == nullptr) e = single_.find_mutable(object);
+  if (e != nullptr && e->claim < claim) e->claim = claim;
 }
 
 std::size_t MappingTables::total_entries() const noexcept {
@@ -72,30 +98,44 @@ void MappingTables::warm_cache(ObjectId object, NodeId location, SimTime now,
 }
 
 UpdateResult MappingTables::update_entry(ObjectId object, NodeId location, SimTime now,
-                                         std::optional<std::uint64_t> data_version) {
+                                         std::optional<std::uint64_t> data_version,
+                                         std::uint64_t claim) {
+  // Stale-claim rejection: an update carrying a strictly older claim than
+  // the stored entry's is pre-partition news — learning from it would
+  // overwrite a fresher resolver opinion, so it is dropped before any
+  // table state changes (no aging, no reordering).
+  if (const TableEntry* existing = find(object);
+      existing != nullptr && existing->claim > claim) {
+    UpdateResult result;
+    result.rejected_stale = true;
+    return result;
+  }
+
   // Figure 8, parts 1-4, searched in the order caching, multiple, single.
   if (caching_ != nullptr) {
     if (auto entry = caching_->remove(object)) {
-      return update_in_caching(*entry, location, now, data_version);
+      return update_in_caching(*entry, location, now, data_version, claim);
     }
   }
   if (auto entry = multiple_->remove(object)) {
-    return update_in_multiple(*entry, location, now, data_version);
+    return update_in_multiple(*entry, location, now, data_version, claim);
   }
   if (auto entry = single_.remove(object)) {
-    return update_in_single(*entry, location, now, data_version);
+    return update_in_single(*entry, location, now, data_version, claim);
   }
-  return create_entry(object, location, now, data_version);
+  return create_entry(object, location, now, data_version, claim);
 }
 
 // PART 1 — the entry is cached: refresh and reinsert at its new order
 // position.  A cached entry is never demoted here; demotion only happens
 // when a multiple-table entry outperforms it (part 2).
 UpdateResult MappingTables::update_in_caching(TableEntry entry, NodeId location, SimTime now,
-                                              std::optional<std::uint64_t> data_version) {
+                                              std::optional<std::uint64_t> data_version,
+                                              std::uint64_t claim) {
   entry.calc_average(now);
   entry.location = location;
   if (data_version.has_value()) entry.version = *data_version;
+  if (entry.claim < claim) entry.claim = claim;
   caching_->insert(entry);  // one slot is free: we just removed the entry
   UpdateResult result;
   result.placement = TablePlacement::kCaching;
@@ -106,10 +146,12 @@ UpdateResult MappingTables::update_in_caching(TableEntry entry, NodeId location,
 // table iff its aged average beats the cache's current worst; the displaced
 // cache entry falls back into the multiple-table.
 UpdateResult MappingTables::update_in_multiple(TableEntry entry, NodeId location, SimTime now,
-                                               std::optional<std::uint64_t> data_version) {
+                                               std::optional<std::uint64_t> data_version,
+                                               std::uint64_t claim) {
   entry.calc_average(now);
   entry.location = location;
   if (data_version.has_value()) entry.version = *data_version;
+  if (entry.claim < claim) entry.claim = claim;
 
   UpdateResult result;
   if (caching_ != nullptr && entry.aged(now) < caching_->worst_aged(now)) {
@@ -136,10 +178,12 @@ UpdateResult MappingTables::update_in_multiple(TableEntry entry, NodeId location
 // multiple-table iff it beats that table's worst, whose victim returns to
 // the top of the single-table.
 UpdateResult MappingTables::update_in_single(TableEntry entry, NodeId location, SimTime now,
-                                             std::optional<std::uint64_t> data_version) {
+                                             std::optional<std::uint64_t> data_version,
+                                             std::uint64_t claim) {
   entry.calc_average(now);
   entry.location = location;
   if (data_version.has_value()) entry.version = *data_version;
+  if (entry.claim < claim) entry.claim = claim;
 
   UpdateResult result;
   if (entry.aged(now) < multiple_->worst_aged(now)) {
@@ -161,9 +205,11 @@ UpdateResult MappingTables::update_in_single(TableEntry entry, NodeId location, 
 // PART 4 — unknown object: fresh entry on top of the single-table; the
 // bottom entry drops out of the system when the table is full.
 UpdateResult MappingTables::create_entry(ObjectId object, NodeId location, SimTime now,
-                                         std::optional<std::uint64_t> data_version) {
+                                         std::optional<std::uint64_t> data_version,
+                                         std::uint64_t claim) {
   cache::TableEntry entry = cache::make_entry(object, location, now);
   entry.version = data_version.value_or(0);
+  entry.claim = claim;
   single_.insert_on_top(entry);
   UpdateResult result;
   result.placement = TablePlacement::kSingle;

@@ -38,6 +38,7 @@ struct UpdateResult {
   bool created = false;            // part 4 ran (object previously unknown)
   bool promoted_to_cache = false;  // object newly entered the caching table
   bool demoted_from_cache = false; // some other object left the caching table
+  bool rejected_stale = false;     // claim older than the stored one; no change
 };
 
 class MappingTables {
@@ -48,8 +49,15 @@ class MappingTables {
   /// `data_version` — when the update accompanies actual object data (a
   /// backwarding reply) — records the version of that data in the entry;
   /// nullopt (pure bookkeeping touch) keeps the stored version.
+  /// `claim` is the resolver-claim version the location was learned at: a
+  /// strictly older claim than the stored entry's is rejected outright
+  /// (`rejected_stale`, no state change) — the partition-tolerance rule
+  /// that stops a healed proxy from overwriting fresher opinions with
+  /// pre-partition state.  Claims only ratchet up; 0 never rejects an
+  /// unversioned entry.
   UpdateResult update_entry(ObjectId object, NodeId location, SimTime now,
-                            std::optional<std::uint64_t> data_version = std::nullopt);
+                            std::optional<std::uint64_t> data_version = std::nullopt,
+                            std::uint64_t claim = 0);
 
   /// True when the object sits in the caching table — i.e. the proxy holds
   /// the object's data (the paper's "locally cached" test).
@@ -58,6 +66,27 @@ class MappingTables {
   /// Forwarding lookup (paper Figure 6): searches caching, multiple then
   /// single table and returns the stored location; nullopt when unknown.
   std::optional<NodeId> forward_location(ObjectId object) const noexcept;
+
+  /// The entry for `object` wherever it lives (caching, multiple, single
+  /// order — the forward_location search order); nullptr when unknown.
+  const cache::TableEntry* find(ObjectId object) const noexcept;
+
+  /// Resolver-claim version stored for `object`; 0 when unknown or
+  /// unversioned.  Forwarded requests accumulate their claim floor from
+  /// this.
+  std::uint64_t claim_of(ObjectId object) const noexcept;
+
+  /// Anti-entropy repair: overwrites the stored location and claim of an
+  /// *existing* single- or multiple-table entry in place — no aging, no
+  /// recency touch, so repair traffic cannot perturb table order.  Caching
+  /// entries are left alone (this proxy holds the data; its own claim
+  /// stands).  Returns false when the object is unknown or cached.
+  bool repair_location(ObjectId object, NodeId location, std::uint64_t claim);
+
+  /// Raises the stored claim of an existing entry to at least `claim`
+  /// (in place, no aging).  Used when a proxy re-claims resolver status
+  /// for an object it just admitted to its cache.
+  void stamp_claim(ObjectId object, std::uint64_t claim);
 
   /// Drops every single- and multiple-table entry whose believed location
   /// is `location` — used when a peer is detected dead, so requests stop
@@ -85,13 +114,13 @@ class MappingTables {
 
  private:
   UpdateResult update_in_caching(cache::TableEntry entry, NodeId location, SimTime now,
-                                 std::optional<std::uint64_t> data_version);
+                                 std::optional<std::uint64_t> data_version, std::uint64_t claim);
   UpdateResult update_in_multiple(cache::TableEntry entry, NodeId location, SimTime now,
-                                  std::optional<std::uint64_t> data_version);
+                                  std::optional<std::uint64_t> data_version, std::uint64_t claim);
   UpdateResult update_in_single(cache::TableEntry entry, NodeId location, SimTime now,
-                                std::optional<std::uint64_t> data_version);
+                                std::optional<std::uint64_t> data_version, std::uint64_t claim);
   UpdateResult create_entry(ObjectId object, NodeId location, SimTime now,
-                            std::optional<std::uint64_t> data_version);
+                            std::optional<std::uint64_t> data_version, std::uint64_t claim);
 
   cache::SingleTable single_;
   std::unique_ptr<cache::OrderedTable> multiple_;

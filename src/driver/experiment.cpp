@@ -1,5 +1,6 @@
 #include "driver/experiment.h"
 
+#include <algorithm>
 #include <cassert>
 #include <chrono>
 #include <memory>
@@ -27,11 +28,21 @@ std::size_t baseline_capacity(const ExperimentConfig& config) {
                                              : config.adc.caching_table_size;
 }
 
+/// True for the schemes whose proxies can run under a MemberAgent wrapper
+/// (the others have a topology fixed by construction — a hierarchy root or
+/// a central coordinator — that live membership cannot rewire).
+bool membership_supported(Scheme scheme) noexcept {
+  return scheme == Scheme::kAdc || scheme == Scheme::kCarp ||
+         scheme == Scheme::kConsistent || scheme == Scheme::kRendezvous;
+}
+
 // Cold-restarts a proxy node: its cache and learned tables are wiped,
 // connectivity survives.  Shared by the milestone-triggered FaultSpec and
 // the time-triggered crash windows of a FaultPlan.
-void flush_proxy(sim::Simulator& sim, NodeId victim, Scheme scheme) {
-  sim::Node& node = sim.node(victim);
+void flush_proxy(sim::Simulator& sim, NodeId victim, Scheme scheme, bool wrapped) {
+  sim::Node& registered = sim.node(victim);
+  sim::Node& node =
+      wrapped ? static_cast<membership::MemberAgent&>(registered).inner() : registered;
   switch (scheme) {
     case Scheme::kAdc:
       static_cast<core::AdcProxy&>(node).flush();
@@ -108,12 +119,61 @@ ExperimentResult run_experiment(const ExperimentConfig& config, const workload::
   const NodeId origin_id = next_id++;
   const NodeId client_id = next_id++;
 
+  const bool membership_on =
+      config.membership.swim.enabled && membership_supported(config.scheme);
+  std::vector<membership::MemberAgent*> agents;
+  // ADC entries purged by confirmed deaths (the silent-peer cleanup);
+  // folded into faults.entries_invalidated alongside the reactive path.
+  auto purged_entries = std::make_shared<std::uint64_t>(0);
+
+  // Wraps a hashing proxy in a MemberAgent wired for owner-map rebuilds,
+  // or registers it bare when membership is off.  `factory` recomputes the
+  // scheme's owner map from a surviving membership.
+  const auto add_hashing_proxy = [&](int i, std::shared_ptr<const proxy::OwnerMap> owners,
+                                     const proxy::HashingProxy::OwnerMapFactory& factory) {
+    auto inner = std::make_unique<proxy::HashingProxy>(
+        proxy_ids[static_cast<std::size_t>(i)], proxy_name(i), std::move(owners), origin_id,
+        baseline_capacity(config), config.baseline_policy, config.entry_caching);
+    if (!membership_on) {
+      sim.add_node(std::move(inner));
+      return;
+    }
+    proxy::HashingProxy* hp = inner.get();
+    hp->set_owner_map_factory(factory, proxy_ids);
+    auto agent = std::make_unique<membership::MemberAgent>(std::move(inner), proxy_ids,
+                                                           config.membership);
+    membership::MemberAgent::Hooks hooks;
+    hooks.peer_dead = [hp](NodeId peer) { hp->handle_peer_dead(peer); };
+    hooks.peer_joined = [hp](NodeId peer) { hp->handle_peer_joined(peer); };
+    agent->set_hooks(std::move(hooks));
+    agents.push_back(agent.get());
+    sim.add_node(std::move(agent));
+  };
+
   switch (config.scheme) {
     case Scheme::kAdc: {
       for (int i = 0; i < p; ++i) {
-        sim.add_node(std::make_unique<core::AdcProxy>(proxy_ids[static_cast<std::size_t>(i)],
+        auto inner = std::make_unique<core::AdcProxy>(proxy_ids[static_cast<std::size_t>(i)],
                                                       proxy_name(i), config.adc, proxy_ids,
-                                                      origin_id));
+                                                      origin_id);
+        if (!membership_on) {
+          sim.add_node(std::move(inner));
+          continue;
+        }
+        core::AdcProxy* adc = inner.get();
+        auto agent = std::make_unique<membership::MemberAgent>(std::move(inner), proxy_ids,
+                                                               config.membership);
+        membership::MemberAgent::Hooks hooks;
+        hooks.peer_dead = [adc, purged_entries](NodeId peer) {
+          *purged_entries += adc->handle_peer_dead(peer);
+        };
+        hooks.peer_joined = [adc](NodeId peer) { adc->handle_peer_joined(peer); };
+        hooks.send_repair = [adc](sim::Transport& net, NodeId peer, std::size_t batch) {
+          adc->send_anti_entropy(net, peer, batch);
+        };
+        agent->set_hooks(std::move(hooks));
+        agents.push_back(agent.get());
+        sim.add_node(std::move(agent));
       }
       break;
     }
@@ -127,38 +187,41 @@ ExperimentResult run_experiment(const ExperimentConfig& config, const workload::
                                              : config.carp_load_factors[static_cast<std::size_t>(i)];
         members.push_back({proxy_name(i), proxy_ids[static_cast<std::size_t>(i)], load_factor});
       }
+      // The factory rebuilds the array over the surviving subset of the
+      // startup membership, keeping each member's name and load factor so
+      // ownership of the untouched key space is stable.
+      const proxy::HashingProxy::OwnerMapFactory factory =
+          [members](const std::vector<NodeId>& ids) -> std::shared_ptr<const proxy::OwnerMap> {
+        std::vector<hash::CarpArray::Member> live;
+        for (const hash::CarpArray::Member& m : members) {
+          if (std::find(ids.begin(), ids.end(), m.node) != ids.end()) live.push_back(m);
+        }
+        return std::make_shared<proxy::CarpOwnerMap>(hash::CarpArray(std::move(live)));
+      };
       auto owners = std::make_shared<proxy::CarpOwnerMap>(hash::CarpArray(std::move(members)));
-      for (int i = 0; i < p; ++i) {
-        sim.add_node(std::make_unique<proxy::HashingProxy>(
-            proxy_ids[static_cast<std::size_t>(i)], proxy_name(i), owners, origin_id,
-            baseline_capacity(config), config.baseline_policy, config.entry_caching));
-      }
+      for (int i = 0; i < p; ++i) add_hashing_proxy(i, owners, factory);
       break;
     }
     case Scheme::kConsistent: {
-      hash::ConsistentHashRing ring;
-      for (int i = 0; i < p; ++i) {
-        ring.add_member(proxy_ids[static_cast<std::size_t>(i)], proxy_name(i));
-      }
-      auto owners = std::make_shared<proxy::RingOwnerMap>(std::move(ring));
-      for (int i = 0; i < p; ++i) {
-        sim.add_node(std::make_unique<proxy::HashingProxy>(
-            proxy_ids[static_cast<std::size_t>(i)], proxy_name(i), owners, origin_id,
-            baseline_capacity(config), config.baseline_policy, config.entry_caching));
-      }
+      const proxy::HashingProxy::OwnerMapFactory factory =
+          [](const std::vector<NodeId>& ids) -> std::shared_ptr<const proxy::OwnerMap> {
+        hash::ConsistentHashRing ring;
+        for (const NodeId id : ids) ring.add_member(id, proxy_name(static_cast<int>(id)));
+        return std::make_shared<proxy::RingOwnerMap>(std::move(ring));
+      };
+      auto owners = factory(proxy_ids);
+      for (int i = 0; i < p; ++i) add_hashing_proxy(i, owners, factory);
       break;
     }
     case Scheme::kRendezvous: {
-      hash::RendezvousHash hrw;
-      for (int i = 0; i < p; ++i) {
-        hrw.add_member(proxy_ids[static_cast<std::size_t>(i)], proxy_name(i));
-      }
-      auto owners = std::make_shared<proxy::RendezvousOwnerMap>(std::move(hrw));
-      for (int i = 0; i < p; ++i) {
-        sim.add_node(std::make_unique<proxy::HashingProxy>(
-            proxy_ids[static_cast<std::size_t>(i)], proxy_name(i), owners, origin_id,
-            baseline_capacity(config), config.baseline_policy, config.entry_caching));
-      }
+      const proxy::HashingProxy::OwnerMapFactory factory =
+          [](const std::vector<NodeId>& ids) -> std::shared_ptr<const proxy::OwnerMap> {
+        hash::RendezvousHash hrw;
+        for (const NodeId id : ids) hrw.add_member(id, proxy_name(static_cast<int>(id)));
+        return std::make_shared<proxy::RendezvousOwnerMap>(std::move(hrw));
+      };
+      auto owners = factory(proxy_ids);
+      for (int i = 0; i < p; ++i) add_hashing_proxy(i, owners, factory);
       break;
     }
     case Scheme::kHierarchical: {
@@ -222,8 +285,9 @@ ExperimentResult run_experiment(const ExperimentConfig& config, const workload::
     assert(index >= 0 && index < p && "fault.proxy_index out of range");
     const NodeId victim = proxy_ids[static_cast<std::size_t>(index)];
     const Scheme scheme = config.scheme;
-    client.at_completed(config.fault.at_completed,
-                        [&sim, victim, scheme]() { flush_proxy(sim, victim, scheme); });
+    client.at_completed(config.fault.at_completed, [&sim, victim, scheme, membership_on]() {
+      flush_proxy(sim, victim, scheme, membership_on);
+    });
   }
 
   // Message-level fault injection: the FaultyNetwork decides per transfer
@@ -239,13 +303,27 @@ ExperimentResult run_experiment(const ExperimentConfig& config, const workload::
       if (!window.flush_state) continue;
       assert(window.node >= 0 && window.node < static_cast<NodeId>(p) &&
              "crash window must name a proxy");
-      sim.schedule(window.at,
-                   [&sim, victim = window.node, scheme]() { flush_proxy(sim, victim, scheme); });
+      sim.schedule(window.at, [&sim, victim = window.node, scheme, membership_on]() {
+        flush_proxy(sim, victim, scheme, membership_on);
+      });
     }
   }
   client.set_request_timeout(config.request_timeout);
 
   client.start(sim);
+
+  // Membership tick: one recurring event drives every member agent's
+  // detector (probes, timeouts, repair rounds).  It re-arms only while the
+  // client still has work, so the run terminates with the event queue.
+  std::function<void()> membership_tick;
+  if (!agents.empty()) {
+    const SimTime tick_every = std::max<SimTime>(1, config.membership.tick_every);
+    membership_tick = [&sim, &client, &agents, &membership_tick, tick_every]() {
+      for (membership::MemberAgent* agent : agents) agent->tick(sim, sim.now());
+      if (!client.drained()) sim.schedule_after(tick_every, membership_tick);
+    };
+    sim.schedule_after(tick_every, membership_tick);
+  }
 
   const auto wall_start = std::chrono::steady_clock::now();
   const std::uint64_t events = sim.run();
@@ -274,9 +352,44 @@ ExperimentResult run_experiment(const ExperimentConfig& config, const workload::
   result.latency_p99 = sim.metrics().latency_tracker().percentile(0.99);
   if (chaos != nullptr) result.faults = chaos->counters();
   result.faults.timeouts += client.failed();
+  result.faults.entries_invalidated += *purged_entries;
+
+  // A crashed member's own detector keeps ticking into isolation — it ends
+  // up declaring everyone *else* dead and rebuilding an owner map of just
+  // itself.  That degenerate self-view must not pollute the cluster-level
+  // membership summary, so members a majority of their peers confirmed
+  // dead are excluded from it (with zero churn nobody is excluded).
+  const auto majority_confirmed_dead = [&agents](NodeId id) {
+    std::size_t dead = 0;
+    std::size_t voters = 0;
+    for (const membership::MemberAgent* peer : agents) {
+      if (peer->id() == id) continue;
+      ++voters;
+      if (peer->detector().state(id) == membership::PeerState::kDead) ++dead;
+    }
+    return voters > 0 && dead * 2 > voters;
+  };
 
   for (int i = 0; i < p; ++i) {
-    const sim::Node& node = sim.node(proxy_ids[static_cast<std::size_t>(i)]);
+    const NodeId proxy_id = proxy_ids[static_cast<std::size_t>(i)];
+    const sim::Node* registered = &sim.node(proxy_id);
+    bool count_membership = membership_on;
+    if (membership_on) {
+      const auto& agent = static_cast<const membership::MemberAgent&>(*registered);
+      count_membership = !majority_confirmed_dead(proxy_id);
+      if (count_membership) {
+        const membership::SwimStats& swim = agent.detector().stats();
+        result.membership.max_epoch =
+            std::max(result.membership.max_epoch, agent.detector().epoch());
+        result.membership.deaths += swim.deaths;
+        result.membership.joins += swim.joins;
+        result.membership.suspicions += swim.suspicions;
+        result.membership.refutations += swim.refutations;
+        result.membership.repair_rounds += agent.repair().rounds_fired();
+      }
+      registered = &agent.inner();
+    }
+    const sim::Node& node = *registered;
     ProxySnapshot snapshot;
     snapshot.name = node.name();
     if (config.scheme == Scheme::kAdc) {
@@ -305,6 +418,10 @@ ExperimentResult run_experiment(const ExperimentConfig& config, const workload::
       result.adc_totals.cache_admissions += adc.stats().cache_admissions;
       result.adc_totals.orphan_replies += adc.stats().orphan_replies;
       result.adc_totals.peer_invalidations += adc.stats().peer_invalidations;
+      result.adc_totals.stale_claims_rejected += adc.stats().stale_claims_rejected;
+      result.adc_totals.repair_offers += adc.stats().repair_offers;
+      result.adc_totals.repair_counter_offers += adc.stats().repair_counter_offers;
+      result.adc_totals.repairs_applied += adc.stats().repairs_applied;
     } else if (config.scheme == Scheme::kHierarchical ||
                config.scheme == Scheme::kCoordinator) {
       const auto& cn = static_cast<const proxy::CacheNode&>(node);
@@ -323,6 +440,10 @@ ExperimentResult run_experiment(const ExperimentConfig& config, const workload::
       snapshot.requests_received = hp.stats().requests_received;
       snapshot.local_hits = hp.stats().local_hits;
       snapshot.cached_objects = hp.cache().size();
+      if (count_membership) {
+        result.membership.max_reshuffle_fraction = std::max(
+            result.membership.max_reshuffle_fraction, hp.stats().max_reshuffle_fraction);
+      }
       if (config.collect_cache_contents) snapshot.cached_ids = hp.cache().eviction_order();
     }
     result.proxies.push_back(std::move(snapshot));

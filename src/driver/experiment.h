@@ -13,6 +13,7 @@
 #include "core/adc_config.h"
 #include "core/adc_proxy.h"
 #include "fault/fault_plan.h"
+#include "membership/member_agent.h"
 #include "proxy/client.h"
 #include "sim/metrics.h"
 #include "sim/network.h"
@@ -87,6 +88,17 @@ struct ExperimentConfig {
   /// loop forever.  Expired requests count into MetricsSummary::failed.
   SimTime request_timeout = 0;
 
+  /// Live membership (SWIM failure detection + transition-gated
+  /// anti-entropy), enabled via membership.swim.enabled.  Each proxy is
+  /// wrapped in a membership::MemberAgent; a confirmed death prunes the
+  /// ADC mapping tables and forwarding membership, or rebuilds the
+  /// CARP/ring/HRW owner map, and a rejoin reverses it.  Supported for
+  /// kAdc, kCarp, kConsistent, kRendezvous; ignored for the other schemes
+  /// (their topology is fixed by construction).  With zero churn a
+  /// detector-enabled run is bit-identical to a disabled one apart from
+  /// raw message/event counts (SWIM probes ride the same transport).
+  membership::MembershipConfig membership;
+
   /// When true, each ProxySnapshot also lists the object ids cached at
   /// the end of the run (for duplication/partitioning analysis); costs
   /// memory proportional to the aggregate cache, so off by default.
@@ -158,6 +170,20 @@ struct ExperimentResult {
 
   /// ADC only: aggregated algorithm counters over all proxies.
   core::AdcProxyStats adc_totals;
+
+  /// Membership summary (all zero unless membership.swim.enabled):
+  /// detector counters aggregated over all member agents, plus the owner
+  /// reshuffle impact for the hashing schemes.
+  struct MembershipSummary {
+    std::uint64_t max_epoch = 0;     // highest epoch any member reached
+    std::uint64_t deaths = 0;        // confirmed deaths, summed over members
+    std::uint64_t joins = 0;         // confirmed rejoins, summed over members
+    std::uint64_t suspicions = 0;
+    std::uint64_t refutations = 0;
+    std::uint64_t repair_rounds = 0;  // anti-entropy rounds fired
+    double max_reshuffle_fraction = 0.0;  // worst owner-map reshuffle observed
+  };
+  MembershipSummary membership;
 
   /// Fault-injection counters (all zero when fault_plan.is_zero()):
   /// injection side from the FaultyNetwork, `timeouts` from the client's

@@ -1,0 +1,81 @@
+// MemberAgent: wraps any sim::Node with a SwimDetector and a
+// RepairScheduler so membership runs *next to* the protocol agent, not
+// inside it.  The wrapped agent stays byte-for-byte the code that runs
+// without membership; the wrapper routes SWIM control traffic to the
+// detector and everything else (requests, replies, repair opinions) to the
+// inner node, and a periodic tick() — driven by the simulator's event
+// queue or the daemon's poll loop — advances probes, timeouts, and repair
+// rounds.
+//
+// Reactions to membership changes are injected as hooks, because they are
+// scheme-specific: ADC prunes mapping tables and shrinks its forwarding
+// membership; consistent-hashing schemes rebuild their owner map.  The
+// wrapper itself knows nothing about either.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "membership/repair.h"
+#include "membership/swim.h"
+#include "sim/node.h"
+#include "sim/transport.h"
+#include "util/types.h"
+
+namespace adc::membership {
+
+struct MembershipConfig {
+  SwimConfig swim;
+  RepairConfig repair;
+
+  /// Cadence at which the host drives MemberAgent::tick (transport clock
+  /// units).  Must be finer than the SWIM timeouts.
+  SimTime tick_every = 50;
+};
+
+class MemberAgent final : public sim::Node {
+ public:
+  struct Hooks {
+    /// Confirmed death / rejoin of a peer (after the epoch advanced).
+    std::function<void(NodeId)> peer_dead;
+    std::function<void(NodeId)> peer_joined;
+
+    /// Fire one anti-entropy batch toward `peer` (wired to
+    /// core::AdcProxy::send_anti_entropy for the ADC scheme, absent for
+    /// schemes with no resolver tables).
+    std::function<void(sim::Transport&, NodeId, std::size_t)> send_repair;
+  };
+
+  /// `peers` is the candidate membership this node watches (its own id is
+  /// filtered out).  Seeds are derived per node from config.swim.seed so
+  /// each member's private probe order differs but stays reproducible.
+  MemberAgent(std::unique_ptr<sim::Node> inner, std::vector<NodeId> peers,
+              MembershipConfig config);
+
+  void set_hooks(Hooks hooks) { hooks_ = std::move(hooks); }
+
+  void on_message(sim::Transport& net, const sim::Message& msg) override;
+
+  /// Advances the detector and, when armed, fires a repair round offering
+  /// opinions to every currently-alive peer.
+  void tick(sim::Transport& net, SimTime now);
+
+  sim::Node& inner() noexcept { return *inner_; }
+  const sim::Node& inner() const noexcept { return *inner_; }
+  SwimDetector& detector() noexcept { return detector_; }
+  const SwimDetector& detector() const noexcept { return detector_; }
+  const RepairScheduler& repair() const noexcept { return repair_; }
+  const MembershipConfig& config() const noexcept { return config_; }
+
+ private:
+  std::unique_ptr<sim::Node> inner_;
+  MembershipConfig config_;
+  SwimDetector detector_;
+  RepairScheduler repair_;
+  Hooks hooks_;
+  bool transition_pending_ = false;
+};
+
+}  // namespace adc::membership

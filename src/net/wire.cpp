@@ -6,10 +6,11 @@ namespace {
 constexpr std::uint8_t kFlagCached = 0x01;
 constexpr std::uint8_t kFlagProxyHit = 0x02;
 
-// Fixed REQUEST/REPLY payload size excluding path entries:
+// Fixed message payload size excluding path entries:
 // type(1) + request_id(8) + object(8) + sender/target/client/forward_count/
-// hops/resolver(6 × 4) + flags(1) + version(8) + issued_at(8) + path_len(2).
-constexpr std::size_t kMessageFixedBytes = 1 + 8 + 8 + 6 * 4 + 1 + 8 + 8 + 2;
+// hops/resolver(6 × 4) + flags(1) + version(8) + claim(8) + issued_at(8) +
+// path_len(2).
+constexpr std::size_t kMessageFixedBytes = 1 + 8 + 8 + 6 * 4 + 1 + 8 + 8 + 8 + 2;
 
 // type(1) + node_kind(1) + node_id(4).
 constexpr std::size_t kHelloBytes = 6;
@@ -71,15 +72,66 @@ DecodeResult fail(std::string* error, const char* reason) {
 
 }  // namespace
 
+FrameType frame_type_for(sim::MessageKind kind) noexcept {
+  switch (kind) {
+    case sim::MessageKind::kRequest:
+      return FrameType::kRequest;
+    case sim::MessageKind::kReply:
+      return FrameType::kReply;
+    case sim::MessageKind::kSwimPing:
+      return FrameType::kSwimPing;
+    case sim::MessageKind::kSwimAck:
+      return FrameType::kSwimAck;
+    case sim::MessageKind::kSwimPingReq:
+      return FrameType::kSwimPingReq;
+    case sim::MessageKind::kSwimSuspect:
+      return FrameType::kSwimSuspect;
+    case sim::MessageKind::kSwimAlive:
+      return FrameType::kSwimAlive;
+    case sim::MessageKind::kSwimDead:
+      return FrameType::kSwimDead;
+    case sim::MessageKind::kRepairOffer:
+      return FrameType::kRepairOffer;
+    case sim::MessageKind::kRepairReply:
+      return FrameType::kRepairReply;
+  }
+  return FrameType::kRequest;
+}
+
+sim::MessageKind kind_for(FrameType type) noexcept {
+  switch (type) {
+    case FrameType::kRequest:
+    case FrameType::kHello:
+      return sim::MessageKind::kRequest;
+    case FrameType::kReply:
+      return sim::MessageKind::kReply;
+    case FrameType::kSwimPing:
+      return sim::MessageKind::kSwimPing;
+    case FrameType::kSwimAck:
+      return sim::MessageKind::kSwimAck;
+    case FrameType::kSwimPingReq:
+      return sim::MessageKind::kSwimPingReq;
+    case FrameType::kSwimSuspect:
+      return sim::MessageKind::kSwimSuspect;
+    case FrameType::kSwimAlive:
+      return sim::MessageKind::kSwimAlive;
+    case FrameType::kSwimDead:
+      return sim::MessageKind::kSwimDead;
+    case FrameType::kRepairOffer:
+      return sim::MessageKind::kRepairOffer;
+    case FrameType::kRepairReply:
+      return sim::MessageKind::kRepairReply;
+  }
+  return sim::MessageKind::kRequest;
+}
+
 void encode_message(const WireMessage& wire, std::vector<std::uint8_t>* out) {
   const std::size_t keep = wire.path.size() > kMaxPath ? kMaxPath : wire.path.size();
   const std::size_t skip = wire.path.size() - keep;
   const std::uint32_t payload_len = static_cast<std::uint32_t>(kMessageFixedBytes + 4 * keep);
   out->reserve(out->size() + kLengthPrefixBytes + payload_len);
   put_u32(out, payload_len);
-  put_u8(out, wire.msg.kind == sim::MessageKind::kRequest
-                  ? static_cast<std::uint8_t>(FrameType::kRequest)
-                  : static_cast<std::uint8_t>(FrameType::kReply));
+  put_u8(out, static_cast<std::uint8_t>(frame_type_for(wire.msg.kind)));
   put_u64(out, wire.msg.request_id);
   put_u64(out, wire.msg.object);
   put_i32(out, wire.msg.sender);
@@ -93,6 +145,7 @@ void encode_message(const WireMessage& wire, std::vector<std::uint8_t>* out) {
   if (wire.msg.proxy_hit) flags |= kFlagProxyHit;
   put_u8(out, flags);
   put_u64(out, wire.msg.version);
+  put_u64(out, wire.msg.claim);
   put_i64(out, wire.msg.issued_at);
   put_u16(out, static_cast<std::uint16_t>(keep));
   for (std::size_t i = skip; i < wire.path.size(); ++i) put_i32(out, wire.path[i]);
@@ -130,7 +183,15 @@ DecodeResult decode_frame(const std::uint8_t* data, std::size_t size, std::size_
       break;
     }
     case static_cast<std::uint8_t>(FrameType::kRequest):
-    case static_cast<std::uint8_t>(FrameType::kReply): {
+    case static_cast<std::uint8_t>(FrameType::kReply):
+    case static_cast<std::uint8_t>(FrameType::kSwimPing):
+    case static_cast<std::uint8_t>(FrameType::kSwimAck):
+    case static_cast<std::uint8_t>(FrameType::kSwimPingReq):
+    case static_cast<std::uint8_t>(FrameType::kSwimSuspect):
+    case static_cast<std::uint8_t>(FrameType::kSwimAlive):
+    case static_cast<std::uint8_t>(FrameType::kSwimDead):
+    case static_cast<std::uint8_t>(FrameType::kRepairOffer):
+    case static_cast<std::uint8_t>(FrameType::kRepairReply): {
       if (payload_len < kMessageFixedBytes) return fail(error, "message payload too short");
       const std::uint16_t path_len = get_u16(p + kMessageFixedBytes - 2);
       if (path_len > kMaxPath) return fail(error, "path_len exceeds kMaxPath");
@@ -140,8 +201,7 @@ DecodeResult decode_frame(const std::uint8_t* data, std::size_t size, std::size_
       *out = Frame{};
       out->type = static_cast<FrameType>(type);
       sim::Message& msg = out->message.msg;
-      msg.kind = out->type == FrameType::kRequest ? sim::MessageKind::kRequest
-                                                  : sim::MessageKind::kReply;
+      msg.kind = kind_for(out->type);
       msg.request_id = get_u64(p + 1);
       msg.object = get_u64(p + 9);
       msg.sender = get_i32(p + 17);
@@ -157,7 +217,8 @@ DecodeResult decode_frame(const std::uint8_t* data, std::size_t size, std::size_
       msg.cached = (flags & kFlagCached) != 0;
       msg.proxy_hit = (flags & kFlagProxyHit) != 0;
       msg.version = get_u64(p + 42);
-      msg.issued_at = get_i64(p + 50);
+      msg.claim = get_u64(p + 50);
+      msg.issued_at = get_i64(p + 58);
       out->message.path.resize(path_len);
       const std::uint8_t* entries = p + kMessageFixedBytes;
       for (std::uint16_t i = 0; i < path_len; ++i) {

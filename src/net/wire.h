@@ -13,8 +13,13 @@
 //
 //   u32  payload_len                  (bytes after this prefix)
 //   u8   type                         1=REQUEST 2=REPLY 3=HELLO
+//                                     4..9=SWIM control (ping, ack,
+//                                     ping-req, suspect, alive, dead)
+//                                     10..11=anti-entropy (offer, reply)
 //
-// REQUEST/REPLY payload after `type`:
+// Message payload after `type` (same shape for every non-HELLO type —
+// SWIM and repair frames reuse the request/reply fields exactly the way
+// sim::Message documents):
 //
 //   u64  request_id
 //   u64  object
@@ -26,6 +31,7 @@
 //   i32  resolver
 //   u8   flags                        bit0=cached bit1=proxy_hit
 //   u64  version
+//   u64  claim                        resolver-claim version (0 = unset)
 //   i64  issued_at
 //   u16  path_len                     (<= kMaxPath)
 //   i32 × path_len                    visited node ids, oldest first
@@ -63,7 +69,25 @@ enum class FrameType : std::uint8_t {
   kRequest = 1,
   kReply = 2,
   kHello = 3,
+  // HELLO sits between the protocol kinds and the control kinds, so the
+  // MessageKind <-> FrameType relation is not a fixed offset; always go
+  // through frame_type_for()/kind_for().
+  kSwimPing = 4,
+  kSwimAck = 5,
+  kSwimPingReq = 6,
+  kSwimSuspect = 7,
+  kSwimAlive = 8,
+  kSwimDead = 9,
+  kRepairOffer = 10,
+  kRepairReply = 11,
 };
+
+/// Frame type carrying a given message kind (every kind is encodable).
+FrameType frame_type_for(sim::MessageKind kind) noexcept;
+
+/// Message kind for a non-HELLO frame type; kRequest for kHello (callers
+/// branch on kHello before asking).
+sim::MessageKind kind_for(FrameType type) noexcept;
 
 /// Connection handshake: who is on the other end of this socket.
 struct Hello {

@@ -1,5 +1,6 @@
 #include "proxy/hashing_proxy.h"
 
+#include <algorithm>
 #include <cassert>
 #include <utility>
 
@@ -27,6 +28,47 @@ void HashingProxy::on_message(Transport& net, const Message& msg) {
   } else {
     receive_reply(net, msg);
   }
+}
+
+void HashingProxy::set_owner_map_factory(OwnerMapFactory factory,
+                                         std::vector<NodeId> members) {
+  factory_ = std::move(factory);
+  members_ = std::move(members);
+  std::sort(members_.begin(), members_.end());
+}
+
+double HashingProxy::handle_peer_dead(NodeId peer) {
+  if (!factory_ || peer == id()) return 0.0;
+  const auto it = std::find(members_.begin(), members_.end(), peer);
+  if (it == members_.end()) return 0.0;
+  members_.erase(it);
+  if (members_.empty()) members_.push_back(id());
+  return rebuild_owners();
+}
+
+double HashingProxy::handle_peer_joined(NodeId peer) {
+  if (!factory_) return 0.0;
+  const auto pos = std::lower_bound(members_.begin(), members_.end(), peer);
+  if (pos != members_.end() && *pos == peer) return 0.0;
+  members_.insert(pos, peer);
+  return rebuild_owners();
+}
+
+double HashingProxy::rebuild_owners() {
+  std::shared_ptr<const OwnerMap> fresh = factory_(members_);
+  assert(fresh != nullptr);
+  ObjectId moved = 0;
+  for (ObjectId object = 0; object < kReshuffleSample; ++object) {
+    if (owners_->owner(object) != fresh->owner(object)) ++moved;
+  }
+  owners_ = std::move(fresh);
+  ++stats_.membership_epoch;
+  ++stats_.owner_rebuilds;
+  stats_.last_reshuffle_fraction =
+      static_cast<double>(moved) / static_cast<double>(kReshuffleSample);
+  stats_.max_reshuffle_fraction =
+      std::max(stats_.max_reshuffle_fraction, stats_.last_reshuffle_fraction);
+  return stats_.last_reshuffle_fraction;
 }
 
 void HashingProxy::send_reply_toward_client(Transport& net, Message reply, NodeId entry) {

@@ -71,10 +71,24 @@ struct HashingProxyStats {
   std::uint64_t owned_objects_served = 0;
   std::uint64_t degraded_replies = 0;  // origin replies relayed for requests that
                                        // were rerouted around a dead owner
+  std::uint64_t membership_epoch = 0;  // confirmed membership transitions applied
+  std::uint64_t owner_rebuilds = 0;    // owner maps recomputed (== epoch today)
+  double last_reshuffle_fraction = 0.0;  // share of sampled objects whose owner
+                                         // moved in the latest rebuild
+  double max_reshuffle_fraction = 0.0;   // worst rebuild observed this run
 };
 
 class HashingProxy final : public sim::Node {
  public:
+  /// Rebuilds an OwnerMap from a membership (ids of the live proxies).
+  /// Captures whatever naming / load-factor context the scheme needs.
+  using OwnerMapFactory =
+      std::function<std::shared_ptr<const OwnerMap>(const std::vector<NodeId>&)>;
+
+  /// Objects sampled when measuring how much of the key space a rebuild
+  /// reshuffled (ids 0..kReshuffleSample-1 stand in for the URL space).
+  static constexpr ObjectId kReshuffleSample = 4096;
+
   /// `owners` is shared by every member proxy.  `cache_capacity` matches
   /// the ADC caching-table size for a fair hit-rate comparison.
   HashingProxy(NodeId id, std::string name, std::shared_ptr<const OwnerMap> owners,
@@ -94,12 +108,30 @@ class HashingProxy final : public sim::Node {
     versions_.clear();
   }
 
+  /// Enables live membership: `members` is the full current membership
+  /// (this proxy included) and `factory` recomputes the owner map from an
+  /// updated membership.  Without a factory the startup owner map is fixed
+  /// for the whole run (the pre-membership behaviour).
+  void set_owner_map_factory(OwnerMapFactory factory, std::vector<NodeId> members);
+
+  /// Confirmed membership change: removes/reinstates the peer and rebuilds
+  /// the owner map, measuring the fraction of sampled objects whose owner
+  /// moved.  Returns that fraction (0 when nothing changed or no factory
+  /// is installed).  The local cache is kept — entries the proxy no longer
+  /// owns simply age out, mirroring what a real CARP member does.
+  double handle_peer_dead(NodeId peer);
+  double handle_peer_joined(NodeId peer);
+
  private:
+  /// Recomputes owners_ from members_ and updates the reshuffle stats.
+  double rebuild_owners();
   void receive_request(sim::Transport& net, const sim::Message& msg);
   void receive_reply(sim::Transport& net, const sim::Message& msg);
   void send_reply_toward_client(sim::Transport& net, sim::Message reply, NodeId entry);
 
   std::shared_ptr<const OwnerMap> owners_;
+  OwnerMapFactory factory_;
+  std::vector<NodeId> members_;  // sorted; only maintained once a factory is set
   NodeId origin_;
   std::unique_ptr<cache::CacheSet> cache_;
   bool entry_caching_;

@@ -50,6 +50,10 @@ int main(int argc, char** argv) {
       .option("fault-drop", "0", "chaos: probability of dropping each outbound message")
       .option("fault-dup", "0", "chaos: probability of duplicating each outbound message")
       .option("fault-seed", "64023", "chaos: seed of the fault layer's private RNG")
+      .option("membership", "0", "1 = enable the SWIM failure detector + anti-entropy")
+      .option("swim-ping-ms", "1000", "SWIM probe interval in milliseconds")
+      .option("swim-suspect-ms", "3000", "SWIM suspicion timeout in milliseconds")
+      .option("repair-ms", "2000", "anti-entropy round interval in milliseconds")
       .multi_option("peer", "cluster member as id=host:port; the origin too");
   std::string error;
   if (!cli.parse(argc, argv, &error)) {
@@ -82,6 +86,22 @@ int main(int argc, char** argv) {
   config.fault_plan.dup_prob = options.get_double("fault-dup", 0.0);
   config.fault_plan.seed = static_cast<std::uint64_t>(options.get_int("fault-seed", 0x0fa17)) +
                            static_cast<std::uint64_t>(config.node_id);
+
+  if (options.get_int("membership", 0) != 0) {
+    // The daemon's clock runs in microseconds; flags are milliseconds at
+    // live scale (seconds-order detection, vs the simulator's sub-second
+    // virtual ticks).
+    const SimTime ping_us = options.get_int("swim-ping-ms", 1000) * 1000;
+    const SimTime suspect_us = options.get_int("swim-suspect-ms", 3000) * 1000;
+    config.membership.swim.enabled = true;
+    config.membership.swim.ping_interval = ping_us;
+    config.membership.swim.ack_timeout = ping_us / 3;
+    config.membership.swim.indirect_timeout = ping_us / 3;
+    config.membership.swim.suspect_timeout = suspect_us;
+    config.membership.swim.dead_probe_interval = 2 * suspect_us;
+    config.membership.swim.seed = config.seed;
+    config.membership.repair.interval = options.get_int("repair-ms", 2000) * 1000;
+  }
 
   for (const std::string& spec : cli.values("peer")) {
     NodeId id = kInvalidNode;

@@ -67,6 +67,21 @@ NodeDaemon::NodeDaemon(DaemonConfig config)
                  << "]: chaos enabled: " << config_.fault_plan.describe();
   }
   make_node();
+  if (config_.membership.swim.enabled && config_.role != DaemonRole::kOrigin) {
+    // Same per-node seed derivation membership::MemberAgent uses, so a
+    // cluster and a simulation draw comparable private probe streams.
+    membership::SwimConfig swim = config_.membership.swim;
+    swim.seed = swim.seed * 0x9e3779b97f4a7c15ULL +
+                static_cast<std::uint64_t>(config_.node_id) + 1;
+    detector_ = std::make_unique<membership::SwimDetector>(config_.node_id,
+                                                           config_.proxy_ids, swim);
+    repair_ = std::make_unique<membership::RepairScheduler>(config_.membership.repair);
+    detector_->set_on_death([this](NodeId peer) { on_member_dead(peer); });
+    detector_->set_on_join([this](NodeId peer) { on_member_joined(peer); });
+    detector_->set_on_transition([this] { transition_pending_ = true; });
+    ADC_LOG_INFO << "adcd[" << config_.node_id << "]: SWIM detector enabled, watching "
+                 << detector_->alive_peers().size() << " peers";
+  }
 }
 
 NodeDaemon::~NodeDaemon() {
@@ -89,10 +104,24 @@ void NodeDaemon::make_node() {
         members.push_back({"proxy[" + std::to_string(id) + "]", id, 1.0});
       }
       auto owners = std::make_shared<proxy::CarpOwnerMap>(hash::CarpArray(std::move(members)));
-      node_ = std::make_unique<proxy::HashingProxy>(config_.node_id, name, std::move(owners),
-                                                    config_.origin_id,
-                                                    config_.carp_cache_capacity,
-                                                    config_.carp_policy);
+      auto carp = std::make_unique<proxy::HashingProxy>(config_.node_id, name,
+                                                        std::move(owners), config_.origin_id,
+                                                        config_.carp_cache_capacity,
+                                                        config_.carp_policy);
+      if (config_.membership.swim.enabled) {
+        // Live membership: rebuild the array over whatever subset of the
+        // startup membership survives, keeping the sim-compatible names.
+        carp->set_owner_map_factory(
+            [](const std::vector<NodeId>& ids) -> std::shared_ptr<const proxy::OwnerMap> {
+              std::vector<hash::CarpArray::Member> live;
+              for (const NodeId id : ids) {
+                live.push_back({"proxy[" + std::to_string(id) + "]", id, 1.0});
+              }
+              return std::make_shared<proxy::CarpOwnerMap>(hash::CarpArray(std::move(live)));
+            },
+            config_.proxy_ids);
+      }
+      node_ = std::move(carp);
       break;
     }
     case DaemonRole::kOrigin:
@@ -109,9 +138,76 @@ std::uint16_t NodeDaemon::bind(std::string* error) {
 }
 
 void NodeDaemon::run() {
+  // With the detector on, the poll timeout bounds how late a probe or
+  // suspicion timeout can fire; 100ms is comfortably finer than the
+  // live-scale SWIM intervals (seconds).
+  const int poll_ms = detector_ != nullptr ? 100 : 500;
   while (!loop_.stopped()) {
-    if (loop_.poll_once(500) < 0) break;
+    if (loop_.poll_once(poll_ms) < 0) break;
+    drive_membership();
     if (tick_) tick_();
+  }
+}
+
+void NodeDaemon::on_member_dead(NodeId peer) {
+  membership_epoch_.store(detector_->epoch(), std::memory_order_release);
+  switch (config_.role) {
+    case DaemonRole::kAdcProxy: {
+      // The silent-peer purge: a peer the detector declares dead loses its
+      // mapping entries and forwarding-membership slot even when no
+      // request traffic ever touched the dead connection (probe timeouts
+      // alone get here).
+      const std::size_t removed =
+          static_cast<core::AdcProxy&>(*node_).handle_peer_dead(peer);
+      fault_stats_.entries_invalidated += removed;
+      ADC_LOG_WARN << "adcd[" << config_.node_id << "]: member " << peer
+                   << " confirmed dead (epoch " << detector_->epoch() << "), purged "
+                   << removed << " table entries";
+      break;
+    }
+    case DaemonRole::kCarpProxy: {
+      const double fraction =
+          static_cast<proxy::HashingProxy&>(*node_).handle_peer_dead(peer);
+      ADC_LOG_WARN << "adcd[" << config_.node_id << "]: member " << peer
+                   << " confirmed dead (epoch " << detector_->epoch()
+                   << "), owner map rebuilt, reshuffle_fraction=" << fraction;
+      break;
+    }
+    case DaemonRole::kOrigin:
+      break;
+  }
+}
+
+void NodeDaemon::on_member_joined(NodeId peer) {
+  membership_epoch_.store(detector_->epoch(), std::memory_order_release);
+  switch (config_.role) {
+    case DaemonRole::kAdcProxy:
+      static_cast<core::AdcProxy&>(*node_).handle_peer_joined(peer);
+      break;
+    case DaemonRole::kCarpProxy:
+      static_cast<proxy::HashingProxy&>(*node_).handle_peer_joined(peer);
+      break;
+    case DaemonRole::kOrigin:
+      break;
+  }
+  ADC_LOG_INFO << "adcd[" << config_.node_id << "]: member " << peer
+               << " rejoined (epoch " << detector_->epoch() << ")";
+}
+
+void NodeDaemon::drive_membership() {
+  if (detector_ == nullptr) return;
+  current_path_.clear();  // control traffic carries no journey path
+  const SimTime t = now();
+  detector_->tick(*this, t);
+  if (transition_pending_) {
+    repair_->note_transition(t);
+    transition_pending_ = false;
+  }
+  if (repair_->next_round(t) && config_.role == DaemonRole::kAdcProxy) {
+    auto& adc = static_cast<core::AdcProxy&>(*node_);
+    for (const NodeId peer : detector_->alive_peers()) {
+      adc.send_anti_entropy(*this, peer, config_.membership.repair.batch);
+    }
   }
 }
 
@@ -176,6 +272,20 @@ void NodeDaemon::on_conn_event(int fd, bool readable, bool writable) {
       if (config_.peers.count(frame.hello.node_id) != 0) note_peer_up(frame.hello.node_id);
       continue;
     }
+    if (sim::is_swim_kind(frame.message.msg.kind)) {
+      // Failure-detector control traffic never reaches the hosted agent
+      // (and may trigger outbound acks/broadcasts right here).
+      if (detector_ != nullptr) {
+        current_path_.clear();
+        detector_->on_message(*this, frame.message.msg);
+      }
+      if (conns_.find(fd) == conns_.end()) return;  // ack send dropped us
+      continue;
+    }
+    if (sim::is_repair_kind(frame.message.msg.kind) &&
+        config_.role != DaemonRole::kAdcProxy) {
+      continue;  // only the ADC agent understands anti-entropy frames
+    }
     deliver(std::move(frame.message));
     if (conns_.find(fd) == conns_.end()) return;  // delivery dropped us
   }
@@ -213,9 +323,15 @@ void NodeDaemon::note_peer_down(NodeId peer) {
                    << " table entries for dead peer " << peer;
     }
   }
+  // Transport-level evidence short-circuits the probe cycle: suspect the
+  // peer now instead of waiting for its next scheduled ping to time out.
+  if (detector_ != nullptr && peer != config_.origin_id) {
+    detector_->observe_failure(*this, peer, now());
+  }
 }
 
 void NodeDaemon::note_peer_up(NodeId peer) {
+  if (detector_ != nullptr && peer != config_.origin_id) detector_->observe_alive(peer);
   if (!health_.record_success(peer)) return;  // was not down
   ++fault_stats_.reconnects;
   ADC_LOG_INFO << "adcd[" << config_.node_id << "]: peer " << peer << " reconnected";
@@ -332,9 +448,14 @@ void NodeDaemon::send(sim::Message msg) {
   }
   if (fd < 0) {
     ++stats_.drops_unroutable;
-    ADC_LOG_WARN << "adcd[" << config_.node_id << "]: no route to node " << msg.target
-                 << "; dropping " << (msg.kind == sim::MessageKind::kRequest ? "REQUEST" : "REPLY")
-                 << " req=" << msg.request_id;
+    if (!sim::is_swim_kind(msg.kind) && !sim::is_repair_kind(msg.kind)) {
+      // Control traffic to a down peer is routine while the detector is
+      // still confirming the death — not worth a warning per probe.
+      ADC_LOG_WARN << "adcd[" << config_.node_id << "]: no route to node " << msg.target
+                   << "; dropping "
+                   << (msg.kind == sim::MessageKind::kRequest ? "REQUEST" : "REPLY")
+                   << " req=" << msg.request_id;
+    }
     return;
   }
   std::vector<std::uint8_t> bytes;
@@ -377,6 +498,21 @@ std::string NodeDaemon::stats_text() const {
     out += "  down_peers:";
     for (const NodeId peer : down) out += " " + std::to_string(peer);
     out += "\n";
+  }
+  if (detector_ != nullptr) {
+    const membership::SwimStats& swim = detector_->stats();
+    out += "  membership_epoch=" + std::to_string(detector_->epoch()) +
+           " incarnation=" + std::to_string(detector_->self_incarnation()) +
+           " peers: " + detector_->describe_peers() + "\n";
+    out += "  swim: pings_sent=" + std::to_string(swim.pings_sent) +
+           " acks_sent=" + std::to_string(swim.acks_sent) +
+           " ping_reqs_sent=" + std::to_string(swim.ping_reqs_sent) +
+           " relayed_probes=" + std::to_string(swim.relayed_probes) +
+           " suspicions=" + std::to_string(swim.suspicions) +
+           " refutations=" + std::to_string(swim.refutations) +
+           " deaths=" + std::to_string(swim.deaths) +
+           " joins=" + std::to_string(swim.joins) +
+           " repair_rounds=" + std::to_string(repair_->rounds_fired()) + "\n";
   }
   switch (config_.role) {
     case DaemonRole::kAdcProxy: {

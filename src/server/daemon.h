@@ -14,6 +14,7 @@
 // the backwarding return path.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <deque>
@@ -30,6 +31,7 @@
 #include "fault/fault_plan.h"
 #include "fault/faulty_network.h"
 #include "fault/peer_health.h"
+#include "membership/member_agent.h"
 #include "net/event_loop.h"
 #include "net/socket.h"
 #include "net/wire.h"
@@ -77,6 +79,15 @@ struct DaemonConfig {
 
   /// Reconnect backoff parameters for peer-health tracking.
   fault::PeerHealth::Config health;
+
+  /// SWIM failure detection + transition-gated anti-entropy, enabled via
+  /// membership.swim.enabled (proxy roles only — the origin is not a
+  /// member).  Timeouts are in this transport's clock, i.e. microseconds;
+  /// adcd's --membership flag installs live-scale defaults (1s pings, 3s
+  /// suspicion).  A confirmed death purges ADC mapping entries naming the
+  /// silent peer (even with no traffic in flight) or rebuilds the CARP
+  /// owner map; a rejoin reverses it.
+  membership::MembershipConfig membership;
 };
 
 struct DaemonStats {
@@ -129,6 +140,17 @@ class NodeDaemon final : public sim::Transport {
   sim::FaultCounters fault_stats() const;
   const fault::PeerHealth& peer_health() const noexcept { return health_; }
 
+  /// Current membership epoch (confirmed deaths + joins), 0 when the
+  /// detector is off.  Atomic so harnesses on other threads can poll for
+  /// an epoch bump without racing the loop thread.
+  std::uint64_t membership_epoch() const noexcept {
+    return membership_epoch_.load(std::memory_order_acquire);
+  }
+
+  /// The failure detector, or nullptr when membership is disabled.  Only
+  /// safe to read from the loop thread (or after run() returned).
+  const membership::SwimDetector* detector() const noexcept { return detector_.get(); }
+
   // --- sim::Transport ----------------------------------------------------
   void send(sim::Message msg) override;
   util::Rng& rng() noexcept override { return rng_; }
@@ -158,6 +180,12 @@ class NodeDaemon final : public sim::Transport {
   /// records the failure against any peer routed over it.
   void account_dead_conn(int fd, net::Conn::Io io);
 
+  /// Detector callbacks (confirmed transitions) and the per-poll driver
+  /// for probes, timeouts and repair rounds.
+  void on_member_dead(NodeId peer);
+  void on_member_joined(NodeId peer);
+  void drive_membership();
+
   DaemonConfig config_;
   util::Rng rng_;
   std::chrono::steady_clock::time_point start_;
@@ -166,6 +194,11 @@ class NodeDaemon final : public sim::Transport {
   std::unique_ptr<fault::FaultyNetwork> chaos_;  // null without a fault plan
   sim::FaultCounters fault_stats_;
   std::set<NodeId> dialed_before_;  // peers that had their startup dial
+
+  std::unique_ptr<membership::SwimDetector> detector_;  // null when disabled
+  std::unique_ptr<membership::RepairScheduler> repair_;
+  bool transition_pending_ = false;
+  std::atomic<std::uint64_t> membership_epoch_{0};
 
   std::unique_ptr<sim::Node> node_;
   net::EventLoop loop_;

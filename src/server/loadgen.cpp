@@ -38,6 +38,12 @@ std::string LoadGenReport::text() const {
   out << "latency:    p50=" << latency_p50_us << "us p95=" << latency_p95_us
       << "us p99=" << latency_p99_us << "us\n";
   out << "conn errors: " << errors.text() << "\n";
+  out << "membership: view_epoch=" << view_epoch << " entries:";
+  for (const EntryView& view : entry_views) {
+    out << " " << view.entry << ":" << view.state();
+    if (view.failure_streak > 0) out << "/" << view.failure_streak;
+  }
+  out << "\n";
   return out.str();
 }
 
@@ -97,7 +103,7 @@ int LoadGenerator::entry_fd(NodeId entry) {
   const int fd = net::connect_tcp(endpoint, &error);
   if (fd < 0) {
     ++errors_.connect_refused;
-    health_.record_failure(entry, now_us());
+    if (health_.record_failure(entry, now_us())) ++view_epoch_;
     return -1;
   }
   auto conn = std::make_unique<net::Conn>(fd);
@@ -106,10 +112,11 @@ int LoadGenerator::entry_fd(NodeId entry) {
   conn->queue(hello);
   if (conn->flush() != net::Conn::Io::kOk) {
     ++errors_.connect_refused;
-    health_.record_failure(entry, now_us());
+    if (health_.record_failure(entry, now_us())) ++view_epoch_;
     return -1;  // conn's destructor closes the fd
   }
   if (health_.record_success(entry)) {
+    ++view_epoch_;
     ++errors_.reconnects;
     ADC_LOG_INFO << "loadgen: entry proxy " << entry << " reconnected";
   }
@@ -213,7 +220,7 @@ void LoadGenerator::conn_died(int fd, net::Conn::Io io) {
     if (it->second == fd) {
       // An orderly close is still a down signal for a client: the proxy
       // went away and must be redialed before it can serve us again.
-      health_.record_failure(it->first, now_us());
+      if (health_.record_failure(it->first, now_us())) ++view_epoch_;
       ADC_LOG_WARN << "loadgen: lost connection to entry proxy " << it->first;
       it = routes_.erase(it);
     } else {
@@ -269,6 +276,7 @@ LoadGenReport LoadGenerator::run(const std::vector<ObjectId>& objects) {
   total_hops_ = 0;
   latency_us_.clear();
   errors_ = LoadGenErrors{};
+  view_epoch_ = 0;
   outstanding_.clear();
   const auto wall_start = std::chrono::steady_clock::now();
 
@@ -313,6 +321,10 @@ LoadGenReport LoadGenerator::run(const std::vector<ObjectId>& objects) {
   report.latency_p99_us = latency_us_.percentile(0.99);
   report.timed_out = timed_out;
   report.errors = errors_;
+  for (const NodeId entry : entries_) {
+    report.entry_views.push_back(EntryView{entry, health_.failure_streak(entry)});
+  }
+  report.view_epoch = view_epoch_;
   return report;
 }
 

@@ -77,6 +77,21 @@ struct LoadGenErrors {
   std::string text() const;
 };
 
+/// The client-side membership view: the generator runs no failure
+/// detector, but its health tracker sees the same evidence one would
+/// (connect failures, resets, reconnects), so the final report grades each
+/// entry the way SWIM would — alive (no failure streak), suspect (a short
+/// streak), dead (a streak past the suspicion threshold).
+struct EntryView {
+  NodeId entry = kInvalidNode;
+  int failure_streak = 0;  // consecutive failures at report time
+  const char* state() const noexcept {
+    if (failure_streak == 0) return "alive";
+    return failure_streak <= kSuspectStreak ? "suspect" : "dead";
+  }
+  static constexpr int kSuspectStreak = 3;
+};
+
 struct LoadGenReport {
   std::uint64_t issued = 0;
   std::uint64_t completed = 0;
@@ -90,6 +105,12 @@ struct LoadGenReport {
   double latency_p99_us = 0.0;
   bool timed_out = false;
   LoadGenErrors errors;
+
+  /// Entry proxies graded by observed health, plus the count of up/down
+  /// transitions this run saw — the client-side analogue of a membership
+  /// epoch.
+  std::vector<EntryView> entry_views;
+  std::uint64_t view_epoch = 0;
 
   double hit_rate() const noexcept {
     return completed == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(completed);
@@ -166,6 +187,7 @@ class LoadGenerator {
   std::uint64_t total_hops_ = 0;
   sim::PercentileTracker latency_us_;
   LoadGenErrors errors_;
+  std::uint64_t view_epoch_ = 0;  // entry up/down transitions this run
 
   /// In-flight requests: id -> deadline (microsecond steady-clock stamp;
   /// INT64_MAX when the per-request timeout is off).

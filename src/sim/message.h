@@ -5,6 +5,19 @@
 // the resolver annotation used by multicasting-by-backwarding) toward it.
 // Objects themselves are never materialized — the paper simulates URL
 // handling only — so a reply carries metadata, not payload bytes.
+//
+// The membership layer (src/membership) adds control traffic on the same
+// Message shape so the SWIM detector and the anti-entropy repair run over
+// any sim::Transport.  Control messages reuse existing fields instead of
+// growing the struct:
+//   * request_id — probe sequence number (SWIM) / unused (repair)
+//   * resolver   — the *subject* node the message is about: the member
+//                  being probed or gossiped (SWIM), the claimed object
+//                  location (repair)
+//   * version    — the subject's incarnation number (SWIM)
+//   * client     — the original prober a ping-req relay acts for
+//                  (kInvalidNode on direct probes)
+//   * object / claim — the object and its resolver-claim version (repair)
 #pragma once
 
 #include "util/types.h"
@@ -14,7 +27,30 @@ namespace adc::sim {
 enum class MessageKind : std::uint8_t {
   kRequest,
   kReply,
+
+  // --- SWIM failure detection (src/membership/swim.h) -------------------
+  kSwimPing,     // direct or relayed liveness probe
+  kSwimAck,      // probe answer (relayed back to `client` when set)
+  kSwimPingReq,  // "probe `resolver` for me" indirection request
+  kSwimSuspect,  // broadcast: subject `resolver` is suspected at `version`
+  kSwimAlive,    // refutation: subject `resolver` is alive at `version`
+  kSwimDead,     // broadcast: subject `resolver` is confirmed dead
+
+  // --- Anti-entropy repair of resolver opinions (AdcProxy) --------------
+  kRepairOffer,  // "I believe `object` resolves at `resolver`, claim `claim`"
+  kRepairReply,  // counter-opinion carrying a higher claim
 };
+
+/// True for the membership-layer control kinds that a MemberAgent or
+/// NodeDaemon routes to the failure detector instead of the hosted agent.
+constexpr bool is_swim_kind(MessageKind kind) noexcept {
+  return kind >= MessageKind::kSwimPing && kind <= MessageKind::kSwimDead;
+}
+
+/// True for the anti-entropy kinds handled by core::AdcProxy.
+constexpr bool is_repair_kind(MessageKind kind) noexcept {
+  return kind == MessageKind::kRepairOffer || kind == MessageKind::kRepairReply;
+}
 
 struct Message {
   MessageKind kind = MessageKind::kRequest;
@@ -61,6 +97,13 @@ struct Message {
   /// stored).  The client compares it against the oracle to count stale
   /// hits.  Always 0 when versioning is disabled.
   std::uint64_t version = 0;
+
+  /// Resolver-claim version for this object (monotone per object).
+  /// Requests accumulate the highest claim seen along the forward path (a
+  /// *floor*); a proxy claiming resolver status stamps floor + 1 onto the
+  /// reply, and Update_Entry rejects learning from claims older than the
+  /// one already stored.  0 = unversioned (clients, cold entries).
+  std::uint64_t claim = 0;
 
   /// Simulated issue time, for latency accounting.
   SimTime issued_at = 0;

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <optional>
+
 #include "util/rng.h"
 
 namespace adc::core {
@@ -242,6 +244,104 @@ TEST(UpdateEntry, FreshEntryDefaultsToVersionZero) {
   MappingTables tables(small_config());
   tables.update_entry(9, kPeer, 5);
   EXPECT_EQ(tables.single().find(9)->version, 0u);
+}
+
+// --- Versioned resolver claims -------------------------------------------
+
+TEST(UpdateEntry, StrictlyOlderClaimIsRejectedWithoutTouchingState) {
+  MappingTables tables(small_config());
+  tables.update_entry(1, kPeer, 10, std::nullopt, /*claim=*/5);
+  const UpdateResult result = tables.update_entry(1, 4, 20, std::nullopt, /*claim=*/3);
+  EXPECT_TRUE(result.rejected_stale);
+  EXPECT_FALSE(result.created);
+  // Nothing moved: no promotion to multiple, no location change, no aging.
+  ASSERT_TRUE(tables.single().contains(1));
+  EXPECT_EQ(tables.single().find(1)->location, kPeer);
+  EXPECT_EQ(tables.single().find(1)->hits, 1u);
+  EXPECT_EQ(tables.claim_of(1), 5u);
+}
+
+TEST(UpdateEntry, EqualClaimIsNotStale) {
+  MappingTables tables(small_config());
+  tables.update_entry(1, kPeer, 10, std::nullopt, /*claim=*/5);
+  const UpdateResult result = tables.update_entry(1, 4, 20, std::nullopt, /*claim=*/5);
+  EXPECT_FALSE(result.rejected_stale);
+  EXPECT_EQ(result.placement, TablePlacement::kMultiple);
+  EXPECT_EQ(tables.multiple().find(1)->location, 4);
+}
+
+TEST(UpdateEntry, FresherClaimRatchetsTheStoredClaimAcrossPromotions) {
+  MappingTables tables(small_config());
+  tables.update_entry(1, kPeer, 10, std::nullopt, /*claim=*/2);
+  EXPECT_EQ(tables.claim_of(1), 2u);
+  tables.update_entry(1, kPeer, 20, std::nullopt, /*claim=*/6);  // -> multiple
+  EXPECT_EQ(tables.claim_of(1), 6u);
+  tables.update_entry(1, kPeer, 30, std::nullopt, /*claim=*/9);  // -> caching
+  ASSERT_TRUE(tables.is_cached(1));
+  EXPECT_EQ(tables.claim_of(1), 9u);
+}
+
+TEST(UpdateEntry, UnversionedEntriesNeverReject) {
+  // Entries that never saw a resolver claim (claim 0) accept any update —
+  // the rejection rule only protects versioned opinions.
+  MappingTables tables(small_config());
+  tables.update_entry(1, kPeer, 10);
+  const UpdateResult result = tables.update_entry(1, 4, 20);
+  EXPECT_FALSE(result.rejected_stale);
+  EXPECT_EQ(tables.claim_of(1), 0u);
+  // First claim attaches cleanly.
+  tables.update_entry(1, 4, 30, std::nullopt, /*claim=*/7);
+  EXPECT_EQ(tables.claim_of(1), 7u);
+}
+
+TEST(MappingTables, ClaimOfUnknownObjectIsZero) {
+  MappingTables tables(small_config());
+  EXPECT_EQ(tables.claim_of(99), 0u);
+}
+
+TEST(MappingTables, RepairLocationOverwritesSingleAndMultipleEntriesInPlace) {
+  MappingTables tables(small_config());
+  tables.update_entry(1, kPeer, 10, std::nullopt, /*claim=*/9);  // single
+  tables.update_entry(2, kPeer, 10, std::nullopt, /*claim=*/9);
+  tables.update_entry(2, kPeer, 20, std::nullopt, /*claim=*/9);  // multiple
+  EXPECT_TRUE(tables.repair_location(1, 4, /*claim=*/12));
+  EXPECT_TRUE(tables.repair_location(2, 5, /*claim=*/13));
+  // Repair is an overwrite, not a hit: entries stay in their tables with
+  // the new location and claim, hit counts untouched.
+  ASSERT_TRUE(tables.single().contains(1));
+  EXPECT_EQ(tables.single().find(1)->location, 4);
+  EXPECT_EQ(tables.single().find(1)->hits, 1u);
+  EXPECT_EQ(tables.claim_of(1), 12u);
+  ASSERT_TRUE(tables.multiple().contains(2));
+  EXPECT_EQ(tables.multiple().find(2)->location, 5);
+  EXPECT_EQ(tables.claim_of(2), 13u);
+}
+
+TEST(MappingTables, RepairLocationLeavesUnknownAndCachedObjectsAlone) {
+  MappingTables tables(small_config());
+  EXPECT_FALSE(tables.repair_location(99, 4, 12));
+  // A cached entry means this proxy holds the bytes; a remote opinion must
+  // not redirect it away from itself.
+  tables.update_entry(1, kPeer, 10);
+  tables.update_entry(1, kPeer, 20);
+  tables.update_entry(1, kSelf, 30);  // cached
+  ASSERT_TRUE(tables.is_cached(1));
+  EXPECT_FALSE(tables.repair_location(1, 4, 12));
+  EXPECT_EQ(tables.caching().find(1)->location, kSelf);
+}
+
+TEST(MappingTables, StampClaimRaisesInPlaceAndNeverLowers) {
+  MappingTables tables(small_config());
+  tables.update_entry(1, kPeer, 10, std::nullopt, /*claim=*/5);
+  tables.stamp_claim(1, 8);
+  EXPECT_EQ(tables.claim_of(1), 8u);
+  tables.stamp_claim(1, 3);  // lower: ignored
+  EXPECT_EQ(tables.claim_of(1), 8u);
+  tables.stamp_claim(99, 8);  // unknown: no-op, no crash
+  EXPECT_EQ(tables.claim_of(99), 0u);
+  // No reordering happened: still a single-table entry with one hit.
+  ASSERT_TRUE(tables.single().contains(1));
+  EXPECT_EQ(tables.single().find(1)->hits, 1u);
 }
 
 // --- Invariants under churn ----------------------------------------------

@@ -112,6 +112,45 @@ TEST(RunParallel, MatchesSerialBitForBit) {
   }
 }
 
+TEST(RunParallel, FaultCountersAggregateIdenticallyAcrossWorkers) {
+  // Each run owns its FaultyNetwork with a private RNG, so the injected
+  // and resilience counters are part of the determinism contract too: a
+  // chaos sweep fanned across threads must report the exact same fault
+  // tallies as the serial replay, at every worker count.
+  const auto trace = tiny_trace();
+  std::vector<ExperimentConfig> configs;
+  for (const double loss : {0.01, 0.04}) {
+    for (const auto scheme : {Scheme::kAdc, Scheme::kCarp}) {
+      ExperimentConfig config = base_config();
+      config.scheme = scheme;
+      config.fault_plan.drop_prob = loss;
+      config.fault_plan.dup_prob = 0.02;
+      config.request_timeout = 2000;
+      configs.push_back(config);
+    }
+  }
+  const auto serial = run_parallel(configs, trace, 1);
+  const auto two = run_parallel(configs, trace, 2);
+  const auto four = run_parallel(configs, trace, 4);
+  ASSERT_EQ(serial.size(), configs.size());
+  for (const auto* fanned : {&two, &four}) {
+    ASSERT_EQ(fanned->size(), configs.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      SCOPED_TRACE("config " + std::to_string(i));
+      const auto& a = serial[i].faults;
+      const auto& b = (*fanned)[i].faults;
+      EXPECT_EQ(a.drops_random, b.drops_random);
+      EXPECT_EQ(a.drops_partition, b.drops_partition);
+      EXPECT_EQ(a.drops_crash, b.drops_crash);
+      EXPECT_EQ(a.duplicates, b.duplicates);
+      EXPECT_EQ(a.delays, b.delays);
+      EXPECT_EQ(a.timeouts, b.timeouts);
+      EXPECT_EQ(a.entries_invalidated, b.entries_invalidated);
+      EXPECT_GT(b.drops_random, 0u);  // the chaos actually fired
+    }
+  }
+}
+
 TEST(RunParallel, ResultsStayInSubmissionOrder) {
   const auto trace = tiny_trace();
   // Distinguishable runs: proxy counts differ, so each result reveals

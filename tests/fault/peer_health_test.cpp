@@ -80,6 +80,46 @@ TEST(PeerHealth, JitterStaysWithinTheConfiguredBand) {
   }
 }
 
+TEST(PeerHealth, JitterBandScalesWithTheDoubledBackoff) {
+  PeerHealth::Config config;
+  config.base_backoff_us = 1000;
+  config.max_backoff_us = 1'000'000;
+  config.jitter = 0.25;
+  PeerHealth health(config);
+  // Streak k backs off around base * 2^(k-1); the jitter band is relative,
+  // so at every depth the next try lands in [nominal*(1-j), nominal*(1+j)).
+  std::int64_t nominal = 1000;
+  std::int64_t now = 0;
+  for (int streak = 1; streak <= 6; ++streak) {
+    health.record_failure(9, now);
+    const std::int64_t lo = nominal * 3 / 4;   // nominal * (1 - 0.25)
+    const std::int64_t hi = nominal * 5 / 4;   // nominal * (1 + 0.25)
+    EXPECT_FALSE(health.can_attempt(9, now + lo - 1)) << "streak " << streak;
+    EXPECT_TRUE(health.can_attempt(9, now + hi)) << "streak " << streak;
+    now += hi;  // move past the widest possible wait before the next failure
+    nominal *= 2;
+  }
+}
+
+TEST(PeerHealth, JitterBandHoldsAtTheBackoffCap) {
+  PeerHealth::Config config;
+  config.base_backoff_us = 1000;
+  config.max_backoff_us = 8000;
+  config.jitter = 0.2;
+  PeerHealth health(config);
+  std::int64_t now = 0;
+  for (int streak = 1; streak <= 12; ++streak) {
+    health.record_failure(4, now);
+    now += 100'000;  // far past any possible backoff
+  }
+  // Deep into the streak the nominal backoff saturates at the cap, and the
+  // jittered wait must stay inside [cap*(1-j), cap*(1+j)) — it can neither
+  // keep doubling nor collapse below the band.
+  health.record_failure(4, now);
+  EXPECT_FALSE(health.can_attempt(4, now + 6400 - 1));
+  EXPECT_TRUE(health.can_attempt(4, now + 9600));
+}
+
 TEST(PeerHealth, SameSeedSameSchedule) {
   PeerHealth::Config config;
   config.base_backoff_us = 1000;

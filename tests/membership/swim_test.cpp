@@ -1,0 +1,318 @@
+// SwimDetector state-machine tests: the probe cycle, indirection,
+// suspicion, refutation, death and rejoin — all driven through a recording
+// transport with a hand-advanced clock, so every timeout edge is exact.
+#include "membership/swim.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/message.h"
+#include "sim/transport.h"
+#include "util/rng.h"
+
+namespace adc::membership {
+namespace {
+
+using sim::Message;
+using sim::MessageKind;
+
+/// Captures sends and exposes a manual clock.  rng() accesses are counted:
+/// the detector documents that it never draws from the transport's stream.
+class RecordingTransport final : public sim::Transport {
+ public:
+  void send(Message msg) override { sent.push_back(msg); }
+  util::Rng& rng() noexcept override {
+    ++rng_draws;
+    return rng_;
+  }
+  SimTime now() const noexcept override { return clock; }
+
+  std::vector<Message> of_kind(MessageKind kind) const {
+    std::vector<Message> out;
+    for (const Message& msg : sent) {
+      if (msg.kind == kind) out.push_back(msg);
+    }
+    return out;
+  }
+
+  SimTime clock = 0;
+  std::vector<Message> sent;
+  int rng_draws = 0;
+
+ private:
+  util::Rng rng_{99};
+};
+
+SwimConfig test_config() {
+  SwimConfig config;
+  config.enabled = true;
+  // Defaults restated so the timeline below stays valid if defaults move.
+  config.ping_interval = 200;
+  config.ack_timeout = 100;
+  config.indirect_timeout = 100;
+  config.suspect_timeout = 600;
+  config.dead_probe_interval = 1600;
+  return config;
+}
+
+Message swim_msg(MessageKind kind, NodeId sender, NodeId subject, std::uint64_t incarnation,
+                 NodeId on_behalf_of = kInvalidNode) {
+  Message msg;
+  msg.kind = kind;
+  msg.sender = sender;
+  msg.target = 0;  // the detector under test is always node 0
+  msg.resolver = subject;
+  msg.version = incarnation;
+  msg.client = on_behalf_of;
+  return msg;
+}
+
+TEST(Swim, FirstTickProbesAPeer) {
+  RecordingTransport net;
+  SwimDetector detector(0, {0, 1}, test_config());  // own id is filtered out
+  detector.tick(net, 0);
+  const auto pings = net.of_kind(MessageKind::kSwimPing);
+  ASSERT_EQ(pings.size(), 1u);
+  EXPECT_EQ(pings[0].target, 1);
+  EXPECT_EQ(pings[0].resolver, 1);
+  EXPECT_EQ(pings[0].client, kInvalidNode);
+  EXPECT_EQ(detector.stats().pings_sent, 1u);
+}
+
+TEST(Swim, UnansweredProbeEscalatesToSuspectThenDead) {
+  RecordingTransport net;
+  SwimDetector detector(0, {1}, test_config());
+  NodeId died = kInvalidNode;
+  detector.set_on_death([&died](NodeId peer) { died = peer; });
+
+  detector.tick(net, 0);  // ping at t=0
+  net.clock = 150;        // past ack_timeout: escalate (no relays exist)
+  detector.tick(net, 150);
+  EXPECT_EQ(detector.state(1), PeerState::kAlive);
+
+  net.clock = 300;  // past indirect_timeout: suspicion
+  detector.tick(net, 300);
+  EXPECT_EQ(detector.state(1), PeerState::kSuspect);
+  EXPECT_EQ(detector.stats().suspicions, 1u);
+  ASSERT_EQ(net.of_kind(MessageKind::kSwimSuspect).size(), 1u);
+
+  net.clock = 950;  // past suspect_timeout after suspicion at t=300
+  detector.tick(net, 950);
+  EXPECT_EQ(detector.state(1), PeerState::kDead);
+  EXPECT_EQ(detector.stats().deaths, 1u);
+  EXPECT_EQ(detector.epoch(), 1u);
+  EXPECT_EQ(died, 1);
+  EXPECT_TRUE(detector.alive_peers().empty());
+}
+
+TEST(Swim, AckCancelsTheOutstandingProbe) {
+  RecordingTransport net;
+  SwimDetector detector(0, {1}, test_config());
+  detector.tick(net, 0);
+  detector.on_message(net, swim_msg(MessageKind::kSwimAck, 1, 1, 0));
+  net.clock = 300;
+  detector.tick(net, 300);
+  EXPECT_EQ(detector.state(1), PeerState::kAlive);
+  EXPECT_EQ(detector.stats().suspicions, 0u);
+}
+
+TEST(Swim, DirectProbeTimeoutAsksRelaysBeforeSuspecting) {
+  RecordingTransport net;
+  SwimDetector detector(0, {1, 2, 3}, test_config());
+  detector.tick(net, 0);  // ping one peer
+  const auto first_pings = net.of_kind(MessageKind::kSwimPing);
+  ASSERT_EQ(first_pings.size(), 1u);
+  const NodeId target = first_pings[0].target;
+
+  net.clock = 150;
+  detector.tick(net, 150);
+  const auto ping_reqs = net.of_kind(MessageKind::kSwimPingReq);
+  ASSERT_EQ(ping_reqs.size(), 2u);  // ping_req_fanout relays
+  for (const Message& req : ping_reqs) {
+    EXPECT_EQ(req.resolver, target);  // subject: probe this member for me
+    EXPECT_NE(req.target, target);
+  }
+  EXPECT_EQ(detector.state(target), PeerState::kAlive);  // not suspected yet
+}
+
+TEST(Swim, PingReqRelaysProbeAndForwardsAckToOriginalProber) {
+  RecordingTransport net;
+  SwimDetector detector(0, {1, 2}, test_config());
+
+  // Member 1 asks us to probe member 2 on its behalf.
+  detector.on_message(net, swim_msg(MessageKind::kSwimPingReq, 1, 2, 0));
+  const auto pings = net.of_kind(MessageKind::kSwimPing);
+  ASSERT_EQ(pings.size(), 1u);
+  EXPECT_EQ(pings[0].target, 2);
+  EXPECT_EQ(pings[0].client, 1);  // the original prober rides along
+  EXPECT_EQ(detector.stats().relayed_probes, 1u);
+
+  // Member 2 acks (the relayed client field echoed): forward it to 1.
+  detector.on_message(net, swim_msg(MessageKind::kSwimAck, 2, 2, 0, /*on_behalf_of=*/1));
+  const auto acks = net.of_kind(MessageKind::kSwimAck);
+  ASSERT_EQ(acks.size(), 1u);
+  EXPECT_EQ(acks[0].target, 1);
+  EXPECT_EQ(acks[0].resolver, 2);  // still about the probed subject
+  EXPECT_EQ(acks[0].sender, 0);
+}
+
+TEST(Swim, IncomingPingIsAckedWithOwnIncarnation) {
+  RecordingTransport net;
+  SwimDetector detector(0, {1}, test_config());
+  Message ping = swim_msg(MessageKind::kSwimPing, 1, 0, 0);
+  ping.request_id = 77;
+  detector.on_message(net, ping);
+  const auto acks = net.of_kind(MessageKind::kSwimAck);
+  ASSERT_EQ(acks.size(), 1u);
+  EXPECT_EQ(acks[0].target, 1);
+  EXPECT_EQ(acks[0].request_id, 77u);
+  EXPECT_EQ(acks[0].resolver, 0);  // subject: ourselves
+  EXPECT_EQ(detector.stats().acks_sent, 1u);
+}
+
+TEST(Swim, SuspicionAboutSelfIsRefutedWithHigherIncarnation) {
+  RecordingTransport net;
+  SwimDetector detector(0, {1, 2}, test_config());
+  detector.on_message(net, swim_msg(MessageKind::kSwimSuspect, 1, 0, 0));
+  EXPECT_EQ(detector.self_incarnation(), 1u);
+  EXPECT_EQ(detector.stats().refutations, 1u);
+  const auto alives = net.of_kind(MessageKind::kSwimAlive);
+  ASSERT_EQ(alives.size(), 2u);  // broadcast to both peers
+  for (const Message& alive : alives) {
+    EXPECT_EQ(alive.resolver, 0);
+    EXPECT_EQ(alive.version, 1u);
+  }
+}
+
+TEST(Swim, RefutationClearsAForeignSuspicion) {
+  RecordingTransport net;
+  SwimDetector detector(0, {1, 2}, test_config());
+  detector.on_message(net, swim_msg(MessageKind::kSwimSuspect, 2, 1, 0));
+  EXPECT_EQ(detector.state(1), PeerState::kSuspect);
+  detector.on_message(net, swim_msg(MessageKind::kSwimAlive, 1, 1, 1));
+  EXPECT_EQ(detector.state(1), PeerState::kAlive);
+  EXPECT_EQ(detector.incarnation(1), 1u);
+}
+
+TEST(Swim, StaleSuspicionIsIgnored) {
+  RecordingTransport net;
+  SwimDetector detector(0, {1, 2}, test_config());
+  // Member 1 refuted itself up to incarnation 3 at some point.
+  detector.on_message(net, swim_msg(MessageKind::kSwimAlive, 1, 1, 3));
+  // A suspicion at incarnation 2 is older news: no state change.
+  detector.on_message(net, swim_msg(MessageKind::kSwimSuspect, 2, 1, 2));
+  EXPECT_EQ(detector.state(1), PeerState::kAlive);
+  EXPECT_EQ(detector.stats().suspicions, 0u);
+}
+
+TEST(Swim, GossipedDeathAdvancesEpochOnce) {
+  RecordingTransport net;
+  SwimDetector detector(0, {1, 2}, test_config());
+  detector.on_message(net, swim_msg(MessageKind::kSwimDead, 2, 1, 0));
+  EXPECT_EQ(detector.state(1), PeerState::kDead);
+  EXPECT_EQ(detector.epoch(), 1u);
+  // A duplicate death notice must not advance the epoch again.
+  detector.on_message(net, swim_msg(MessageKind::kSwimDead, 2, 1, 0));
+  EXPECT_EQ(detector.epoch(), 1u);
+}
+
+TEST(Swim, DirectEvidenceRejoinsADeadMember) {
+  RecordingTransport net;
+  SwimDetector detector(0, {1, 2}, test_config());
+  NodeId joined = kInvalidNode;
+  detector.set_on_join([&joined](NodeId peer) { joined = peer; });
+  detector.on_message(net, swim_msg(MessageKind::kSwimDead, 2, 1, 0));
+  ASSERT_EQ(detector.state(1), PeerState::kDead);
+
+  // A message *from* the dead member itself — even at incarnation 0, as a
+  // restarted daemon would send — proves it is back.
+  detector.on_message(net, swim_msg(MessageKind::kSwimPing, 1, 0, 0));
+  EXPECT_EQ(detector.state(1), PeerState::kAlive);
+  EXPECT_EQ(detector.epoch(), 2u);
+  EXPECT_EQ(detector.stats().joins, 1u);
+  EXPECT_EQ(joined, 1);
+}
+
+TEST(Swim, IndirectGossipCannotRejoinADeadMember) {
+  RecordingTransport net;
+  SwimDetector detector(0, {1, 2}, test_config());
+  detector.on_message(net, swim_msg(MessageKind::kSwimDead, 2, 1, 0));
+  // Member 2 still believes in 1 — hearsay is not rejoin evidence.
+  detector.on_message(net, swim_msg(MessageKind::kSwimAlive, 2, 1, 5));
+  EXPECT_EQ(detector.state(1), PeerState::kDead);
+  EXPECT_EQ(detector.epoch(), 1u);
+}
+
+TEST(Swim, DeadMembersKeepReceivingSlowProbes) {
+  RecordingTransport net;
+  SwimDetector detector(0, {1}, test_config());
+  detector.on_message(net, swim_msg(MessageKind::kSwimDead, 1, 1, 0));
+  net.sent.clear();
+  net.clock = 2000;
+  detector.tick(net, 2000);  // past dead_probe_interval
+  const auto pings = net.of_kind(MessageKind::kSwimPing);
+  ASSERT_GE(pings.size(), 1u);
+  EXPECT_EQ(pings[0].target, 1);
+}
+
+TEST(Swim, ObserveFailureRaisesAnImmediateSuspicion) {
+  RecordingTransport net;
+  SwimDetector detector(0, {1, 2}, test_config());
+  detector.observe_failure(net, 1, 50);
+  EXPECT_EQ(detector.state(1), PeerState::kSuspect);
+  EXPECT_EQ(detector.stats().suspicions, 1u);
+  // And the regular suspect timeout still applies from that moment.
+  net.clock = 700;
+  detector.tick(net, 700);
+  EXPECT_EQ(detector.state(1), PeerState::kDead);
+}
+
+TEST(Swim, ObserveAliveClearsASuspicion) {
+  RecordingTransport net;
+  SwimDetector detector(0, {1}, test_config());
+  detector.observe_failure(net, 1, 50);
+  ASSERT_EQ(detector.state(1), PeerState::kSuspect);
+  detector.observe_alive(1);
+  EXPECT_EQ(detector.state(1), PeerState::kAlive);
+}
+
+TEST(Swim, NeverDrawsFromTheTransportRng) {
+  // The detector's randomness (probe order, relay picks) must come from
+  // its private stream, exactly like fault::FaultPlan — otherwise enabling
+  // it would perturb protocol-level random choices.
+  RecordingTransport net;
+  SwimDetector detector(0, {1, 2, 3}, test_config());
+  for (SimTime t = 0; t <= 3000; t += 50) {
+    net.clock = t;
+    detector.tick(net, t);
+  }
+  EXPECT_EQ(net.rng_draws, 0);
+}
+
+TEST(Swim, SeedDiversifiesProbeOrderDeterministically) {
+  SwimConfig a = test_config();
+  SwimConfig b = test_config();
+  b.seed = a.seed + 1;
+  const auto first_target = [](SwimConfig config) {
+    RecordingTransport net;
+    SwimDetector detector(0, {1, 2, 3, 4, 5, 6, 7, 8}, config);
+    detector.tick(net, 0);
+    return net.sent.at(0).target;
+  };
+  // Same seed, same order; the run is reproducible.
+  EXPECT_EQ(first_target(a), first_target(a));
+  EXPECT_EQ(first_target(b), first_target(b));
+}
+
+TEST(Swim, DescribePeersListsStates) {
+  RecordingTransport net;
+  SwimDetector detector(0, {1, 2}, test_config());
+  detector.on_message(net, swim_msg(MessageKind::kSwimDead, 2, 1, 0));
+  const std::string text = detector.describe_peers();
+  EXPECT_NE(text.find("1:dead"), std::string::npos) << text;
+  EXPECT_NE(text.find("2:alive"), std::string::npos) << text;
+}
+
+}  // namespace
+}  // namespace adc::membership

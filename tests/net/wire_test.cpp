@@ -28,6 +28,7 @@ sim::Message random_message(util::Rng& rng) {
   msg.cached = rng.chance(0.5);
   msg.proxy_hit = rng.chance(0.5);
   msg.version = rng.next();
+  msg.claim = rng.next();
   msg.issued_at = static_cast<SimTime>(rng.next() >> 1);
   return msg;
 }
@@ -54,6 +55,7 @@ void expect_equal(const WireMessage& a, const WireMessage& b) {
   EXPECT_EQ(a.msg.cached, b.msg.cached);
   EXPECT_EQ(a.msg.proxy_hit, b.msg.proxy_hit);
   EXPECT_EQ(a.msg.version, b.msg.version);
+  EXPECT_EQ(a.msg.claim, b.msg.claim);
   EXPECT_EQ(a.msg.issued_at, b.msg.issued_at);
   EXPECT_EQ(a.path, b.path);
 }
@@ -84,6 +86,35 @@ TEST(Wire, MessageRoundTrip) {
   EXPECT_EQ(consumed, bytes.size());
   EXPECT_EQ(decoded.type, FrameType::kReply);
   expect_equal(decoded.message, original);
+}
+
+TEST(Wire, ControlFramesRoundTripEveryKind) {
+  // SWIM and anti-entropy control messages share the message payload; every
+  // kind must survive the codec with its reused fields intact.
+  const sim::MessageKind kinds[] = {
+      sim::MessageKind::kSwimPing,    sim::MessageKind::kSwimAck,
+      sim::MessageKind::kSwimPingReq, sim::MessageKind::kSwimSuspect,
+      sim::MessageKind::kSwimAlive,   sim::MessageKind::kSwimDead,
+      sim::MessageKind::kRepairOffer, sim::MessageKind::kRepairReply,
+  };
+  util::Rng rng(44);
+  for (const sim::MessageKind kind : kinds) {
+    WireMessage original;
+    original.msg = random_message(rng);
+    original.msg.kind = kind;
+
+    std::vector<std::uint8_t> bytes;
+    encode_message(original, &bytes);
+
+    Frame decoded;
+    std::size_t consumed = 0;
+    ASSERT_EQ(decode_frame(bytes.data(), bytes.size(), &consumed, &decoded),
+              DecodeResult::kFrame);
+    EXPECT_EQ(consumed, bytes.size());
+    EXPECT_EQ(decoded.type, frame_type_for(kind));
+    EXPECT_EQ(kind_for(decoded.type), kind);
+    expect_equal(decoded.message, original);
+  }
 }
 
 TEST(Wire, HelloRoundTrip) {
@@ -245,7 +276,7 @@ TEST(Wire, PathLengthPayloadMismatchIsCorrupt) {
   std::vector<std::uint8_t> bytes;
   encode_message(original, &bytes);
   // Claim a longer path than the payload carries.
-  const std::size_t path_len_offset = kLengthPrefixBytes + 58;
+  const std::size_t path_len_offset = kLengthPrefixBytes + 66;
   bytes[path_len_offset] = 200;
   Frame decoded;
   std::size_t consumed = 0;

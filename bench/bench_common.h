@@ -10,6 +10,7 @@
 
 #include <cstdlib>
 #include <iostream>
+#include <optional>
 #include <string>
 #include <string_view>
 
@@ -32,25 +33,49 @@ inline double bench_scale() {
   return 0.1;
 }
 
-/// Parses `--workers N` / `--workers=N` from a bench binary's argv (the
-/// figure benches take no other flags).  Absent or unparsable: returns
-/// `fallback`, which driver::resolve_workers() maps 0 -> hardware
-/// concurrency.  `--workers 1` preserves the serial path; any other count
-/// produces bit-identical metrics (modulo wall_seconds) — the determinism
-/// test in tests/driver/parallel_test.cpp enforces it.
-inline int bench_workers(int argc, const char* const* argv, int fallback = 0) {
+/// Finds `--name VALUE` / `--name=VALUE` in a bench binary's argv and
+/// returns the raw value, or nullopt when the flag is absent.  `name`
+/// carries no leading dashes.
+inline std::optional<std::string_view> bench_flag(int argc, const char* const* argv,
+                                                  std::string_view name) {
+  const std::string separate = "--" + std::string(name);
+  const std::string inline_form = separate + "=";
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
-    std::string_view value;
-    if (arg == "--workers" && i + 1 < argc) {
-      value = argv[i + 1];
-    } else if (arg.rfind("--workers=", 0) == 0) {
-      value = arg.substr(10);
-    } else {
-      continue;
-    }
-    if (const auto parsed = util::parse_int(value)) return static_cast<int>(*parsed);
-    std::cerr << "ignoring unparsable --workers '" << value << "'\n";
+    if (arg == separate && i + 1 < argc) return std::string_view(argv[i + 1]);
+    if (arg.rfind(inline_form, 0) == 0) return arg.substr(inline_form.size());
+  }
+  return std::nullopt;
+}
+
+/// Parses `--workers N` / `--workers=N` from a bench binary's argv.
+/// Absent or unparsable: returns `fallback`, which
+/// driver::resolve_workers() maps 0 -> hardware concurrency.  `--workers
+/// 1` preserves the serial path; any other count produces bit-identical
+/// metrics (modulo wall_seconds) — the determinism test in
+/// tests/driver/parallel_test.cpp enforces it.
+inline int bench_workers(int argc, const char* const* argv, int fallback = 0) {
+  if (const auto value = bench_flag(argc, argv, "workers")) {
+    if (const auto parsed = util::parse_int(*value)) return static_cast<int>(*parsed);
+    std::cerr << "ignoring unparsable --workers '" << *value << "'\n";
+  }
+  return fallback;
+}
+
+/// Parses `--json PATH`: where the bench writes its result grid as a JSON
+/// array of flat objects (driver::write_json_rows).  Empty = stdout only.
+inline std::string bench_json_path(int argc, const char* const* argv) {
+  if (const auto value = bench_flag(argc, argv, "json")) return std::string(*value);
+  return {};
+}
+
+/// Parses `--scale N`: a workload multiplier applied on top of
+/// ADC_BENCH_SCALE (N > 1 grows the trace past the paper's 3.99M requests
+/// for planet-scale runs; PolygraphConfig::scaled accepts factors above 1).
+inline double bench_extra_scale(int argc, const char* const* argv, double fallback = 1.0) {
+  if (const auto value = bench_flag(argc, argv, "scale")) {
+    if (const auto parsed = util::parse_double(*value); parsed && *parsed > 0.0) return *parsed;
+    std::cerr << "ignoring unparsable --scale '" << *value << "'\n";
   }
   return fallback;
 }
@@ -79,6 +104,21 @@ inline driver::ExperimentConfig paper_config(double scale) {
 inline workload::Trace paper_trace(double scale) {
   const auto config = workload::PolygraphConfig::scaled(scale);
   return workload::generate_polygraph_trace(config);
+}
+
+/// One experiment summary as a flat JSON row (for --json artifacts): the
+/// same metrics print_summary writes, machine-readable.
+inline std::vector<driver::JsonField> summary_json_row(std::string_view label,
+                                                       const driver::ExperimentResult& result) {
+  return {driver::json_str("label", label),
+          driver::json_num("requests", result.summary.completed),
+          driver::json_num("hit_rate", result.summary.hit_rate(), 4),
+          driver::json_num("avg_hops", result.summary.avg_hops(), 4),
+          driver::json_num("avg_latency", result.summary.avg_latency(), 4),
+          driver::json_num("latency_p99", result.latency_p99, 2),
+          driver::json_num("latency_p999", result.latency_p999, 2),
+          driver::json_num("fairness", result.summary.request_fairness(), 4),
+          driver::json_num("origin_fetches", result.origin_served)};
 }
 
 inline void print_run_banner(const char* figure, double scale,

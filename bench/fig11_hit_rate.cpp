@@ -10,10 +10,11 @@
 
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace adc;
 
   const double scale = bench::bench_scale();
+  const std::string json_path = bench::bench_json_path(argc, argv);
   const workload::Trace trace = bench::paper_trace(scale);
   bench::print_run_banner("Figure 11: hit rate, ADC vs hashing", scale, trace);
 
@@ -43,5 +44,9 @@ int main() {
   };
   std::cout << "\nsteady_state_hit_rate adc=" << driver::fmt(tail_rate(adc_result))
             << " carp=" << driver::fmt(tail_rate(carp_result)) << '\n';
+  if (!driver::write_json_rows(json_path, {bench::summary_json_row("adc", adc_result),
+                                           bench::summary_json_row("carp", carp_result)})) {
+    return 1;
+  }
   return 0;
 }

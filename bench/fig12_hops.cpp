@@ -8,10 +8,11 @@
 
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace adc;
 
   const double scale = bench::bench_scale();
+  const std::string json_path = bench::bench_json_path(argc, argv);
   const workload::Trace trace = bench::paper_trace(scale);
   bench::print_run_banner("Figure 12: hops, ADC vs hashing", scale, trace);
 
@@ -36,5 +37,9 @@ int main() {
             << " p95=" << adc_result.hops_p95 << " max=" << adc_result.hops_max
             << " | carp p50=" << carp_result.hops_p50 << " p95=" << carp_result.hops_p95
             << " max=" << carp_result.hops_max << '\n';
+  if (!driver::write_json_rows(json_path, {bench::summary_json_row("adc", adc_result),
+                                           bench::summary_json_row("carp", carp_result)})) {
+    return 1;
+  }
   return 0;
 }

@@ -350,6 +350,9 @@ ExperimentResult run_experiment(const ExperimentConfig& config, const workload::
   result.latency_p50 = sim.metrics().latency_tracker().percentile(0.50);
   result.latency_p95 = sim.metrics().latency_tracker().percentile(0.95);
   result.latency_p99 = sim.metrics().latency_tracker().percentile(0.99);
+  result.latency_p999 = sim.metrics().latency_tracker().percentile(0.999);
+  result.summary.latency_p99 = result.latency_p99;
+  result.summary.latency_p999 = result.latency_p999;
   if (chaos != nullptr) result.faults = chaos->counters();
   result.faults.timeouts += client.failed();
   result.faults.entries_invalidated += *purged_entries;
@@ -446,6 +449,10 @@ ExperimentResult run_experiment(const ExperimentConfig& config, const workload::
       }
       if (config.collect_cache_contents) snapshot.cached_ids = hp.cache().eviction_order();
     }
+    // Per-owner load accounting: what each proxy processed and served,
+    // feeding the max/min fairness ratio the adversarial suite reports.
+    result.summary.owner_requests.push_back(snapshot.requests_received);
+    result.summary.owner_hits.push_back(snapshot.local_hits);
     result.proxies.push_back(std::move(snapshot));
   }
 

@@ -162,9 +162,14 @@ struct ExperimentResult {
 
   /// Whole-run simulated-latency percentiles (sim-time units), from the
   /// deterministic PercentileTracker the live runtime's loadgen also uses.
+  /// p99/p99.9 are mirrored into summary.latency_p99/latency_p999, and the
+  /// per-proxy request/hit counters into summary.owner_requests/owner_hits
+  /// (feeding the max/min fairness ratio), so every bench reports tails
+  /// and fairness through one struct.
   double latency_p50 = 0.0;
   double latency_p95 = 0.0;
   double latency_p99 = 0.0;
+  double latency_p999 = 0.0;
 
   std::vector<ProxySnapshot> proxies;
 

@@ -1,7 +1,10 @@
 #include "driver/report.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <fstream>
 #include <iomanip>
+#include <iostream>
 #include <sstream>
 
 #include "util/csv.h"
@@ -44,7 +47,9 @@ void print_summary(std::ostream& out, std::string_view label, const ExperimentRe
   out << label << ": requests=" << util::with_thousands(result.summary.completed)
       << " hit_rate=" << fmt(result.summary.hit_rate()) << " avg_hops="
       << fmt(result.summary.avg_hops(), 3) << " avg_latency="
-      << fmt(result.summary.avg_latency(), 2) << " origin_fetches="
+      << fmt(result.summary.avg_latency(), 2) << " p99=" << fmt(result.latency_p99, 1)
+      << " p99.9=" << fmt(result.latency_p999, 1) << " fairness="
+      << fmt(result.summary.request_fairness(), 2) << " origin_fetches="
       << util::with_thousands(result.origin_served) << " wall=" << fmt(result.wall_seconds, 3)
       << "s\n";
 }
@@ -75,6 +80,81 @@ void print_sweep_csv(std::ostream& out, const std::vector<SweepPoint>& points) {
         .field(point.avg_latency, 4);
     csv.end_row();
   }
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+JsonField json_str(std::string_view key, std::string_view value) {
+  return JsonField{std::string(key), std::string(value), true};
+}
+
+JsonField json_num(std::string_view key, double value, int precision) {
+  return JsonField{std::string(key), fmt(value, precision), false};
+}
+
+JsonField json_num(std::string_view key, std::uint64_t value) {
+  return JsonField{std::string(key), std::to_string(value), false};
+}
+
+void print_json_rows(std::ostream& out, const std::vector<std::vector<JsonField>>& rows) {
+  out << "[\n";
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    out << "  {";
+    for (std::size_t f = 0; f < rows[r].size(); ++f) {
+      if (f != 0) out << ", ";
+      const JsonField& field = rows[r][f];
+      out << '"' << json_escape(field.key) << "\": ";
+      if (field.quote) {
+        out << '"' << json_escape(field.value) << '"';
+      } else {
+        out << field.value;
+      }
+    }
+    out << (r + 1 < rows.size() ? "},\n" : "}\n");
+  }
+  out << "]\n";
+}
+
+bool write_json_rows(const std::string& path, const std::vector<std::vector<JsonField>>& rows) {
+  if (path.empty()) return true;
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "cannot write JSON output to '" << path << "'\n";
+    return false;
+  }
+  print_json_rows(out, rows);
+  return out.good();
 }
 
 }  // namespace adc::driver

@@ -27,4 +27,32 @@ void print_sweep_csv(std::ostream& out, const std::vector<SweepPoint>& points);
 /// Formats a double with fixed precision (helper for tables).
 std::string fmt(double value, int precision = 4);
 
+// --- JSON bench output ----------------------------------------------------
+//
+// Benches emit their result grid as a JSON array of flat objects (one per
+// table row) so CI can upload machine-readable artifacts and notebooks can
+// load results without scraping the ASCII tables.
+
+/// JSON string escaping (quotes, backslashes, control characters).
+std::string json_escape(std::string_view s);
+
+/// One cell of a JSON row.  `value` is emitted verbatim for numbers and
+/// booleans (pre-rendered by the caller); set `quote` for strings.
+struct JsonField {
+  std::string key;
+  std::string value;
+  bool quote = false;
+};
+
+JsonField json_str(std::string_view key, std::string_view value);
+JsonField json_num(std::string_view key, double value, int precision = 6);
+JsonField json_num(std::string_view key, std::uint64_t value);
+
+/// Renders rows as a pretty-printed JSON array of objects.
+void print_json_rows(std::ostream& out, const std::vector<std::vector<JsonField>>& rows);
+
+/// Writes rows to `path` (no-op when `path` is empty); returns false and
+/// warns on stderr when the file cannot be written.
+bool write_json_rows(const std::string& path, const std::vector<std::vector<JsonField>>& rows);
+
 }  // namespace adc::driver

@@ -26,6 +26,13 @@ std::string LoadGenErrors::text() const {
   return out.str();
 }
 
+double LoadGenReport::entry_fairness() const noexcept {
+  std::vector<std::uint64_t> counts;
+  counts.reserve(entry_requests.size());
+  for (const auto& [entry, count] : entry_requests) counts.push_back(count);
+  return sim::MetricsSummary::fairness_ratio(counts);
+}
+
 std::string LoadGenReport::text() const {
   std::ostringstream out;
   out << "requests:   " << completed << " completed / " << failed << " failed / " << issued
@@ -36,7 +43,12 @@ std::string LoadGenReport::text() const {
   out << "mean hops:  " << mean_hops() << "\n";
   out << "throughput: " << throughput() << " req/s (" << wall_seconds << " s)\n";
   out << "latency:    p50=" << latency_p50_us << "us p95=" << latency_p95_us
-      << "us p99=" << latency_p99_us << "us\n";
+      << "us p99=" << latency_p99_us << "us p99.9=" << latency_p999_us << "us\n";
+  if (!entry_requests.empty()) {
+    out << "entries:    fairness=" << entry_fairness() << " requests:";
+    for (const auto& [entry, count] : entry_requests) out << " " << entry << ":" << count;
+    out << "\n";
+  }
   out << "conn errors: " << errors.text() << "\n";
   out << "membership: view_epoch=" << view_epoch << " entries:";
   for (const EntryView& view : entry_views) {
@@ -156,6 +168,7 @@ bool LoadGenerator::issue_next() {
   request.hops = 1;
   request.issued_at = now_us();
   ++issued_;
+  ++entry_requests_[target];
   outstanding_.emplace(request.request_id,
                        config_.request_timeout_ms > 0
                            ? request.issued_at + std::int64_t{config_.request_timeout_ms} * 1000
@@ -274,6 +287,7 @@ LoadGenReport LoadGenerator::run(const std::vector<ObjectId>& objects) {
   duplicate_replies_ = 0;
   hits_ = 0;
   total_hops_ = 0;
+  entry_requests_.clear();
   latency_us_.clear();
   errors_ = LoadGenErrors{};
   view_epoch_ = 0;
@@ -319,8 +333,10 @@ LoadGenReport LoadGenerator::run(const std::vector<ObjectId>& objects) {
   report.latency_p50_us = latency_us_.percentile(0.50);
   report.latency_p95_us = latency_us_.percentile(0.95);
   report.latency_p99_us = latency_us_.percentile(0.99);
+  report.latency_p999_us = latency_us_.percentile(0.999);
   report.timed_out = timed_out;
   report.errors = errors_;
+  report.entry_requests = entry_requests_;
   for (const NodeId entry : entries_) {
     report.entry_views.push_back(EntryView{entry, health_.failure_streak(entry)});
   }

@@ -103,8 +103,14 @@ struct LoadGenReport {
   double latency_p50_us = 0.0;
   double latency_p95_us = 0.0;
   double latency_p99_us = 0.0;
+  double latency_p999_us = 0.0;
   bool timed_out = false;
   LoadGenErrors errors;
+
+  /// Requests issued per entry proxy, for the same max/min fairness ratio
+  /// the simulator reports: a hash-flood replay shows up as one entry (or,
+  /// with CARP direct replies, one owner) absorbing most of the traffic.
+  std::map<NodeId, std::uint64_t> entry_requests;
 
   /// Entry proxies graded by observed health, plus the count of up/down
   /// transitions this run saw — the client-side analogue of a membership
@@ -126,6 +132,8 @@ struct LoadGenReport {
   double throughput() const noexcept {
     return wall_seconds <= 0.0 ? 0.0 : static_cast<double>(completed) / wall_seconds;
   }
+  /// Max/min ratio over entry_requests (see sim::MetricsSummary).
+  double entry_fairness() const noexcept;
 
   std::string text() const;
 };
@@ -185,6 +193,7 @@ class LoadGenerator {
   std::uint64_t duplicate_replies_ = 0;
   std::uint64_t hits_ = 0;
   std::uint64_t total_hops_ = 0;
+  std::map<NodeId, std::uint64_t> entry_requests_;
   sim::PercentileTracker latency_us_;
   LoadGenErrors errors_;
   std::uint64_t view_epoch_ = 0;  // entry up/down transitions this run

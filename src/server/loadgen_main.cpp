@@ -3,9 +3,16 @@
 //   ./adc_loadgen --peer 0=127.0.0.1:7000 ... --peer 4=127.0.0.1:7004
 //       --scale 0.01 --concurrency 4        (one command line)
 //
-// Reports hit rate, mean hops, throughput and latency percentiles; the
-// hit-rate and mean-hops numbers are directly comparable to a simulator
-// run over the same trace (see docs/RUNTIME.md).
+// Reports hit rate, mean hops, throughput, latency percentiles (p50..p99.9)
+// and the per-entry fairness ratio; hit-rate and mean-hops numbers are
+// directly comparable to a simulator run over the same trace (see
+// docs/RUNTIME.md).
+//
+// Besides the PolyMix trace, --workload selects the hostile scenarios from
+// src/workload/adversarial.h — hash-flood (keys mined onto one CARP/ring/
+// HRW owner), flash-crowd (one cold URL ramping to a configurable share of
+// traffic) and diurnal (working-set rotation) — so the same adversarial
+// suite the simulator benches run can be replayed against a live cluster.
 #include <csignal>
 #include <iostream>
 #include <string>
@@ -13,6 +20,7 @@
 #include "server/loadgen.h"
 #include "util/cli.h"
 #include "util/string_util.h"
+#include "workload/adversarial.h"
 #include "workload/polygraph.h"
 #include "workload/trace.h"
 
@@ -22,8 +30,18 @@ int main(int argc, char** argv) {
   util::CliParser cli("adc_loadgen — TCP load generator for an adcd cluster.");
   cli.option("client-id", "6", "this client's node id (must not collide with daemons)")
       .option("trace", "", "replay a saved trace file (.txt or binary)")
-      .option("scale", "0.01", "no --trace: PolyMix scale vs the paper's 3.99M requests")
-      .option("trace-seed", "42", "no --trace: PolyMix generator seed")
+      .option("workload", "polygraph", "generated workload: polygraph | flood | flash | diurnal")
+      .option("scale", "0.01", "generator scale vs the paper's 3.99M requests")
+      .option("trace-seed", "42", "generator seed")
+      .option("flood-scheme", "carp", "flood: owner map to attack: carp | ring | hrw")
+      .option("flood-victim", "0", "flood: proxy index the mined keys collide onto")
+      .option("flood-fraction", "0.8", "flood: fraction of requests aimed at the victim")
+      .option("flood-keys", "512", "flood: distinct mined keys in the flood set")
+      .option("flash-peak", "0.3", "flash: crowd share of traffic once ramped")
+      .option("flash-begin", "0.4", "flash: ramp start as a fraction of the trace")
+      .option("flash-window", "0.1", "flash: ramp duration as a fraction of the trace")
+      .option("diurnal-populations", "2", "diurnal: rotating client populations")
+      .option("diurnal-cycles", "2", "diurnal: day/night cycles across the trace")
       .option("requests", "0", "truncate the trace to N requests (0 = all)")
       .option("concurrency", "4", "requests kept in flight")
       .option("entry", "rr", "entry proxy choice: rr | random")
@@ -83,9 +101,55 @@ int main(int argc, char** argv) {
       return 1;
     }
   } else {
-    auto poly = workload::PolygraphConfig::scaled(options.get_double("scale", 0.01));
-    poly.seed = static_cast<std::uint64_t>(options.get_int("trace-seed", 42));
-    trace = workload::generate_polygraph_trace(poly);
+    const std::string workload = options.get_string("workload", "polygraph");
+    const double scale = options.get_double("scale", 0.01);
+    const auto seed = static_cast<std::uint64_t>(options.get_int("trace-seed", 42));
+    // Hostile generators size themselves off the same 3.99M-request PolyMix
+    // yardstick --scale already uses, so sim and live runs line up.
+    const workload::PolygraphConfig paper_scale;
+    const auto scaled_requests = static_cast<std::uint64_t>(
+        scale * static_cast<double>(paper_scale.fill_requests + paper_scale.phase2_requests +
+                                    paper_scale.phase3_requests));
+    if (workload == "polygraph") {
+      auto poly = workload::PolygraphConfig::scaled(scale);
+      poly.seed = seed;
+      trace = workload::generate_polygraph_trace(poly);
+    } else if (workload == "flood") {
+      workload::HashFloodConfig flood;
+      const auto scheme = workload::parse_flood_scheme(options.get_string("flood-scheme", "carp"));
+      if (!scheme) {
+        std::cerr << "unknown --flood-scheme '" << options.get_string("flood-scheme", "carp")
+                  << "' (carp | ring | hrw)\n";
+        return 1;
+      }
+      flood.scheme = *scheme;
+      flood.proxies = static_cast<int>(config.proxies.size());
+      flood.victim = static_cast<int>(options.get_int("flood-victim", 0));
+      flood.flood_fraction = options.get_double("flood-fraction", 0.8);
+      flood.flood_keys = static_cast<std::uint64_t>(options.get_int("flood-keys", 512));
+      flood.requests = scaled_requests;
+      flood.seed = seed;
+      trace = workload::generate_hash_flood_trace(flood);
+    } else if (workload == "flash") {
+      workload::FlashCrowdConfig flash;
+      flash.requests = scaled_requests;
+      flash.peak_fraction = options.get_double("flash-peak", 0.3);
+      flash.ramp_begin = options.get_double("flash-begin", 0.4);
+      flash.ramp_window = options.get_double("flash-window", 0.1);
+      flash.seed = seed;
+      trace = workload::generate_flash_crowd_trace(flash);
+    } else if (workload == "diurnal") {
+      workload::DiurnalConfig diurnal;
+      diurnal.requests = scaled_requests;
+      diurnal.populations = static_cast<std::uint64_t>(options.get_int("diurnal-populations", 2));
+      diurnal.cycles = options.get_double("diurnal-cycles", 2);
+      diurnal.seed = seed;
+      trace = workload::generate_diurnal_trace(diurnal);
+    } else {
+      std::cerr << "unknown --workload '" << workload
+                << "' (polygraph | flood | flash | diurnal)\n";
+      return 1;
+    }
   }
   std::vector<ObjectId> objects = trace.requests();
   const auto limit = static_cast<std::size_t>(options.get_int("requests", 0));

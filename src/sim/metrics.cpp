@@ -20,6 +20,28 @@ std::string FaultCounters::text() const {
   return out;
 }
 
+double MetricsSummary::fairness_ratio(const std::vector<std::uint64_t>& counts) noexcept {
+  if (counts.empty()) return 0.0;
+  std::uint64_t lo = counts.front();
+  std::uint64_t hi = counts.front();
+  for (const std::uint64_t c : counts) {
+    lo = std::min(lo, c);
+    hi = std::max(hi, c);
+  }
+  if (hi == 0) return 1.0;  // nobody served anything: trivially balanced
+  return static_cast<double>(hi) / static_cast<double>(std::max<std::uint64_t>(lo, 1));
+}
+
+double MetricsSummary::max_share(const std::vector<std::uint64_t>& counts) noexcept {
+  std::uint64_t total = 0;
+  std::uint64_t hi = 0;
+  for (const std::uint64_t c : counts) {
+    total += c;
+    hi = std::max(hi, c);
+  }
+  return total == 0 ? 0.0 : static_cast<double>(hi) / static_cast<double>(total);
+}
+
 PercentileTracker::PercentileTracker(std::size_t max_samples)
     : cap_(max_samples < 2 ? 2 : max_samples) {
   // An odd cap would drift the even-index decimation; keep it even.

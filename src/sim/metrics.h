@@ -131,6 +131,20 @@ struct SeriesPoint {
 struct MetricsSummary {
   std::uint64_t completed = 0;
   std::uint64_t hits = 0;
+  /// Per-owner load accounting, indexed by proxy position in the
+  /// deployment: requests each proxy received (entry deliveries and
+  /// forwards both count — it is the proxy's processing load) and the
+  /// local hits it served.  Filled by the experiment driver from the
+  /// per-proxy counters once a run ends; empty when a collector is used
+  /// without a deployment (unit tests, partial windows).
+  std::vector<std::uint64_t> owner_requests;
+  std::vector<std::uint64_t> owner_hits;
+  /// Whole-run latency tail from the deterministic PercentileTracker
+  /// (stamped by the driver at run end; 0 until then).  The adversarial
+  /// suite reports these alongside the means: a hash flood can leave the
+  /// mean flat while the tail explodes.
+  double latency_p99 = 0.0;
+  double latency_p999 = 0.0;
   /// Requests that never completed: the per-request timeout expired (only
   /// nonzero under fault injection).  Failed requests are excluded from
   /// every other aggregate — hit_rate() stays hits/completed.
@@ -163,6 +177,19 @@ struct MetricsSummary {
     const std::uint64_t resolved = completed + failed;
     return resolved == 0 ? 0.0 : static_cast<double>(failed) / static_cast<double>(resolved);
   }
+
+  /// Max/min fairness ratio over a per-owner counter vector: 1.0 is a
+  /// perfectly balanced cluster, larger means more skew.  An owner with a
+  /// zero counter is graded as if it had 1 (so a flood that starves peers
+  /// entirely reports `max`, not infinity); an empty vector returns 0.
+  static double fairness_ratio(const std::vector<std::uint64_t>& counts) noexcept;
+
+  /// Largest single-owner share of the summed counter, in [0, 1] — the
+  /// flood-concentration metric (1/n when balanced over n owners).
+  static double max_share(const std::vector<std::uint64_t>& counts) noexcept;
+
+  double request_fairness() const noexcept { return fairness_ratio(owner_requests); }
+  double hit_fairness() const noexcept { return fairness_ratio(owner_hits); }
 };
 
 class MetricsCollector {

@@ -1,0 +1,204 @@
+// Live-cluster adversarial replays (ctest label: tier2-net).
+//
+// Boots a real 5-proxy cluster on 127.0.0.1 (ephemeral ports via bind(0),
+// like every other cluster test) and replays the hostile workloads from
+// src/workload/adversarial.h through the TCP load generator — the live
+// counterpart of bench/ext_adversarial:
+//
+//   * flash crowd — a cold URL ramping to 30% of traffic must *help* an
+//     ADC cluster once ramped (the crowd object is one cache line serving
+//     a third of all requests), and the cluster must stay within a few
+//     percent of the simulator on the identical trace;
+//   * hash flood vs CARP — the mined keys all route to the victim daemon,
+//     so its requests_received dwarfs its peers', mirroring the
+//     simulator's fairness blowout, and the per-entry counters in the
+//     loadgen report account for every issued request.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "driver/experiment.h"
+#include "net/socket.h"
+#include "proxy/hashing_proxy.h"
+#include "server/daemon.h"
+#include "server/loadgen.h"
+#include "workload/adversarial.h"
+#include "workload/trace.h"
+
+namespace adc {
+namespace {
+
+constexpr int kProxies = 5;
+constexpr NodeId kOriginId = 5;
+constexpr NodeId kClientId = 6;
+
+class Cluster {
+ public:
+  explicit Cluster(std::vector<server::DaemonConfig> configs) {
+    std::map<NodeId, net::Endpoint> endpoints;
+    for (auto& config : configs) {
+      config.listen = net::Endpoint{"127.0.0.1", 0};
+      auto daemon = std::make_unique<server::NodeDaemon>(config);
+      std::string error;
+      const std::uint16_t port = daemon->bind(&error);
+      EXPECT_NE(port, 0) << error;
+      endpoints[config.node_id] = net::Endpoint{"127.0.0.1", port};
+      daemons_.push_back(std::move(daemon));
+    }
+    for (auto& daemon : daemons_) daemon->set_peers(endpoints);
+    endpoints_ = std::move(endpoints);
+    for (auto& daemon : daemons_) {
+      threads_.emplace_back([&daemon]() { daemon->run(); });
+    }
+  }
+
+  ~Cluster() { shutdown(); }
+
+  void shutdown() {
+    for (auto& daemon : daemons_) daemon->stop();
+    for (auto& thread : threads_) {
+      if (thread.joinable()) thread.join();
+    }
+  }
+
+  std::map<NodeId, net::Endpoint> proxy_endpoints() const {
+    std::map<NodeId, net::Endpoint> out;
+    for (const auto& [id, endpoint] : endpoints_) {
+      if (id != kOriginId) out[id] = endpoint;
+    }
+    return out;
+  }
+
+  server::NodeDaemon& daemon(std::size_t i) { return *daemons_[i]; }
+
+ private:
+  std::vector<std::unique_ptr<server::NodeDaemon>> daemons_;
+  std::vector<std::thread> threads_;
+  std::map<NodeId, net::Endpoint> endpoints_;
+};
+
+std::vector<server::DaemonConfig> cluster_configs(server::DaemonRole proxy_role,
+                                                  const core::AdcConfig& adc,
+                                                  std::size_t carp_capacity) {
+  std::vector<server::DaemonConfig> configs;
+  for (NodeId id = 0; id <= kOriginId; ++id) {
+    server::DaemonConfig config;
+    config.node_id = id;
+    config.role = id == kOriginId ? server::DaemonRole::kOrigin : proxy_role;
+    config.proxy_ids = {0, 1, 2, 3, 4};
+    config.origin_id = kOriginId;
+    config.adc = adc;
+    config.carp_cache_capacity = carp_capacity;
+    config.seed = 1;
+    configs.push_back(std::move(config));
+  }
+  return configs;
+}
+
+server::LoadGenReport replay(const Cluster& cluster, const std::vector<ObjectId>& objects,
+                             int concurrency) {
+  server::LoadGenConfig config;
+  config.client_id = kClientId;
+  config.proxies = cluster.proxy_endpoints();
+  config.concurrency = concurrency;
+  config.entry = server::EntryChoice::kRoundRobin;
+  config.idle_timeout_ms = 30000;
+  server::LoadGenerator loadgen(std::move(config));
+  std::string error;
+  if (!loadgen.connect(&error)) {
+    ADD_FAILURE() << error;
+    server::LoadGenReport failed;
+    failed.timed_out = true;
+    return failed;
+  }
+  return loadgen.run(objects);
+}
+
+TEST(AdversarialCluster, FlashCrowdReplayTracksSimulator) {
+  workload::FlashCrowdConfig crowd;
+  crowd.requests = 20'000;
+  crowd.benign_universe = 4'000;
+  const workload::Trace trace = workload::generate_flash_crowd_trace(crowd);
+
+  core::AdcConfig adc;
+  adc.single_table_size = 2000;
+  adc.multiple_table_size = 2000;
+  adc.caching_table_size = 1000;
+
+  driver::ExperimentConfig sim_config;
+  sim_config.scheme = driver::Scheme::kAdc;
+  sim_config.proxies = kProxies;
+  sim_config.adc = adc;
+  sim_config.entry_policy = proxy::EntryPolicy::kRoundRobin;
+  sim_config.concurrency = 4;
+  sim_config.seed = 1;
+  const driver::ExperimentResult expected = run_experiment(sim_config, trace);
+  ASSERT_EQ(expected.summary.completed, trace.size());
+
+  const Cluster cluster(cluster_configs(server::DaemonRole::kAdcProxy, adc, 1000));
+  const server::LoadGenReport report = replay(cluster, trace.requests(), 4);
+
+  ASSERT_FALSE(report.timed_out);
+  ASSERT_EQ(report.completed, trace.size());
+
+  // ADC's random forwarding makes live and sim runs statistically — not
+  // bit — identical; the crowd phase amplifies the variance (one object is
+  // 30% of traffic), so the tolerance is wider than the PolyMix test's 1%.
+  const double sim_hit_rate = expected.summary.hit_rate();
+  EXPECT_NEAR(report.hit_rate(), sim_hit_rate, 0.05 * sim_hit_rate)
+      << "cluster=" << report.hit_rate() << " sim=" << sim_hit_rate;
+  // Once ramped, the crowd object alone serves ~30% of requests from
+  // cache, so the overall hit rate cannot be below the crowd share.
+  EXPECT_GT(report.hit_rate(), 0.3);
+
+  // The new per-entry accounting covers every issued request, spread
+  // round-robin across entries (fairness ~1).
+  std::uint64_t entry_total = 0;
+  for (const auto& [entry, count] : report.entry_requests) entry_total += count;
+  EXPECT_EQ(entry_total, report.issued);
+  EXPECT_EQ(report.entry_requests.size(), static_cast<std::size_t>(kProxies));
+  EXPECT_LT(report.entry_fairness(), 1.01);
+  EXPECT_LE(report.latency_p99_us, report.latency_p999_us);
+}
+
+TEST(AdversarialCluster, HashFloodConcentratesOnCarpVictimDaemon) {
+  workload::HashFloodConfig flood;
+  flood.scheme = workload::FloodScheme::kCarp;
+  flood.proxies = kProxies;
+  flood.victim = 2;
+  flood.requests = 10'000;
+  flood.flood_keys = 64;
+  flood.benign_universe = 2'000;
+  const workload::Trace trace = workload::generate_hash_flood_trace(flood);
+
+  core::AdcConfig adc;
+  adc.caching_table_size = 500;
+
+  Cluster cluster(cluster_configs(server::DaemonRole::kCarpProxy, adc, 500));
+  const server::LoadGenReport report = replay(cluster, trace.requests(), 2);
+  ASSERT_FALSE(report.timed_out);
+  ASSERT_EQ(report.completed, trace.size());
+  cluster.shutdown();
+
+  // Every flooded request ends at the mined victim daemon: its received
+  // count must dominate every peer's (80% of traffic + its 1/5 share of
+  // the benign rest vs ~benign/5 + entry duty each for the others).
+  // Safe to read after shutdown() joined the daemon threads.
+  const auto received = [&](std::size_t i) {
+    return static_cast<const proxy::HashingProxy&>(cluster.daemon(i).hosted())
+        .stats()
+        .requests_received;
+  };
+  const std::uint64_t victim_received = received(2);
+  for (std::size_t i = 0; i < kProxies; ++i) {
+    if (i == 2) continue;
+    EXPECT_GT(victim_received, 2 * received(i)) << "peer " << i;
+  }
+}
+
+}  // namespace
+}  // namespace adc

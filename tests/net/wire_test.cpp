@@ -88,6 +88,79 @@ TEST(Wire, MessageRoundTrip) {
   expect_equal(decoded.message, original);
 }
 
+TEST(Wire, ClaimExtremeValuesRoundTrip) {
+  // The resolver-claim version is a monotone floor accumulated across
+  // forwards (sim/message.h); anti-entropy correctness rides on it
+  // surviving the codec at every magnitude.
+  for (const std::uint64_t claim :
+       {std::uint64_t{0}, std::uint64_t{1}, std::uint64_t{0x8000000000000000ULL},
+        ~std::uint64_t{0}}) {
+    for (const sim::MessageKind kind :
+         {sim::MessageKind::kRequest, sim::MessageKind::kReply,
+          sim::MessageKind::kRepairOffer, sim::MessageKind::kRepairReply}) {
+      WireMessage original;
+      original.msg.kind = kind;
+      original.msg.request_id = make_request_id(1, 7);
+      original.msg.object = 99;
+      original.msg.claim = claim;
+      std::vector<std::uint8_t> bytes;
+      encode_message(original, &bytes);
+      Frame decoded;
+      std::size_t consumed = 0;
+      ASSERT_EQ(decode_frame(bytes.data(), bytes.size(), &consumed, &decoded),
+                DecodeResult::kFrame);
+      EXPECT_EQ(decoded.message.msg.claim, claim);
+    }
+  }
+}
+
+TEST(Wire, ClaimByteLayoutIsPinned) {
+  // claim occupies payload bytes [50, 58) little-endian (wire.h); a codec
+  // change that shifts it would silently corrupt claims between old and
+  // new daemons, so the offset is pinned here.
+  WireMessage original;
+  original.msg.kind = sim::MessageKind::kRequest;
+  original.msg.claim = 0x0123456789ABCDEFULL;
+  std::vector<std::uint8_t> bytes;
+  encode_message(original, &bytes);
+
+  const std::size_t claim_offset = kLengthPrefixBytes + 50;
+  const std::uint8_t expected[8] = {0xEF, 0xCD, 0xAB, 0x89, 0x67, 0x45, 0x23, 0x01};
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(bytes[claim_offset + i], expected[i]) << "byte " << i;
+  }
+
+  // And the decoder reads exactly that span: flipping its low byte shows
+  // up in the decoded claim, nowhere else.
+  bytes[claim_offset] = 0x00;
+  Frame decoded;
+  std::size_t consumed = 0;
+  ASSERT_EQ(decode_frame(bytes.data(), bytes.size(), &consumed, &decoded), DecodeResult::kFrame);
+  EXPECT_EQ(decoded.message.msg.claim, 0x0123456789ABCD00ULL);
+  EXPECT_EQ(decoded.message.msg.object, original.msg.object);
+}
+
+TEST(Wire, ClaimSurvivesDecodeReEncode) {
+  // A daemon forwarding a request decodes and re-encodes it; the claim
+  // floor must come through bit-exact or Update_Entry would learn from
+  // stale resolvers.
+  util::Rng rng(91);
+  for (int i = 0; i < 200; ++i) {
+    WireMessage original;
+    original.msg = random_message(rng);
+    original.path = random_path(rng, rng.range(0, 8));
+    std::vector<std::uint8_t> bytes;
+    encode_message(original, &bytes);
+    Frame decoded;
+    std::size_t consumed = 0;
+    ASSERT_EQ(decode_frame(bytes.data(), bytes.size(), &consumed, &decoded),
+              DecodeResult::kFrame);
+    std::vector<std::uint8_t> reencoded;
+    encode_message(decoded.message, &reencoded);
+    EXPECT_EQ(reencoded, bytes);
+  }
+}
+
 TEST(Wire, ControlFramesRoundTripEveryKind) {
   // SWIM and anti-entropy control messages share the message payload; every
   // kind must survive the codec with its reused fields intact.

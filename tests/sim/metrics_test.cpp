@@ -212,6 +212,44 @@ TEST(PercentileTracker, ClearResetsEverything) {
   EXPECT_EQ(tracker.percentile(0.5), 0.0);
 }
 
+TEST(Fairness, RatioIsMaxOverMin) {
+  EXPECT_DOUBLE_EQ(MetricsSummary::fairness_ratio({100, 100, 100}), 1.0);
+  EXPECT_DOUBLE_EQ(MetricsSummary::fairness_ratio({50, 100, 200}), 4.0);
+  EXPECT_DOUBLE_EQ(MetricsSummary::fairness_ratio({7}), 1.0);
+}
+
+TEST(Fairness, EdgeCases) {
+  EXPECT_DOUBLE_EQ(MetricsSummary::fairness_ratio({}), 0.0);
+  // Nobody served anything: trivially balanced, not infinite.
+  EXPECT_DOUBLE_EQ(MetricsSummary::fairness_ratio({0, 0, 0}), 1.0);
+  // A starved member clamps the denominator to 1 instead of dividing by 0.
+  EXPECT_DOUBLE_EQ(MetricsSummary::fairness_ratio({0, 500}), 500.0);
+}
+
+TEST(Fairness, MaxShare) {
+  EXPECT_DOUBLE_EQ(MetricsSummary::max_share({}), 0.0);
+  EXPECT_DOUBLE_EQ(MetricsSummary::max_share({0, 0}), 0.0);
+  EXPECT_DOUBLE_EQ(MetricsSummary::max_share({25, 25, 50}), 0.5);
+  EXPECT_DOUBLE_EQ(MetricsSummary::max_share({10}), 1.0);
+}
+
+TEST(Fairness, SummaryAccessorsUseOwnerCounters) {
+  MetricsSummary summary;
+  EXPECT_DOUBLE_EQ(summary.request_fairness(), 0.0);  // no owners recorded
+  summary.owner_requests = {10, 20, 40};
+  summary.owner_hits = {5, 5, 5};
+  EXPECT_DOUBLE_EQ(summary.request_fairness(), 4.0);
+  EXPECT_DOUBLE_EQ(summary.hit_fairness(), 1.0);
+}
+
+TEST(PercentileTracker, TailPercentilesNearestRank) {
+  PercentileTracker tracker;
+  for (int v = 1; v <= 1000; ++v) tracker.add(v);
+  // Nearest-rank on 1000 samples: p99 = ceil(0.99*1000) = 990th value.
+  EXPECT_EQ(tracker.percentile(0.99), 990.0);
+  EXPECT_EQ(tracker.percentile(0.999), 999.0);
+}
+
 TEST(MetricsCollector, LatencyTrackerFollowsCompletions) {
   MetricsCollector metrics(10, 0);
   metrics.on_request_completed(true, 2, 5);

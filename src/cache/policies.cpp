@@ -1,6 +1,8 @@
 #include "cache/policies.h"
 
+#include <algorithm>
 #include <cassert>
+#include <iterator>
 #include <optional>
 
 #include "util/string_util.h"
@@ -142,12 +144,280 @@ class LfuCache final : public CacheSet {
   std::uint64_t next_seq_ = 0;
 };
 
+/// LRU / FIFO / size-aware-LRU with byte accounting.  Keeps the ListCache
+/// recency structure but multi-evicts until both the count capacity and
+/// the byte budget hold; the size-aware variant picks the *largest* object
+/// among the coldest kVictimScan entries instead of the strict LRU tail.
+class SizedListCache final : public CacheSet {
+ public:
+  SizedListCache(std::size_t capacity, bool bump_on_touch, bool size_aware_victim,
+                 std::uint64_t byte_budget, SizeFn size_fn)
+      : CacheSet(capacity),
+        bump_on_touch_(bump_on_touch),
+        size_aware_victim_(size_aware_victim),
+        budget_(byte_budget),
+        size_fn_(std::move(size_fn)) {
+    index_.reserve(capacity);
+  }
+
+  std::size_t size() const noexcept override { return order_.size(); }
+  std::uint64_t bytes() const noexcept override { return bytes_; }
+  std::uint64_t byte_budget() const noexcept override { return budget_; }
+
+  bool contains(ObjectId object) const noexcept override {
+    return index_.find(object) != index_.end();
+  }
+
+  void touch(ObjectId object) override {
+    if (!bump_on_touch_) return;
+    const auto it = index_.find(object);
+    if (it == index_.end()) return;
+    order_.splice(order_.begin(), order_, it->second.where);
+  }
+
+  std::optional<ObjectId> insert(ObjectId object) override {
+    const std::vector<ObjectId> evicted = insert_evicting(object);
+    if (evicted.empty()) return std::nullopt;
+    return evicted.front();
+  }
+
+  std::vector<ObjectId> insert_evicting(ObjectId object) override {
+    if (contains(object)) {
+      touch(object);
+      return {};
+    }
+    const std::uint64_t sz = size_fn_ ? size_fn_(object) : 1;
+    if (budget_ > 0 && sz > budget_) return {};  // can never fit
+    std::vector<ObjectId> evicted;
+    while (!order_.empty() &&
+           ((capacity() > 0 && size() >= capacity()) || (budget_ > 0 && bytes_ + sz > budget_))) {
+      evicted.push_back(evict_one());
+    }
+    order_.push_front(object);
+    index_.emplace(object, Entry{order_.begin(), sz});
+    bytes_ += sz;
+    return evicted;
+  }
+
+  bool erase(ObjectId object) override {
+    const auto it = index_.find(object);
+    if (it == index_.end()) return false;
+    bytes_ -= it->second.size;
+    order_.erase(it->second.where);
+    index_.erase(it);
+    return true;
+  }
+
+  void clear() override {
+    order_.clear();
+    index_.clear();
+    bytes_ = 0;
+  }
+
+  std::vector<ObjectId> set_byte_budget(std::uint64_t budget) override {
+    budget_ = budget;
+    std::vector<ObjectId> evicted;
+    while (budget_ > 0 && bytes_ > budget_ && !order_.empty()) {
+      evicted.push_back(evict_one());
+    }
+    return evicted;
+  }
+
+  std::vector<ObjectId> eviction_order() const override {
+    if (!size_aware_victim_) {
+      return std::vector<ObjectId>(order_.rbegin(), order_.rend());
+    }
+    // Replay the windowed victim scan over a scratch copy so the snapshot
+    // predicts exactly what successive evict_one() calls would pick.
+    std::vector<ObjectId> out;
+    out.reserve(order_.size());
+    std::list<ObjectId> rest(order_.begin(), order_.end());
+    while (!rest.empty()) {
+      auto victim = std::prev(rest.end());
+      auto it = victim;
+      for (std::size_t scanned = 1; scanned < kVictimScan && it != rest.begin(); ++scanned) {
+        --it;
+        if (index_.at(*it).size > index_.at(*victim).size) victim = it;
+      }
+      out.push_back(*victim);
+      rest.erase(victim);
+    }
+    return out;
+  }
+
+ private:
+  /// Size-aware victim scan depth: bounds the cost of each eviction while
+  /// still letting large cold objects jump the strict LRU queue.
+  static constexpr std::size_t kVictimScan = 8;
+
+  ObjectId evict_one() {
+    auto victim = std::prev(order_.end());
+    if (size_aware_victim_) {
+      auto it = victim;
+      for (std::size_t scanned = 1; scanned < kVictimScan && it != order_.begin(); ++scanned) {
+        --it;
+        // Strictly greater: on ties the colder (closer-to-tail) entry wins.
+        if (index_.at(*it).size > index_.at(*victim).size) victim = it;
+      }
+    }
+    const ObjectId object = *victim;
+    bytes_ -= index_.at(object).size;
+    index_.erase(object);
+    order_.erase(victim);
+    return object;
+  }
+
+  struct Entry {
+    std::list<ObjectId>::iterator where;
+    std::uint64_t size;
+  };
+
+  bool bump_on_touch_;
+  bool size_aware_victim_;
+  std::uint64_t budget_;
+  SizeFn size_fn_;
+  std::uint64_t bytes_ = 0;
+  std::list<ObjectId> order_;  // front = most recently used/inserted
+  std::unordered_map<ObjectId, Entry> index_;
+};
+
+/// GDSF and byte-budgeted LFU share the ordered-tree layout; they differ
+/// only in the priority function (GDSF: L + freq / size with L inflation;
+/// LFU: plain frequency).  Ties break on insertion sequence, so eviction
+/// order is fully deterministic.
+class SizedTreeCache final : public CacheSet {
+ public:
+  SizedTreeCache(std::size_t capacity, bool gdsf, std::uint64_t byte_budget, SizeFn size_fn)
+      : CacheSet(capacity), gdsf_(gdsf), budget_(byte_budget), size_fn_(std::move(size_fn)) {
+    index_.reserve(capacity);
+  }
+
+  std::size_t size() const noexcept override { return index_.size(); }
+  std::uint64_t bytes() const noexcept override { return bytes_; }
+  std::uint64_t byte_budget() const noexcept override { return budget_; }
+
+  bool contains(ObjectId object) const noexcept override {
+    return index_.find(object) != index_.end();
+  }
+
+  void touch(ObjectId object) override {
+    const auto it = index_.find(object);
+    if (it == index_.end()) return;
+    Meta meta = it->second;
+    tree_.erase({meta.priority, meta.seq});
+    ++meta.freq;
+    meta.seq = next_seq_++;
+    meta.priority = priority_of(meta.freq, meta.size);
+    tree_.emplace(Key{meta.priority, meta.seq}, object);
+    it->second = meta;
+  }
+
+  std::optional<ObjectId> insert(ObjectId object) override {
+    const std::vector<ObjectId> evicted = insert_evicting(object);
+    if (evicted.empty()) return std::nullopt;
+    return evicted.front();
+  }
+
+  std::vector<ObjectId> insert_evicting(ObjectId object) override {
+    if (contains(object)) {
+      touch(object);
+      return {};
+    }
+    const std::uint64_t sz = size_fn_ ? size_fn_(object) : 1;
+    if (budget_ > 0 && sz > budget_) return {};
+    std::vector<ObjectId> evicted;
+    while (!tree_.empty() &&
+           ((capacity() > 0 && size() >= capacity()) || (budget_ > 0 && bytes_ + sz > budget_))) {
+      evicted.push_back(evict_one());
+    }
+    Meta meta;
+    meta.freq = 1;
+    meta.seq = next_seq_++;
+    meta.size = sz;
+    meta.priority = priority_of(meta.freq, meta.size);
+    tree_.emplace(Key{meta.priority, meta.seq}, object);
+    index_.emplace(object, meta);
+    bytes_ += sz;
+    return evicted;
+  }
+
+  bool erase(ObjectId object) override {
+    const auto it = index_.find(object);
+    if (it == index_.end()) return false;
+    bytes_ -= it->second.size;
+    tree_.erase({it->second.priority, it->second.seq});
+    index_.erase(it);
+    return true;
+  }
+
+  void clear() override {
+    tree_.clear();
+    index_.clear();
+    bytes_ = 0;
+    // L_ deliberately survives clear(): GDSF's clock only moves forward.
+  }
+
+  std::vector<ObjectId> set_byte_budget(std::uint64_t budget) override {
+    budget_ = budget;
+    std::vector<ObjectId> evicted;
+    while (budget_ > 0 && bytes_ > budget_ && !tree_.empty()) {
+      evicted.push_back(evict_one());
+    }
+    return evicted;
+  }
+
+  std::vector<ObjectId> eviction_order() const override {
+    std::vector<ObjectId> out;
+    out.reserve(tree_.size());
+    for (const auto& [key, object] : tree_) out.push_back(object);
+    return out;
+  }
+
+ private:
+  using Key = std::pair<double, std::uint64_t>;  // (priority, insertion seq)
+  struct Meta {
+    double priority = 0.0;
+    std::uint64_t seq = 0;
+    std::uint64_t freq = 0;
+    std::uint64_t size = 1;
+  };
+
+  double priority_of(std::uint64_t freq, std::uint64_t size) const {
+    if (!gdsf_) return static_cast<double>(freq);
+    // GDSF with unit cost: H = L + freq * cost / size.
+    return inflation_ + static_cast<double>(freq) / static_cast<double>(size == 0 ? 1 : size);
+  }
+
+  ObjectId evict_one() {
+    const auto victim = tree_.begin();
+    const ObjectId object = victim->second;
+    if (gdsf_) inflation_ = std::max(inflation_, victim->first.first);
+    bytes_ -= index_.at(object).size;
+    index_.erase(object);
+    tree_.erase(victim);
+    return object;
+  }
+
+  bool gdsf_;
+  std::uint64_t budget_;
+  SizeFn size_fn_;
+  std::uint64_t bytes_ = 0;
+  double inflation_ = 0.0;  // GDSF's L
+  std::map<Key, ObjectId> tree_;
+  std::unordered_map<ObjectId, Meta> index_;
+  std::uint64_t next_seq_ = 0;
+};
+
 }  // namespace
 
 Policy parse_policy(std::string_view name) noexcept {
   const std::string lowered = util::to_lower(name);
   if (lowered == "fifo") return Policy::kFifo;
   if (lowered == "lfu") return Policy::kLfu;
+  if (lowered == "gdsf") return Policy::kGdsf;
+  if (lowered == "size-lru" || lowered == "sizelru" || lowered == "size_lru") {
+    return Policy::kSizeLru;
+  }
   return Policy::kLru;
 }
 
@@ -159,6 +429,10 @@ std::string_view policy_name(Policy policy) noexcept {
       return "fifo";
     case Policy::kLfu:
       return "lfu";
+    case Policy::kGdsf:
+      return "gdsf";
+    case Policy::kSizeLru:
+      return "size-lru";
   }
   return "lru";
 }
@@ -172,8 +446,37 @@ std::unique_ptr<CacheSet> make_cache(std::size_t capacity, Policy policy) {
       return std::make_unique<ListCache>(capacity, /*bump_on_touch=*/false);
     case Policy::kLfu:
       return std::make_unique<LfuCache>(capacity);
+    case Policy::kGdsf:
+    case Policy::kSizeLru:
+      return make_sized_cache(capacity, policy, /*byte_budget=*/0, /*size_fn=*/nullptr);
   }
   return std::make_unique<ListCache>(capacity, true);
+}
+
+std::unique_ptr<CacheSet> make_sized_cache(std::size_t capacity, Policy policy,
+                                           std::uint64_t byte_budget, SizeFn size_fn) {
+  assert(capacity > 0);
+  switch (policy) {
+    case Policy::kLru:
+      return std::make_unique<SizedListCache>(capacity, /*bump_on_touch=*/true,
+                                              /*size_aware_victim=*/false, byte_budget,
+                                              std::move(size_fn));
+    case Policy::kFifo:
+      return std::make_unique<SizedListCache>(capacity, /*bump_on_touch=*/false,
+                                              /*size_aware_victim=*/false, byte_budget,
+                                              std::move(size_fn));
+    case Policy::kSizeLru:
+      return std::make_unique<SizedListCache>(capacity, /*bump_on_touch=*/true,
+                                              /*size_aware_victim=*/true, byte_budget,
+                                              std::move(size_fn));
+    case Policy::kLfu:
+      return std::make_unique<SizedTreeCache>(capacity, /*gdsf=*/false, byte_budget,
+                                              std::move(size_fn));
+    case Policy::kGdsf:
+      return std::make_unique<SizedTreeCache>(capacity, /*gdsf=*/true, byte_budget,
+                                              std::move(size_fn));
+  }
+  return std::make_unique<SizedListCache>(capacity, true, false, byte_budget, std::move(size_fn));
 }
 
 }  // namespace adc::cache

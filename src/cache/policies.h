@@ -2,12 +2,16 @@
 //
 // The paper's hashing baseline caches with LRU; FIFO and LFU are provided
 // so the baseline-comparison ablation can show how sensitive the hashing
-// results are to the replacement policy.  These caches store object ids
-// only (the simulation never materializes payloads).
+// results are to the replacement policy.  The caches store object ids only
+// (the simulation never materializes payloads); when the payload store is
+// enabled (src/store) a size function and per-proxy byte budget turn them
+// into size-aware caches, and GDSF / size-aware LRU become available as
+// additional policies.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <map>
 #include <memory>
@@ -24,11 +28,24 @@ enum class Policy {
   kLru,
   kFifo,
   kLfu,
+  /// GreedyDual-Size-Frequency: priority H = L + freq / size, evict the
+  /// minimum-H object and inflate L to its priority (Cherkasova '98).
+  /// Degenerates to LFU-with-aging under unit sizes.
+  kGdsf,
+  /// LRU ordering with a size-aware victim: among the coldest tail of the
+  /// LRU list, evict the largest object first, repeating until the byte
+  /// budget fits — big cold objects go before small ones.
+  kSizeLru,
 };
 
-/// Parses "lru" / "fifo" / "lfu" (case-insensitive); defaults to LRU.
+/// Parses "lru" / "fifo" / "lfu" / "gdsf" / "size-lru" (case-insensitive);
+/// defaults to LRU.
 Policy parse_policy(std::string_view name) noexcept;
 std::string_view policy_name(Policy policy) noexcept;
+
+/// Maps an object to its payload size in bytes (pure and stable for the
+/// lifetime of the cache).
+using SizeFn = std::function<std::uint64_t(ObjectId)>;
 
 /// A bounded set of cached object ids under some replacement policy.
 class CacheSet {
@@ -52,6 +69,17 @@ class CacheSet {
   /// object id, if any.  Inserting a present object behaves like touch().
   virtual std::optional<ObjectId> insert(ObjectId object) = 0;
 
+  /// Like insert(), but returns *every* object evicted to admit this one.
+  /// Count-capacity caches evict at most one; byte-budgeted caches may
+  /// evict several to make room for a large object (and may admit nothing
+  /// when the object alone exceeds the budget — check contains()).
+  /// Callers maintaining per-object side state must use this form.
+  virtual std::vector<ObjectId> insert_evicting(ObjectId object) {
+    const std::optional<ObjectId> evicted = insert(object);
+    if (evicted) return {*evicted};
+    return {};
+  }
+
   /// Removes a specific object; true if it was present.
   virtual bool erase(ObjectId object) = 0;
 
@@ -59,6 +87,18 @@ class CacheSet {
 
   /// Eviction-order snapshot, victim first (tests).
   virtual std::vector<ObjectId> eviction_order() const = 0;
+
+  // --- Byte accounting (size-aware caches; no-ops otherwise) -------------
+
+  /// Total bytes of the cached objects (0 for count-only caches).
+  virtual std::uint64_t bytes() const noexcept { return 0; }
+
+  /// The byte budget (0 = unbounded bytes).
+  virtual std::uint64_t byte_budget() const noexcept { return 0; }
+
+  /// Re-budgets the cache, evicting per policy until the new budget fits;
+  /// returns the objects evicted by the transition (victim first).
+  virtual std::vector<ObjectId> set_byte_budget(std::uint64_t /*budget*/) { return {}; }
 
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
@@ -78,6 +118,15 @@ class CacheSet {
   std::size_t capacity_;
 };
 
+/// Count-capacity cache; kGdsf / kSizeLru fall back to unit sizes here
+/// (equivalent to LFU-with-aging and LRU respectively).
 std::unique_ptr<CacheSet> make_cache(std::size_t capacity, Policy policy);
+
+/// Size-aware cache: enforces the count capacity *and*, when byte_budget
+/// > 0, the byte budget (multi-evicting per policy until both hold).
+/// Objects larger than the byte budget are never admitted.  `size_fn`
+/// must be valid for the cache's lifetime.
+std::unique_ptr<CacheSet> make_sized_cache(std::size_t capacity, Policy policy,
+                                           std::uint64_t byte_budget, SizeFn size_fn);
 
 }  // namespace adc::cache

@@ -31,13 +31,29 @@ void AdcProxy::flush() {
   lru_versions_.clear();
 }
 
+void AdcProxy::enable_store(const store::StoreContext& ctx) {
+  assert(ctx.store != nullptr);
+  store_ = ctx.store;
+  if (!config_.selective_caching) {
+    store::PayloadStorePtr sizer = store_;
+    lru_cache_ = cache::make_sized_cache(
+        config_.caching_table_size, cache::Policy::kLru, store_->config().byte_budget,
+        [sizer](ObjectId object) { return sizer->size_of(object); });
+  }
+  if (store_->config().erasure.enabled) {
+    erasure_ = std::make_unique<store::ErasureTier>(id(), store_, ctx.proxies);
+  }
+}
+
 void AdcProxy::warm_cache(ObjectId object, std::uint64_t version) {
   if (config_.selective_caching) {
     tables_.warm_cache(object, id(), local_time_, version);
     return;
   }
-  if (const auto evicted = lru_cache_->insert(object)) lru_versions_.erase(*evicted);
-  lru_versions_[object] = version;
+  for (const ObjectId evicted : lru_cache_->insert_evicting(object)) {
+    lru_versions_.erase(evicted);
+  }
+  if (lru_cache_->contains(object)) lru_versions_[object] = version;
 }
 
 std::size_t AdcProxy::invalidate_peer(NodeId peer) {
@@ -48,12 +64,14 @@ std::size_t AdcProxy::invalidate_peer(NodeId peer) {
 
 std::size_t AdcProxy::handle_peer_dead(NodeId peer) {
   if (peer == id()) return 0;
+  if (erasure_ != nullptr) erasure_->handle_peer_dead(peer);
   proxies_.erase(std::remove(proxies_.begin(), proxies_.end(), peer), proxies_.end());
   if (proxies_.empty()) proxies_.push_back(id());
   return invalidate_peer(peer);
 }
 
 void AdcProxy::handle_peer_joined(NodeId peer) {
+  if (erasure_ != nullptr) erasure_->handle_peer_joined(peer);
   const auto pos = std::lower_bound(proxies_.begin(), proxies_.end(), peer);
   if (pos != proxies_.end() && *pos == peer) return;
   proxies_.insert(pos, peer);
@@ -136,6 +154,15 @@ void AdcProxy::on_message(Transport& net, const Message& msg) {
     case MessageKind::kRepairReply:
       receive_opinion(net, msg);
       break;
+    case MessageKind::kStripeStore:
+      if (erasure_ != nullptr) erasure_->on_stripe_store(msg);
+      break;
+    case MessageKind::kChunkRequest:
+      if (erasure_ != nullptr) erasure_->on_chunk_request(net, msg);
+      break;
+    case MessageKind::kChunkReply:
+      if (erasure_ != nullptr) handle_chunk_reply(net, msg);
+      break;
     default:
       // SWIM kinds are routed to the failure detector by the hosting
       // MemberAgent / NodeDaemon before reaching the agent.
@@ -167,6 +194,8 @@ void AdcProxy::receive_request(Transport& net, const Message& msg) {
     reply.proxy_hit = true;
     reply.version = stored_version(object);
     reply.claim = claim;
+    reply.payload_bytes = size_of(object);
+    stats_.payload_bytes_served += reply.payload_bytes;
     net.send(std::move(reply));
     return;
   }
@@ -196,7 +225,55 @@ void AdcProxy::receive_request(Transport& net, const Message& msg) {
   } else {
     forward.target = forward_address(net, object);
   }
+
+  // Degraded-read window: an origin-bound search after a confirmed peer
+  // death tries reconstruction from surviving stripe chunks first.  The
+  // backwarding record above stays in place; handle_chunk_reply either
+  // synthesizes an origin-like reply or falls through to the origin.
+  if (forward.target == origin_ && erasure_ != nullptr && erasure_->has_dead_peer() &&
+      erasure_->begin_recovery(net, forward)) {
+    ++stats_.degraded_reads_started;
+    return;
+  }
   net.send(std::move(forward));
+}
+
+void AdcProxy::handle_chunk_reply(Transport& net, const Message& msg) {
+  const store::ErasureTier::Resolution res = erasure_->on_chunk_reply(msg);
+  switch (res.outcome) {
+    case store::ErasureTier::Outcome::kNone:
+    case store::ErasureTier::Outcome::kPending:
+      return;
+    case store::ErasureTier::Outcome::kRecovered: {
+      // Reconstructed: feed an origin-shaped reply through the normal
+      // backwarding machinery so resolver claiming, table learning and
+      // cache admission all run exactly as for an origin resolution.
+      ++stats_.degraded_reads_served;
+      Message reply = res.request;
+      reply.kind = MessageKind::kReply;
+      reply.sender = id();
+      reply.target = id();
+      reply.resolver = kInvalidNode;
+      reply.cached = false;
+      reply.proxy_hit = true;
+      reply.degraded = true;
+      reply.hops = msg.hops;
+      reply.payload_bytes = res.object_bytes;
+      reply.version = stored_version(reply.object);
+      stats_.payload_bytes_served += reply.payload_bytes;
+      receive_reply(net, reply);
+      return;
+    }
+    case store::ErasureTier::Outcome::kFailed: {
+      // Shortfall: the search terminates at the origin after all.  The
+      // origin-bound decision was already counted when recovery started.
+      Message forward = res.request;
+      forward.sender = id();
+      forward.target = origin_;
+      net.send(std::move(forward));
+      return;
+    }
+  }
 }
 
 // Paper Figure 6 (Forward_Addr).
@@ -239,6 +316,10 @@ void AdcProxy::receive_reply(Transport& net, const Message& msg) {
     reply.resolver = id();
     reply.claim = std::max(reply.claim, tables_.claim_of(reply.object)) + 1;
     ++stats_.resolver_claims;
+    if (!reply.degraded) stats_.payload_bytes_fetched += reply.payload_bytes;
+    // First proxy on the backward path: register (or refresh) the erasure
+    // stripe for the freshly resolved object.
+    if (erasure_ != nullptr) erasure_->stripe_object(net, reply.object);
   }
 
   const bool learn = config_.backward_multicast || reply.resolver == id();
@@ -250,10 +331,13 @@ void AdcProxy::receive_reply(Transport& net, const Message& msg) {
   }
 
   if (!config_.selective_caching) {
-    // ABL-SEL: admit every passing object, evicting per LRU.
+    // ABL-SEL: admit every passing object, evicting per LRU (a size-aware
+    // cache may multi-evict under its byte budget or refuse admission).
     if (!lru_cache_->contains(reply.object)) ++stats_.cache_admissions;
-    if (const auto evicted = lru_cache_->insert(reply.object)) lru_versions_.erase(*evicted);
-    lru_versions_[reply.object] = reply.version;
+    for (const ObjectId evicted : lru_cache_->insert_evicting(reply.object)) {
+      lru_versions_.erase(evicted);
+    }
+    if (lru_cache_->contains(reply.object)) lru_versions_[reply.object] = reply.version;
   }
 
   // If the update admitted the object into our cache and nobody on the

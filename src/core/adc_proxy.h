@@ -12,6 +12,8 @@
 #include "cache/policies.h"
 #include "sim/node.h"
 #include "sim/transport.h"
+#include "store/erasure_tier.h"
+#include "store/payload.h"
 #include "util/types.h"
 
 namespace adc::core {
@@ -34,6 +36,15 @@ struct AdcProxyStats {
   std::uint64_t repair_offers = 0;          // anti-entropy opinions sent
   std::uint64_t repair_counter_offers = 0;  // fresher opinions pushed back
   std::uint64_t repairs_applied = 0;        // entries fixed by incoming opinions
+
+  // Byte accounting (0 while the payload store is disabled).  Note that
+  // forwards_origin counts origin-bound *decisions*; when the erasure tier
+  // converts such a decision into a degraded read no origin message is
+  // actually sent.
+  std::uint64_t payload_bytes_served = 0;   // bytes of local hits + degraded reads
+  std::uint64_t payload_bytes_fetched = 0;  // bytes this proxy fetched from origin
+  std::uint64_t degraded_reads_started = 0;
+  std::uint64_t degraded_reads_served = 0;
 };
 
 class AdcProxy final : public sim::Node {
@@ -91,10 +102,21 @@ class AdcProxy final : public sim::Node {
   /// (one bounce, no further echo — convergence without storms).
   void send_anti_entropy(sim::Transport& net, NodeId peer, std::size_t batch);
 
+  /// Attaches the payload store.  ABL-SEL mode swaps its admit-all LRU for
+  /// the byte-budgeted size-aware variant (the selective-caching tables
+  /// stay entry-counted — they are a mapping-table construct); when the
+  /// store's erasure config asks for it an ErasureTier is hosted so
+  /// origin-bound searches can resolve as degraded reads after a confirmed
+  /// peer death.  Must run before traffic starts.
+  void enable_store(const store::StoreContext& ctx);
+
+  const store::ErasureTier* erasure() const noexcept { return erasure_.get(); }
+
  private:
   void receive_request(sim::Transport& net, const sim::Message& msg);
   void receive_reply(sim::Transport& net, const sim::Message& msg);
   void receive_opinion(sim::Transport& net, const sim::Message& msg);
+  void handle_chunk_reply(sim::Transport& net, const sim::Message& msg);
 
   /// Paper Figure 6: table lookup, THIS -> origin, unknown -> random peer.
   NodeId forward_address(sim::Transport& net, ObjectId object);
@@ -118,6 +140,14 @@ class AdcProxy final : public sim::Node {
   /// plus the data versions of its contents.
   std::unique_ptr<cache::CacheSet> lru_cache_;
   std::unordered_map<ObjectId, std::uint64_t> lru_versions_;
+
+  /// Payload store (null while disabled) and the erasure tier it powers.
+  store::PayloadStorePtr store_;
+  std::unique_ptr<store::ErasureTier> erasure_;
+
+  std::uint64_t size_of(ObjectId object) const {
+    return store_ == nullptr ? 0 : store_->size_of(object);
+  }
 
   AdcProxyStats stats_;
 };

@@ -63,6 +63,25 @@ void flush_proxy(sim::Simulator& sim, NodeId victim, Scheme scheme, bool wrapped
   ADC_LOG_INFO << "fault injected: flushed " << node.name() << " at t=" << sim.now();
 }
 
+// Folds one proxy's erasure-tier counters into the run totals (null tier
+// — store or erasure disabled — contributes nothing).
+void collect_erasure(ExperimentResult::StoreSummary& out, const store::ErasureTier* tier) {
+  if (tier == nullptr) return;
+  const store::ErasureStats& s = tier->stats();
+  out.stripes_registered += s.stripes_registered;
+  out.chunks_stored += s.chunks_stored;
+  out.chunks_evicted += s.chunks_evicted;
+  out.chunk_requests_sent += s.chunk_requests_sent;
+  out.chunk_replies_served += s.chunk_replies_served;
+  out.chunk_bytes_sent += s.chunk_bytes_sent;
+  out.degraded_started += s.degraded_started;
+  out.degraded_recovered += s.degraded_recovered;
+  out.degraded_failed += s.degraded_failed;
+  out.recovered_bytes += s.recovered_bytes;
+  out.directory_entries += tier->directory_entries();
+  out.directory_bytes += tier->directory_bytes();
+}
+
 }  // namespace
 
 std::string_view scheme_name(Scheme scheme) noexcept {
@@ -119,6 +138,16 @@ ExperimentResult run_experiment(const ExperimentConfig& config, const workload::
   const NodeId origin_id = next_id++;
   const NodeId client_id = next_id++;
 
+  // Payload store: one immutable instance shared by every node of the run
+  // (sizes and chunk patterns are pure functions of it).  Null while
+  // disabled, and then nothing below touches it — store-free runs stay
+  // bit-identical.
+  store::PayloadStorePtr payload_store;
+  if (config.payload.enabled) {
+    payload_store = std::make_shared<const store::PayloadStore>(config.payload);
+  }
+  const store::StoreContext store_ctx{payload_store, proxy_ids};
+
   const bool membership_on =
       config.membership.swim.enabled && membership_supported(config.scheme);
   std::vector<membership::MemberAgent*> agents;
@@ -134,6 +163,7 @@ ExperimentResult run_experiment(const ExperimentConfig& config, const workload::
     auto inner = std::make_unique<proxy::HashingProxy>(
         proxy_ids[static_cast<std::size_t>(i)], proxy_name(i), std::move(owners), origin_id,
         baseline_capacity(config), config.baseline_policy, config.entry_caching);
+    if (payload_store != nullptr) inner->enable_store(store_ctx);
     if (!membership_on) {
       sim.add_node(std::move(inner));
       return;
@@ -156,6 +186,7 @@ ExperimentResult run_experiment(const ExperimentConfig& config, const workload::
         auto inner = std::make_unique<core::AdcProxy>(proxy_ids[static_cast<std::size_t>(i)],
                                                       proxy_name(i), config.adc, proxy_ids,
                                                       origin_id);
+        if (payload_store != nullptr) inner->enable_store(store_ctx);
         if (!membership_on) {
           sim.add_node(std::move(inner));
           continue;
@@ -226,24 +257,30 @@ ExperimentResult run_experiment(const ExperimentConfig& config, const workload::
     }
     case Scheme::kHierarchical: {
       for (int i = 0; i < p; ++i) {
-        sim.add_node(std::make_unique<proxy::CacheNode>(proxy_ids[static_cast<std::size_t>(i)],
-                                                        proxy_name(i), root_id,
-                                                        baseline_capacity(config),
-                                                        config.baseline_policy));
+        auto leaf = std::make_unique<proxy::CacheNode>(proxy_ids[static_cast<std::size_t>(i)],
+                                                       proxy_name(i), root_id,
+                                                       baseline_capacity(config),
+                                                       config.baseline_policy);
+        if (payload_store != nullptr) leaf->enable_store(store_ctx);
+        sim.add_node(std::move(leaf));
       }
       const std::size_t root_capacity = config.root_cache_capacity != 0
                                             ? config.root_cache_capacity
                                             : baseline_capacity(config);
-      sim.add_node(std::make_unique<proxy::CacheNode>(root_id, "root", origin_id, root_capacity,
-                                                      config.baseline_policy));
+      auto root = std::make_unique<proxy::CacheNode>(root_id, "root", origin_id, root_capacity,
+                                                     config.baseline_policy);
+      if (payload_store != nullptr) root->enable_store(store_ctx);
+      sim.add_node(std::move(root));
       break;
     }
     case Scheme::kCoordinator: {
       for (int i = 0; i < p; ++i) {
-        sim.add_node(std::make_unique<proxy::CacheNode>(proxy_ids[static_cast<std::size_t>(i)],
-                                                        proxy_name(i), origin_id,
-                                                        baseline_capacity(config),
-                                                        config.baseline_policy));
+        auto backend = std::make_unique<proxy::CacheNode>(proxy_ids[static_cast<std::size_t>(i)],
+                                                          proxy_name(i), origin_id,
+                                                          baseline_capacity(config),
+                                                          config.baseline_policy);
+        if (payload_store != nullptr) backend->enable_store(store_ctx);
+        sim.add_node(std::move(backend));
       }
       sim.add_node(std::make_unique<proxy::Coordinator>(coordinator_id, "coordinator",
                                                         proxy_ids));
@@ -265,7 +302,9 @@ ExperimentResult run_experiment(const ExperimentConfig& config, const workload::
   if (config.object_update_interval > 0) {
     oracle = std::make_shared<sim::VersionOracle>(config.object_update_interval);
   }
-  sim.add_node(std::make_unique<proxy::OriginServer>(origin_id, "origin", oracle));
+  auto origin = std::make_unique<proxy::OriginServer>(origin_id, "origin", oracle);
+  origin->set_sizer(payload_store);
+  sim.add_node(std::move(origin));
 
   TraceStream stream(trace);
   auto client_ptr = std::make_unique<proxy::Client>(client_id, "client", stream, entry_proxies,
@@ -344,6 +383,8 @@ ExperimentResult run_experiment(const ExperimentConfig& config, const workload::
   result.sim_end_time = sim.now();
   result.origin_served =
       static_cast<const proxy::OriginServer&>(sim.node(origin_id)).requests_served();
+  result.store.origin_bytes_served =
+      static_cast<const proxy::OriginServer&>(sim.node(origin_id)).bytes_served();
   result.hops_p50 = sim.metrics().hop_histogram().percentile(0.50);
   result.hops_p95 = sim.metrics().hop_histogram().percentile(0.95);
   result.hops_max = sim.metrics().hop_histogram().max_seen();
@@ -425,12 +466,23 @@ ExperimentResult run_experiment(const ExperimentConfig& config, const workload::
       result.adc_totals.repair_offers += adc.stats().repair_offers;
       result.adc_totals.repair_counter_offers += adc.stats().repair_counter_offers;
       result.adc_totals.repairs_applied += adc.stats().repairs_applied;
+      result.adc_totals.payload_bytes_served += adc.stats().payload_bytes_served;
+      result.adc_totals.payload_bytes_fetched += adc.stats().payload_bytes_fetched;
+      result.adc_totals.degraded_reads_started += adc.stats().degraded_reads_started;
+      result.adc_totals.degraded_reads_served += adc.stats().degraded_reads_served;
+      snapshot.payload_bytes_served = adc.stats().payload_bytes_served;
+      result.store.payload_bytes_served += adc.stats().payload_bytes_served;
+      result.store.payload_bytes_fetched += adc.stats().payload_bytes_fetched;
+      collect_erasure(result.store, adc.erasure());
     } else if (config.scheme == Scheme::kHierarchical ||
                config.scheme == Scheme::kCoordinator) {
       const auto& cn = static_cast<const proxy::CacheNode&>(node);
       snapshot.requests_received = cn.stats().requests_received;
       snapshot.local_hits = cn.stats().local_hits;
       snapshot.cached_objects = cn.cache().size();
+      snapshot.payload_bytes_served = cn.stats().payload_bytes_served;
+      result.store.payload_bytes_served += cn.stats().payload_bytes_served;
+      result.store.payload_bytes_fetched += cn.stats().payload_bytes_fetched;
       if (config.collect_cache_contents) snapshot.cached_ids = cn.cache().eviction_order();
     } else if (config.scheme == Scheme::kSoap) {
       const auto& sp = static_cast<const proxy::SoapProxy&>(node);
@@ -443,6 +495,10 @@ ExperimentResult run_experiment(const ExperimentConfig& config, const workload::
       snapshot.requests_received = hp.stats().requests_received;
       snapshot.local_hits = hp.stats().local_hits;
       snapshot.cached_objects = hp.cache().size();
+      snapshot.payload_bytes_served = hp.stats().payload_bytes_served;
+      result.store.payload_bytes_served += hp.stats().payload_bytes_served;
+      result.store.payload_bytes_fetched += hp.stats().payload_bytes_fetched;
+      collect_erasure(result.store, hp.erasure());
       if (count_membership) {
         result.membership.max_reshuffle_fraction = std::max(
             result.membership.max_reshuffle_fraction, hp.stats().max_reshuffle_fraction);
@@ -453,6 +509,7 @@ ExperimentResult run_experiment(const ExperimentConfig& config, const workload::
     // feeding the max/min fairness ratio the adversarial suite reports.
     result.summary.owner_requests.push_back(snapshot.requests_received);
     result.summary.owner_hits.push_back(snapshot.local_hits);
+    result.summary.owner_bytes.push_back(snapshot.payload_bytes_served);
     result.proxies.push_back(std::move(snapshot));
   }
 

@@ -17,6 +17,7 @@
 #include "proxy/client.h"
 #include "sim/metrics.h"
 #include "sim/network.h"
+#include "store/payload.h"
 #include "workload/trace.h"
 
 namespace adc::driver {
@@ -117,6 +118,15 @@ struct ExperimentConfig {
   /// MetricsSummary::stale_hits.
   SimTime object_update_interval = 0;
 
+  /// Payload store (payload.enabled): every object gets a deterministic
+  /// heavy-tailed size, replies carry payload bytes, proxy caches become
+  /// byte-budgeted and size-aware, and (payload.erasure.enabled) proxies
+  /// host an erasure tier answering post-death misses as degraded reads.
+  /// Disabled (the default) the run is bit-identical to a store-free
+  /// build: the store consumes no shared RNG state.  Applied to every
+  /// scheme except kSoap (whose category tables predate the store).
+  store::PayloadConfig payload;
+
   proxy::EntryPolicy entry_policy = proxy::EntryPolicy::kRandom;
 
   /// Closed-loop request streams kept in flight by the client.
@@ -138,6 +148,9 @@ struct ProxySnapshot {
   std::uint64_t local_hits = 0;
   std::uint64_t cached_objects = 0;
   std::uint64_t table_entries = 0;
+  /// Payload bytes this proxy served (hits + degraded reads; 0 while the
+  /// store is disabled).
+  std::uint64_t payload_bytes_served = 0;
   /// Filled only when ExperimentConfig::collect_cache_contents is set.
   std::vector<ObjectId> cached_ids;
 };
@@ -194,6 +207,29 @@ struct ExperimentResult {
   /// injection side from the FaultyNetwork, `timeouts` from the client's
   /// expired deadlines.
   sim::FaultCounters faults;
+
+  /// Payload-store and erasure-tier aggregates over all proxies (all zero
+  /// while payload.enabled is false).  The request-level byte counters
+  /// (byte hit rate, origin bytes, recovered bytes) live in `summary`;
+  /// these are the supply-side totals.
+  struct StoreSummary {
+    std::uint64_t payload_bytes_served = 0;   // proxy-side hits + degraded
+    std::uint64_t payload_bytes_fetched = 0;  // proxy-side origin fetches
+    std::uint64_t origin_bytes_served = 0;    // origin's own byte counter
+    std::uint64_t stripes_registered = 0;
+    std::uint64_t chunks_stored = 0;
+    std::uint64_t chunks_evicted = 0;
+    std::uint64_t chunk_requests_sent = 0;
+    std::uint64_t chunk_replies_served = 0;
+    std::uint64_t chunk_bytes_sent = 0;
+    std::uint64_t degraded_started = 0;
+    std::uint64_t degraded_recovered = 0;
+    std::uint64_t degraded_failed = 0;
+    std::uint64_t recovered_bytes = 0;
+    std::uint64_t directory_entries = 0;  // chunk-directory totals at run end
+    std::uint64_t directory_bytes = 0;
+  };
+  StoreSummary store;
 };
 
 /// Adapts a workload::Trace to the client's pull interface.

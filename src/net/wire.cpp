@@ -5,15 +5,17 @@ namespace {
 
 constexpr std::uint8_t kFlagCached = 0x01;
 constexpr std::uint8_t kFlagProxyHit = 0x02;
+constexpr std::uint8_t kFlagDegraded = 0x04;
 
-// Fixed message payload size excluding path entries:
-// type(1) + request_id(8) + object(8) + sender/target/client/forward_count/
-// hops/resolver(6 × 4) + flags(1) + version(8) + claim(8) + issued_at(8) +
-// path_len(2).
-constexpr std::size_t kMessageFixedBytes = 1 + 8 + 8 + 6 * 4 + 1 + 8 + 8 + 8 + 2;
+// Fixed message payload size excluding body and path entries:
+// type(1) + wire_version(1) + request_id(8) + object(8) + sender/target/
+// client/forward_count/hops/resolver(6 × 4) + flags(1) + version(8) +
+// claim(8) + issued_at(8) + payload_bytes(8) + payload_checksum(8) +
+// body_len(2) + path_len(2).
+constexpr std::size_t kMessageFixedBytes = 1 + 1 + 8 + 8 + 6 * 4 + 1 + 8 + 8 + 8 + 8 + 8 + 2 + 2;
 
-// type(1) + node_kind(1) + node_id(4).
-constexpr std::size_t kHelloBytes = 6;
+// type(1) + wire_version(1) + node_kind(1) + node_id(4).
+constexpr std::size_t kHelloBytes = 7;
 
 void put_u8(std::vector<std::uint8_t>* out, std::uint8_t v) { out->push_back(v); }
 
@@ -94,6 +96,12 @@ FrameType frame_type_for(sim::MessageKind kind) noexcept {
       return FrameType::kRepairOffer;
     case sim::MessageKind::kRepairReply:
       return FrameType::kRepairReply;
+    case sim::MessageKind::kStripeStore:
+      return FrameType::kStripeStore;
+    case sim::MessageKind::kChunkRequest:
+      return FrameType::kChunkRequest;
+    case sim::MessageKind::kChunkReply:
+      return FrameType::kChunkReply;
   }
   return FrameType::kRequest;
 }
@@ -121,6 +129,12 @@ sim::MessageKind kind_for(FrameType type) noexcept {
       return sim::MessageKind::kRepairOffer;
     case FrameType::kRepairReply:
       return sim::MessageKind::kRepairReply;
+    case FrameType::kStripeStore:
+      return sim::MessageKind::kStripeStore;
+    case FrameType::kChunkRequest:
+      return sim::MessageKind::kChunkRequest;
+    case FrameType::kChunkReply:
+      return sim::MessageKind::kChunkReply;
   }
   return sim::MessageKind::kRequest;
 }
@@ -128,10 +142,14 @@ sim::MessageKind kind_for(FrameType type) noexcept {
 void encode_message(const WireMessage& wire, std::vector<std::uint8_t>* out) {
   const std::size_t keep = wire.path.size() > kMaxPath ? kMaxPath : wire.path.size();
   const std::size_t skip = wire.path.size() - keep;
-  const std::uint32_t payload_len = static_cast<std::uint32_t>(kMessageFixedBytes + 4 * keep);
+  const std::size_t body_len =
+      wire.body.size() > kMaxBodyBytes ? kMaxBodyBytes : wire.body.size();
+  const std::uint32_t payload_len =
+      static_cast<std::uint32_t>(kMessageFixedBytes + body_len + 4 * keep);
   out->reserve(out->size() + kLengthPrefixBytes + payload_len);
   put_u32(out, payload_len);
   put_u8(out, static_cast<std::uint8_t>(frame_type_for(wire.msg.kind)));
+  put_u8(out, kWireVersion);
   put_u64(out, wire.msg.request_id);
   put_u64(out, wire.msg.object);
   put_i32(out, wire.msg.sender);
@@ -143,17 +161,24 @@ void encode_message(const WireMessage& wire, std::vector<std::uint8_t>* out) {
   std::uint8_t flags = 0;
   if (wire.msg.cached) flags |= kFlagCached;
   if (wire.msg.proxy_hit) flags |= kFlagProxyHit;
+  if (wire.msg.degraded) flags |= kFlagDegraded;
   put_u8(out, flags);
   put_u64(out, wire.msg.version);
   put_u64(out, wire.msg.claim);
   put_i64(out, wire.msg.issued_at);
+  put_u64(out, wire.msg.payload_bytes);
+  put_u64(out, wire.checksum);
+  put_u16(out, static_cast<std::uint16_t>(body_len));
   put_u16(out, static_cast<std::uint16_t>(keep));
+  out->insert(out->end(), wire.body.begin(),
+              wire.body.begin() + static_cast<std::ptrdiff_t>(body_len));
   for (std::size_t i = skip; i < wire.path.size(); ++i) put_i32(out, wire.path[i]);
 }
 
 void encode_hello(const Hello& hello, std::vector<std::uint8_t>* out) {
   put_u32(out, kHelloBytes);
   put_u8(out, static_cast<std::uint8_t>(FrameType::kHello));
+  put_u8(out, kWireVersion);
   put_u8(out, static_cast<std::uint8_t>(hello.kind));
   put_i32(out, hello.node_id);
 }
@@ -172,14 +197,15 @@ DecodeResult decode_frame(const std::uint8_t* data, std::size_t size, std::size_
   switch (type) {
     case static_cast<std::uint8_t>(FrameType::kHello): {
       if (payload_len != kHelloBytes) return fail(error, "HELLO payload size mismatch");
-      const std::uint8_t kind = get_u8(p + 1);
+      if (get_u8(p + 1) != kWireVersion) return fail(error, "unsupported wire version");
+      const std::uint8_t kind = get_u8(p + 2);
       if (kind > static_cast<std::uint8_t>(sim::NodeKind::kOrigin)) {
         return fail(error, "HELLO with unknown node kind");
       }
       *out = Frame{};
       out->type = FrameType::kHello;
       out->hello.kind = static_cast<sim::NodeKind>(kind);
-      out->hello.node_id = get_i32(p + 2);
+      out->hello.node_id = get_i32(p + 3);
       break;
     }
     case static_cast<std::uint8_t>(FrameType::kRequest):
@@ -191,36 +217,47 @@ DecodeResult decode_frame(const std::uint8_t* data, std::size_t size, std::size_
     case static_cast<std::uint8_t>(FrameType::kSwimAlive):
     case static_cast<std::uint8_t>(FrameType::kSwimDead):
     case static_cast<std::uint8_t>(FrameType::kRepairOffer):
-    case static_cast<std::uint8_t>(FrameType::kRepairReply): {
+    case static_cast<std::uint8_t>(FrameType::kRepairReply):
+    case static_cast<std::uint8_t>(FrameType::kStripeStore):
+    case static_cast<std::uint8_t>(FrameType::kChunkRequest):
+    case static_cast<std::uint8_t>(FrameType::kChunkReply): {
       if (payload_len < kMessageFixedBytes) return fail(error, "message payload too short");
+      if (get_u8(p + 1) != kWireVersion) return fail(error, "unsupported wire version");
+      const std::uint16_t body_len = get_u16(p + kMessageFixedBytes - 4);
       const std::uint16_t path_len = get_u16(p + kMessageFixedBytes - 2);
+      if (body_len > kMaxBodyBytes) return fail(error, "body_len exceeds kMaxBodyBytes");
       if (path_len > kMaxPath) return fail(error, "path_len exceeds kMaxPath");
-      if (payload_len != kMessageFixedBytes + 4u * path_len) {
-        return fail(error, "payload size does not match path_len");
+      if (payload_len != kMessageFixedBytes + body_len + 4u * path_len) {
+        return fail(error, "payload size does not match body_len/path_len");
       }
       *out = Frame{};
       out->type = static_cast<FrameType>(type);
       sim::Message& msg = out->message.msg;
       msg.kind = kind_for(out->type);
-      msg.request_id = get_u64(p + 1);
-      msg.object = get_u64(p + 9);
-      msg.sender = get_i32(p + 17);
-      msg.target = get_i32(p + 21);
-      msg.client = get_i32(p + 25);
-      msg.forward_count = get_i32(p + 29);
-      msg.hops = get_i32(p + 33);
-      msg.resolver = get_i32(p + 37);
-      const std::uint8_t flags = get_u8(p + 41);
-      if ((flags & ~(kFlagCached | kFlagProxyHit)) != 0) {
+      msg.request_id = get_u64(p + 2);
+      msg.object = get_u64(p + 10);
+      msg.sender = get_i32(p + 18);
+      msg.target = get_i32(p + 22);
+      msg.client = get_i32(p + 26);
+      msg.forward_count = get_i32(p + 30);
+      msg.hops = get_i32(p + 34);
+      msg.resolver = get_i32(p + 38);
+      const std::uint8_t flags = get_u8(p + 42);
+      if ((flags & ~(kFlagCached | kFlagProxyHit | kFlagDegraded)) != 0) {
         return fail(error, "unknown flag bits set");
       }
       msg.cached = (flags & kFlagCached) != 0;
       msg.proxy_hit = (flags & kFlagProxyHit) != 0;
-      msg.version = get_u64(p + 42);
-      msg.claim = get_u64(p + 50);
-      msg.issued_at = get_i64(p + 58);
+      msg.degraded = (flags & kFlagDegraded) != 0;
+      msg.version = get_u64(p + 43);
+      msg.claim = get_u64(p + 51);
+      msg.issued_at = get_i64(p + 59);
+      msg.payload_bytes = get_u64(p + 67);
+      out->message.checksum = get_u64(p + 75);
+      const std::uint8_t* body = p + kMessageFixedBytes;
+      out->message.body.assign(body, body + body_len);
       out->message.path.resize(path_len);
-      const std::uint8_t* entries = p + kMessageFixedBytes;
+      const std::uint8_t* entries = body + body_len;
       for (std::uint16_t i = 0; i < path_len; ++i) {
         out->message.path[i] = get_i32(entries + 4u * i);
       }

@@ -9,17 +9,25 @@
 // backwarding records but on a wire is worth making explicit (debugging a
 // live random walk, asserting backwarding symmetry).
 //
-// Frame layout (all integers little-endian):
+// Frame layout, protocol version 2 (all integers little-endian):
 //
 //   u32  payload_len                  (bytes after this prefix)
 //   u8   type                         1=REQUEST 2=REPLY 3=HELLO
 //                                     4..9=SWIM control (ping, ack,
 //                                     ping-req, suspect, alive, dead)
 //                                     10..11=anti-entropy (offer, reply)
+//                                     12..14=erasure tier (stripe-store,
+//                                     chunk-request, chunk-reply)
+//   u8   wire_version                 must equal kWireVersion
 //
-// Message payload after `type` (same shape for every non-HELLO type —
-// SWIM and repair frames reuse the request/reply fields exactly the way
-// sim::Message documents):
+// Version 2 added the payload-byte fields (payload_bytes, checksum, body
+// sample) and the version byte itself; v1 frames had the request_id where
+// the version byte now sits and are rejected deterministically — a mixed
+// v1/v2 cluster fails fast at the first frame instead of mis-decoding.
+//
+// Message payload after `wire_version` (same shape for every non-HELLO
+// type — SWIM, repair and erasure frames reuse the request/reply fields
+// exactly the way sim::Message documents):
 //
 //   u64  request_id
 //   u64  object
@@ -30,21 +38,28 @@
 //   i32  hops
 //   i32  resolver
 //   u8   flags                        bit0=cached bit1=proxy_hit
+//                                     bit2=degraded
 //   u64  version
 //   u64  claim                        resolver-claim version (0 = unset)
 //   i64  issued_at
+//   u64  payload_bytes                object/chunk size being described
+//   u64  payload_checksum             over the body sample (store-defined)
+//   u16  body_len                     (<= kMaxBodyBytes)
 //   u16  path_len                     (<= kMaxPath)
+//   u8  × body_len                    synthetic body sample
 //   i32 × path_len                    visited node ids, oldest first
 //
 // HELLO payload after `type` (sent once per connection by the initiating
 // side so the receiver can route by node id):
 //
+//   u8   wire_version                 must equal kWireVersion
 //   u8   node_kind                    0=client 1=proxy 2=origin
 //   i32  node_id
 //
-// Decoding is strict: unknown types, oversized lengths, path_len/payload
-// mismatches and truncated-beyond-the-prefix frames are kCorrupt, never
-// guessed at.  A prefix of a valid frame is kNeedMore.
+// Decoding is strict: unknown types, version mismatches, unknown flag
+// bits, oversized lengths, body_len/path_len/payload mismatches and
+// truncated-beyond-the-prefix frames are kCorrupt, never guessed at.  A
+// prefix of a valid frame is kNeedMore.
 #pragma once
 
 #include <cstdint>
@@ -57,10 +72,19 @@
 
 namespace adc::net {
 
+/// Protocol version stamped into (and required of) every frame.  Bumped
+/// to 2 when the payload-byte fields were added.
+inline constexpr std::uint8_t kWireVersion = 2;
+
 /// Longest journey path a frame may carry; appending stops beyond it.
 inline constexpr std::size_t kMaxPath = 1024;
 
-/// Upper bound on `payload_len` (a max-path message needs 4156 bytes).
+/// Longest synthetic body sample a frame may carry.  Matches
+/// store::kMaxBodySample (static_assert'd where both headers meet).
+inline constexpr std::size_t kMaxBodyBytes = 256;
+
+/// Upper bound on `payload_len` (a max-path, max-body message needs
+/// 4439 bytes).
 inline constexpr std::size_t kMaxFramePayload = 8192;
 
 inline constexpr std::size_t kLengthPrefixBytes = 4;
@@ -80,6 +104,9 @@ enum class FrameType : std::uint8_t {
   kSwimDead = 9,
   kRepairOffer = 10,
   kRepairReply = 11,
+  kStripeStore = 12,
+  kChunkRequest = 13,
+  kChunkReply = 14,
 };
 
 /// Frame type carrying a given message kind (every kind is encodable).
@@ -95,10 +122,17 @@ struct Hello {
   sim::NodeKind kind = sim::NodeKind::kClient;
 };
 
-/// A protocol message plus its journey path.
+/// A protocol message plus its journey path and (when the payload store is
+/// enabled) the serialized body sample.  `msg.payload_bytes` describes the
+/// full synthetic payload; `body` carries its first min(payload_bytes,
+/// kMaxBodyBytes) pattern bytes and `checksum` covers them — the daemon
+/// fills both on encode and verifies them on delivery.  Both stay empty/0
+/// with the store disabled.
 struct WireMessage {
   sim::Message msg;
   std::vector<NodeId> path;
+  std::vector<std::uint8_t> body;
+  std::uint64_t checksum = 0;
 };
 
 /// One decoded frame; `message` is valid for kRequest/kReply, `hello` for

@@ -86,7 +86,7 @@ void Client::on_message(sim::Transport&, const sim::Message& msg) {
   const bool stale = msg.proxy_hit && oracle_ != nullptr &&
                      msg.version < oracle_->version_at(msg.object, sim.now());
   sim.metrics().on_request_completed(msg.proxy_hit, msg.hops, sim.now() - msg.issued_at,
-                                     stale);
+                                     stale, msg.payload_bytes, msg.degraded);
   if (const auto it = milestones_.find(completed_); it != milestones_.end()) {
     for (const auto& callback : it->second) callback();
     milestones_.erase(it);

@@ -17,12 +17,43 @@ HashingProxy::HashingProxy(NodeId id, std::string name,
     : Node(id, sim::NodeKind::kProxy, std::move(name)),
       owners_(std::move(owners)),
       origin_(origin),
+      cache_capacity_(cache_capacity),
+      policy_(policy),
       cache_(cache::make_cache(cache_capacity, policy)),
       entry_caching_(entry_caching) {
   assert(owners_ != nullptr);
 }
 
+void HashingProxy::enable_store(const store::StoreContext& ctx) {
+  assert(ctx.store != nullptr);
+  store_ = ctx.store;
+  store::PayloadStorePtr sizer = store_;
+  cache_ = cache::make_sized_cache(
+      cache_capacity_, policy_, store_->config().byte_budget,
+      [sizer](ObjectId object) { return sizer->size_of(object); });
+  if (store_->config().erasure.enabled) {
+    erasure_ = std::make_unique<store::ErasureTier>(id(), store_, ctx.proxies);
+  }
+}
+
 void HashingProxy::on_message(Transport& net, const Message& msg) {
+  if (sim::is_store_kind(msg.kind)) {
+    if (erasure_ == nullptr) return;  // store traffic with no tier: drop
+    switch (msg.kind) {
+      case MessageKind::kStripeStore:
+        erasure_->on_stripe_store(msg);
+        break;
+      case MessageKind::kChunkRequest:
+        erasure_->on_chunk_request(net, msg);
+        break;
+      case MessageKind::kChunkReply:
+        handle_chunk_reply(net, msg);
+        break;
+      default:
+        break;
+    }
+    return;
+  }
   if (msg.kind == MessageKind::kRequest) {
     receive_request(net, msg);
   } else {
@@ -38,6 +69,7 @@ void HashingProxy::set_owner_map_factory(OwnerMapFactory factory,
 }
 
 double HashingProxy::handle_peer_dead(NodeId peer) {
+  if (erasure_ != nullptr) erasure_->handle_peer_dead(peer);
   if (!factory_ || peer == id()) return 0.0;
   const auto it = std::find(members_.begin(), members_.end(), peer);
   if (it == members_.end()) return 0.0;
@@ -47,6 +79,7 @@ double HashingProxy::handle_peer_dead(NodeId peer) {
 }
 
 double HashingProxy::handle_peer_joined(NodeId peer) {
+  if (erasure_ != nullptr) erasure_->handle_peer_joined(peer);
   if (!factory_) return 0.0;
   const auto pos = std::lower_bound(members_.begin(), members_.end(), peer);
   if (pos != members_.end() && *pos == peer) return 0.0;
@@ -80,6 +113,13 @@ void HashingProxy::send_reply_toward_client(Transport& net, Message reply, NodeI
   net.send(std::move(reply));
 }
 
+void HashingProxy::admit(ObjectId object, std::uint64_t version) {
+  for (const ObjectId evicted : cache_->insert_evicting(object)) versions_.erase(evicted);
+  // A size-aware cache may refuse admission outright (object larger than
+  // the byte budget); only remember versions for objects actually held.
+  if (cache_->contains(object)) versions_[object] = version;
+}
+
 void HashingProxy::receive_request(Transport& net, const Message& msg) {
   ++stats_.requests_received;
   const ObjectId object = msg.object;
@@ -94,6 +134,8 @@ void HashingProxy::receive_request(Transport& net, const Message& msg) {
     reply.proxy_hit = true;
     const auto version = versions_.find(object);
     reply.version = version == versions_.end() ? 0 : version->second;
+    reply.payload_bytes = size_of(object);
+    stats_.payload_bytes_served += reply.payload_bytes;
     // A hit at the owner is returned directly to the client (bypassing the
     // entry proxy) unless entry caching is on; a hit at the entry proxy
     // goes straight back anyway.
@@ -115,13 +157,64 @@ void HashingProxy::receive_request(Transport& net, const Message& msg) {
 
   // We are the owner (or the entry proxy owns the object): resolve at the
   // origin and remember where the reply must go.
-  ++stats_.forwards_to_origin;
   pending_.emplace(msg.request_id,
                    Route{msg.client, from_client ? kInvalidNode : msg.sender});
+
+  // Degraded-read window: once SWIM confirmed a member dead, prefer
+  // reconstructing the object from surviving stripe chunks over refetching
+  // it from the origin.  The route stays pending; handle_chunk_reply either
+  // answers it or falls back to the origin.
+  if (erasure_ != nullptr && erasure_->has_dead_peer() &&
+      erasure_->begin_recovery(net, msg)) {
+    return;
+  }
+
+  ++stats_.forwards_to_origin;
   Message forward = msg;
   forward.sender = id();
   forward.target = origin_;
   net.send(std::move(forward));
+}
+
+void HashingProxy::handle_chunk_reply(Transport& net, const Message& msg) {
+  const store::ErasureTier::Resolution res = erasure_->on_chunk_reply(msg);
+  switch (res.outcome) {
+    case store::ErasureTier::Outcome::kNone:
+    case store::ErasureTier::Outcome::kPending:
+      return;
+    case store::ErasureTier::Outcome::kRecovered: {
+      const auto it = pending_.find(res.request.request_id);
+      if (it == pending_.end()) return;  // route gone (e.g. flushed): drop
+      const Route route = it->second;
+      pending_.erase(it);
+      ++stats_.degraded_reads_served;
+      Message reply = res.request;
+      reply.resolver = id();
+      reply.cached = true;
+      reply.proxy_hit = true;
+      reply.degraded = true;
+      reply.hops = msg.hops;
+      reply.payload_bytes = res.object_bytes;
+      const auto version = versions_.find(reply.object);
+      reply.version = version == versions_.end() ? 0 : version->second;
+      stats_.payload_bytes_served += reply.payload_bytes;
+      // The reconstructed object is as good as a fetched one: admit it so
+      // subsequent requests hit locally instead of re-reconstructing.
+      admit(reply.object, reply.version);
+      send_reply_toward_client(net, std::move(reply), route.entry);
+      return;
+    }
+    case store::ErasureTier::Outcome::kFailed: {
+      // Not enough surviving chunks: fall back to the origin.  The pending
+      // route is still in place, so the origin reply routes normally.
+      ++stats_.forwards_to_origin;
+      Message forward = res.request;
+      forward.sender = id();
+      forward.target = origin_;
+      net.send(std::move(forward));
+      return;
+    }
+  }
 }
 
 void HashingProxy::receive_reply(Transport& net, const Message& msg) {
@@ -130,7 +223,9 @@ void HashingProxy::receive_reply(Transport& net, const Message& msg) {
     // Origin answered our fetch: cache as owner, then route.
     const Route route = it->second;
     pending_.erase(it);
-    remember_version(msg.object, msg.version, cache_->insert(msg.object));
+    stats_.payload_bytes_fetched += msg.payload_bytes;
+    admit(msg.object, msg.version);
+    if (erasure_ != nullptr) erasure_->stripe_object(net, msg.object);
     Message reply = msg;
     reply.resolver = id();
     reply.cached = true;
@@ -145,7 +240,7 @@ void HashingProxy::receive_reply(Transport& net, const Message& msg) {
   // client without caching: this proxy does not own the object, and
   // caching it would shadow the hash allocation once the owner returns.
   if (entry_caching_) {
-    remember_version(msg.object, msg.version, cache_->insert(msg.object));
+    admit(msg.object, msg.version);
   } else {
     ++stats_.degraded_replies;
   }

@@ -10,6 +10,13 @@
 //   4. the reply goes *directly to the client, bypassing the first proxy*.
 // An optional entry-caching mode routes the reply through the entry proxy
 // (which then caches too) for the baseline ablation.
+//
+// With the payload store enabled the proxy additionally (a) accounts every
+// hit/fetch in bytes, (b) evicts under a byte budget with size-aware
+// policies, and (c) hosts an erasure tier: owners stripe fetched objects
+// across peers, and once SWIM confirms a member dead, a miss on an object
+// whose chunks survive is answered by a degraded read (reconstruction from
+// k surviving chunks) instead of an origin refetch.
 #pragma once
 
 #include <cstdint>
@@ -24,6 +31,8 @@
 #include "hash/rendezvous.h"
 #include "sim/node.h"
 #include "sim/transport.h"
+#include "store/erasure_tier.h"
+#include "store/payload.h"
 #include "util/types.h"
 
 namespace adc::proxy {
@@ -76,6 +85,11 @@ struct HashingProxyStats {
   double last_reshuffle_fraction = 0.0;  // share of sampled objects whose owner
                                          // moved in the latest rebuild
   double max_reshuffle_fraction = 0.0;   // worst rebuild observed this run
+
+  // Byte accounting (0 while the payload store is disabled).
+  std::uint64_t payload_bytes_served = 0;   // bytes of hits + degraded reads
+  std::uint64_t payload_bytes_fetched = 0;  // bytes fetched from the origin
+  std::uint64_t degraded_reads_served = 0;  // misses answered by reconstruction
 };
 
 class HashingProxy final : public sim::Node {
@@ -101,8 +115,18 @@ class HashingProxy final : public sim::Node {
   const cache::CacheSet& cache() const noexcept { return *cache_; }
   std::size_t pending() const noexcept { return pending_.size(); }
 
+  /// Attaches the payload store: replaces the cache with a byte-budgeted,
+  /// size-aware variant of the same policy and (when the store's erasure
+  /// config asks for it) hosts an ErasureTier over the deployment's
+  /// proxies.  Must run before traffic starts.
+  void enable_store(const store::StoreContext& ctx);
+
+  const store::ErasureTier* erasure() const noexcept { return erasure_.get(); }
+
   /// Fault injection: drops every cached object (cold restart; in-flight
-  /// fetch routes survive).
+  /// fetch routes survive).  Stripe-chunk *presence* survives a flush —
+  /// chunk bytes are regenerable from the deterministic store, so the
+  /// directory is the only state and a restarted daemon re-announces it.
   void flush() {
     cache_->clear();
     versions_.clear();
@@ -127,14 +151,23 @@ class HashingProxy final : public sim::Node {
   double rebuild_owners();
   void receive_request(sim::Transport& net, const sim::Message& msg);
   void receive_reply(sim::Transport& net, const sim::Message& msg);
+  void handle_chunk_reply(sim::Transport& net, const sim::Message& msg);
   void send_reply_toward_client(sim::Transport& net, sim::Message reply, NodeId entry);
+  /// Admits `object` (size-aware caches may refuse or multi-evict) and
+  /// keeps versions_ consistent with the cache contents.
+  void admit(ObjectId object, std::uint64_t version);
 
   std::shared_ptr<const OwnerMap> owners_;
   OwnerMapFactory factory_;
   std::vector<NodeId> members_;  // sorted; only maintained once a factory is set
   NodeId origin_;
+  std::size_t cache_capacity_;
+  cache::Policy policy_;
   std::unique_ptr<cache::CacheSet> cache_;
   bool entry_caching_;
+
+  store::PayloadStorePtr store_;
+  std::unique_ptr<store::ErasureTier> erasure_;
 
   /// Owner-side state for in-flight origin fetches: where the reply must
   /// be routed once the origin answers.
@@ -147,10 +180,8 @@ class HashingProxy final : public sim::Node {
   /// Data versions of cached objects (staleness accounting).
   std::unordered_map<ObjectId, std::uint64_t> versions_;
 
-  void remember_version(ObjectId object, std::uint64_t version,
-                        const std::optional<ObjectId>& evicted) {
-    if (evicted.has_value()) versions_.erase(*evicted);
-    versions_[object] = version;
+  std::uint64_t size_of(ObjectId object) const {
+    return store_ == nullptr ? 0 : store_->size_of(object);
   }
 
   HashingProxyStats stats_;

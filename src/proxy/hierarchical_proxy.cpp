@@ -13,7 +13,18 @@ CacheNode::CacheNode(NodeId id, std::string name, NodeId upstream,
                      std::size_t cache_capacity, cache::Policy policy)
     : Node(id, sim::NodeKind::kProxy, std::move(name)),
       upstream_(upstream),
+      cache_capacity_(cache_capacity),
+      policy_(policy),
       cache_(cache::make_cache(cache_capacity, policy)) {}
+
+void CacheNode::enable_store(const store::StoreContext& ctx) {
+  assert(ctx.store != nullptr);
+  store_ = ctx.store;
+  store::PayloadStorePtr sizer = store_;
+  cache_ = cache::make_sized_cache(
+      cache_capacity_, policy_, store_->config().byte_budget,
+      [sizer](ObjectId object) { return sizer->size_of(object); });
+}
 
 void CacheNode::on_message(Transport& net, const Message& msg) {
   if (msg.kind == MessageKind::kRequest) {
@@ -29,6 +40,8 @@ void CacheNode::on_message(Transport& net, const Message& msg) {
       reply.proxy_hit = true;
       const auto version = versions_.find(msg.object);
       reply.version = version == versions_.end() ? 0 : version->second;
+      reply.payload_bytes = store_ == nullptr ? 0 : store_->size_of(msg.object);
+      stats_.payload_bytes_served += reply.payload_bytes;
       net.send(std::move(reply));
       return;
     }
@@ -49,8 +62,11 @@ void CacheNode::on_message(Transport& net, const Message& msg) {
   it->second.pop_back();
   if (it->second.empty()) pending_.erase(it);
 
-  if (const auto evicted = cache_->insert(msg.object)) versions_.erase(*evicted);
-  versions_[msg.object] = msg.version;
+  stats_.payload_bytes_fetched += msg.payload_bytes;
+  for (const ObjectId evicted : cache_->insert_evicting(msg.object)) {
+    versions_.erase(evicted);
+  }
+  if (cache_->contains(msg.object)) versions_[msg.object] = msg.version;
   Message reply = msg;
   reply.sender = id();
   reply.target = requester;

@@ -17,6 +17,7 @@
 #include "cache/policies.h"
 #include "sim/node.h"
 #include "sim/transport.h"
+#include "store/payload.h"
 #include "util/types.h"
 
 namespace adc::proxy {
@@ -25,6 +26,9 @@ struct CacheNodeStats {
   std::uint64_t requests_received = 0;
   std::uint64_t local_hits = 0;
   std::uint64_t forwards_upstream = 0;
+  // Byte accounting (0 while the payload store is disabled).
+  std::uint64_t payload_bytes_served = 0;   // bytes of local hits
+  std::uint64_t payload_bytes_fetched = 0;  // bytes fetched from upstream
 };
 
 class CacheNode final : public sim::Node {
@@ -38,6 +42,11 @@ class CacheNode final : public sim::Node {
   const cache::CacheSet& cache() const noexcept { return *cache_; }
   std::size_t pending() const noexcept { return pending_.size(); }
 
+  /// Attaches the payload store: byte-budgeted, size-aware cache of the
+  /// same policy plus per-hit byte accounting.  Hierarchies carry no
+  /// erasure tier — degraded reads are a flat-membership construct.
+  void enable_store(const store::StoreContext& ctx);
+
   /// Fault injection: drops every cached object (cold restart; in-flight
   /// fetch routes survive).
   void flush() {
@@ -47,7 +56,10 @@ class CacheNode final : public sim::Node {
 
  private:
   NodeId upstream_;
+  std::size_t cache_capacity_;
+  cache::Policy policy_;
   std::unique_ptr<cache::CacheSet> cache_;
+  store::PayloadStorePtr store_;
 
   /// Requesters awaiting a reply, per request id (a stack for the corner
   /// case of the same id traversing twice, which cannot happen in a tree

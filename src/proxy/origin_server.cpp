@@ -19,6 +19,10 @@ void OriginServer::on_message(sim::Transport& net, const sim::Message& msg) {
   reply.cached = false;
   reply.proxy_hit = false;
   reply.version = oracle_ != nullptr ? oracle_->version_at(msg.object, net.now()) : 0;
+  if (sizer_ != nullptr) {
+    reply.payload_bytes = sizer_->size_of(msg.object);
+    bytes_served_ += reply.payload_bytes;
+  }
   net.send(std::move(reply));
 }
 

@@ -8,6 +8,7 @@
 #include "sim/node.h"
 #include "sim/transport.h"
 #include "sim/version.h"
+#include "store/payload.h"
 
 namespace adc::proxy {
 
@@ -20,11 +21,19 @@ class OriginServer final : public sim::Node {
 
   void on_message(sim::Transport& net, const sim::Message& msg) override;
 
+  /// Payload store: every reply gets stamped with the object's synthetic
+  /// size so byte accounting starts at the authoritative source.  Null
+  /// (the default) keeps payload_bytes at 0 — the store-disabled mode.
+  void set_sizer(store::PayloadStorePtr sizer) { sizer_ = std::move(sizer); }
+
   std::uint64_t requests_served() const noexcept { return requests_served_; }
+  std::uint64_t bytes_served() const noexcept { return bytes_served_; }
 
  private:
   sim::VersionOraclePtr oracle_;
+  store::PayloadStorePtr sizer_;
   std::uint64_t requests_served_ = 0;
+  std::uint64_t bytes_served_ = 0;
 };
 
 }  // namespace adc::proxy

@@ -54,6 +54,14 @@ int main(int argc, char** argv) {
       .option("swim-ping-ms", "1000", "SWIM probe interval in milliseconds")
       .option("swim-suspect-ms", "3000", "SWIM suspicion timeout in milliseconds")
       .option("repair-ms", "2000", "anti-entropy round interval in milliseconds")
+      .option("payload", "0", "1 = enable the payload store (bytes on every reply)")
+      .option("payload-seed", "97", "payload universe seed; must match cluster-wide")
+      .option("payload-budget", "0", "per-proxy cache byte budget (0 = count-only)")
+      .option("cache-policy", "lru",
+              "CARP eviction policy: lru | lfu | gdsf | size-lru")
+      .option("erasure", "0", "1 = enable the erasure tier (needs --payload 1)")
+      .option("erasure-k", "3", "erasure data chunks per stripe (RDP k)")
+      .option("erasure-dir-budget", "0", "chunk-directory byte budget (0 = unlimited)")
       .multi_option("peer", "cluster member as id=host:port; the origin too");
   std::string error;
   if (!cli.parse(argc, argv, &error)) {
@@ -86,6 +94,23 @@ int main(int argc, char** argv) {
   config.fault_plan.dup_prob = options.get_double("fault-dup", 0.0);
   config.fault_plan.seed = static_cast<std::uint64_t>(options.get_int("fault-seed", 0x0fa17)) +
                            static_cast<std::uint64_t>(config.node_id);
+  config.carp_policy = cache::parse_policy(options.get_string("cache-policy", "lru"));
+
+  if (options.get_int("payload", 0) != 0) {
+    config.payload.enabled = true;
+    config.payload.seed = static_cast<std::uint64_t>(options.get_int("payload-seed", 97));
+    config.payload.byte_budget =
+        static_cast<std::uint64_t>(options.get_int("payload-budget", 0));
+    if (options.get_int("erasure", 0) != 0) {
+      config.payload.erasure.enabled = true;
+      config.payload.erasure.data_chunks = static_cast<int>(options.get_int("erasure-k", 3));
+      config.payload.erasure.directory_budget =
+          static_cast<std::uint64_t>(options.get_int("erasure-dir-budget", 0));
+    }
+  } else if (options.get_int("erasure", 0) != 0) {
+    std::cerr << "--erasure 1 needs --payload 1\n";
+    return 1;
+  }
 
   if (options.get_int("membership", 0) != 0) {
     // The daemon's clock runs in microseconds; flags are milliseconds at

@@ -1,5 +1,6 @@
 #include "server/daemon.h"
 
+#include <algorithm>
 #include <iterator>
 #include <thread>
 #include <utility>
@@ -12,6 +13,11 @@
 
 namespace adc::server {
 namespace {
+
+// The wire frame's body field and the store's sample bound are one limit
+// seen from two modules; a drift between them would silently truncate.
+static_assert(net::kMaxBodyBytes == store::kMaxBodySample,
+              "wire body capacity must match the store's body sample size");
 
 std::string role_name(DaemonRole role) {
   switch (role) {
@@ -66,6 +72,12 @@ NodeDaemon::NodeDaemon(DaemonConfig config)
     ADC_LOG_INFO << "adcd[" << config_.node_id
                  << "]: chaos enabled: " << config_.fault_plan.describe();
   }
+  if (config_.payload.enabled) {
+    store_ = std::make_shared<const store::PayloadStore>(config_.payload);
+    ADC_LOG_INFO << "adcd[" << config_.node_id << "]: payload store enabled, seed="
+                 << config_.payload.seed
+                 << (config_.payload.erasure.enabled ? ", erasure tier on" : "");
+  }
   make_node();
   if (config_.membership.swim.enabled && config_.role != DaemonRole::kOrigin) {
     // Same per-node seed derivation membership::MemberAgent uses, so a
@@ -92,10 +104,13 @@ NodeDaemon::~NodeDaemon() {
 void NodeDaemon::make_node() {
   const std::string name = role_name(config_.role) + "[" + std::to_string(config_.node_id) + "]";
   switch (config_.role) {
-    case DaemonRole::kAdcProxy:
-      node_ = std::make_unique<core::AdcProxy>(config_.node_id, name, config_.adc,
-                                               config_.proxy_ids, config_.origin_id);
+    case DaemonRole::kAdcProxy: {
+      auto adc = std::make_unique<core::AdcProxy>(config_.node_id, name, config_.adc,
+                                                  config_.proxy_ids, config_.origin_id);
+      if (store_ != nullptr) adc->enable_store(store::StoreContext{store_, config_.proxy_ids});
+      node_ = std::move(adc);
       break;
+    }
     case DaemonRole::kCarpProxy: {
       std::vector<hash::CarpArray::Member> members;
       for (const NodeId id : config_.proxy_ids) {
@@ -121,12 +136,16 @@ void NodeDaemon::make_node() {
             },
             config_.proxy_ids);
       }
+      if (store_ != nullptr) carp->enable_store(store::StoreContext{store_, config_.proxy_ids});
       node_ = std::move(carp);
       break;
     }
-    case DaemonRole::kOrigin:
-      node_ = std::make_unique<proxy::OriginServer>(config_.node_id, name);
+    case DaemonRole::kOrigin: {
+      auto origin = std::make_unique<proxy::OriginServer>(config_.node_id, name);
+      if (store_ != nullptr) origin->set_sizer(store_);
+      node_ = std::move(origin);
       break;
+    }
   }
 }
 
@@ -286,6 +305,7 @@ void NodeDaemon::on_conn_event(int fd, bool readable, bool writable) {
         config_.role != DaemonRole::kAdcProxy) {
       continue;  // only the ADC agent understands anti-entropy frames
     }
+    if (!verify_body(frame.message)) continue;  // corrupt payload, frame dropped
     deliver(std::move(frame.message));
     if (conns_.find(fd) == conns_.end()) return;  // delivery dropped us
   }
@@ -426,7 +446,10 @@ void NodeDaemon::send(sim::Message msg) {
 
   if (msg.target == config_.node_id) {
     for (int copy = 0; copy <= duplicates; ++copy) {
-      deliver(net::WireMessage{msg, current_path_});
+      net::WireMessage wire;
+      wire.msg = msg;
+      wire.path = current_path_;
+      deliver(std::move(wire));
     }
     return;
   }
@@ -459,13 +482,62 @@ void NodeDaemon::send(sim::Message msg) {
     return;
   }
   std::vector<std::uint8_t> bytes;
-  net::encode_message(net::WireMessage{msg, current_path_}, &bytes);
+  net::WireMessage wire;
+  wire.msg = msg;
+  wire.path = current_path_;
+  materialize_body(wire);
+  net::encode_message(wire, &bytes);
   net::Conn& conn = *conns_.at(fd);
   for (int copy = 0; copy <= duplicates; ++copy) {
     conn.queue(bytes);
     ++stats_.frames_out;
   }
   flush_conn(fd, conn);
+}
+
+void NodeDaemon::materialize_body(net::WireMessage& wire) {
+  if (store_ == nullptr || wire.msg.payload_bytes == 0) return;
+  const bool chunk = wire.msg.kind == sim::MessageKind::kChunkReply;
+  if (wire.msg.kind != sim::MessageKind::kReply && !chunk) return;
+  wire.body.resize(static_cast<std::size_t>(
+      std::min<std::uint64_t>(wire.msg.payload_bytes, store::kMaxBodySample)));
+  // A chunk reply's resolver field carries the stripe chunk index; the
+  // body is genuine chunk bytes (pattern slice or real RDP parity).
+  const std::size_t n =
+      chunk ? store_->fill_chunk(wire.msg.object, static_cast<int>(wire.msg.resolver),
+                                 wire.body.data(), wire.body.size())
+            : store_->fill_body(wire.msg.object, wire.body.data(), wire.body.size());
+  wire.body.resize(n);
+  wire.checksum = store_->checksum(wire.msg.object, wire.msg.payload_bytes,
+                                   wire.body.data(), wire.body.size());
+  stats_.payload_bytes_out += wire.msg.payload_bytes;
+}
+
+bool NodeDaemon::verify_body(const net::WireMessage& wire) {
+  if (store_ == nullptr) return true;
+  const sim::Message& msg = wire.msg;
+  const bool chunk = msg.kind == sim::MessageKind::kChunkReply;
+  if (msg.kind != sim::MessageKind::kReply && !chunk) return true;
+  if (msg.payload_bytes == 0) return true;  // reply from a store-unaware sender
+  bool ok = !wire.body.empty();  // a nonzero payload always carries a sample
+  if (ok && chunk) {
+    ok = store_->verify_chunk(msg.object, static_cast<int>(msg.resolver), msg.payload_bytes,
+                              wire.body.data(), wire.body.size(), wire.checksum);
+  } else if (ok) {
+    ok = store_->verify_body(msg.object, msg.payload_bytes, wire.body.data(),
+                             wire.body.size(), wire.checksum);
+  }
+  if (!ok) {
+    ++stats_.body_verify_failures;
+    ADC_LOG_WARN << "adcd[" << config_.node_id << "]: payload verification failed for "
+                 << (chunk ? "chunk" : "body") << " of object " << msg.object << " req="
+                 << msg.request_id << " (" << msg.payload_bytes << " bytes claimed, "
+                 << wire.body.size() << "-byte sample); dropping frame";
+    return false;
+  }
+  ++stats_.bodies_verified;
+  stats_.payload_bytes_in += msg.payload_bytes;
+  return true;
 }
 
 sim::FaultCounters NodeDaemon::fault_stats() const {
@@ -493,6 +565,12 @@ std::string NodeDaemon::stats_text() const {
          " peer_resets=" + std::to_string(stats_.peer_resets) +
          " peer_closes=" + std::to_string(stats_.peer_closes) + "\n";
   out += "  faults: " + fault_stats().text() + "\n";
+  if (store_ != nullptr) {
+    out += "  payload: bytes_out=" + std::to_string(stats_.payload_bytes_out) +
+           " bytes_in=" + std::to_string(stats_.payload_bytes_in) +
+           " bodies_verified=" + std::to_string(stats_.bodies_verified) +
+           " verify_failures=" + std::to_string(stats_.body_verify_failures) + "\n";
+  }
   const std::vector<NodeId> down = health_.down_peers();
   if (!down.empty()) {
     out += "  down_peers:";
@@ -527,6 +605,12 @@ std::string NodeDaemon::stats_text() const {
              " resolver_claims=" + std::to_string(stats.resolver_claims) +
              " cache_admissions=" + std::to_string(stats.cache_admissions) +
              " orphan_replies=" + std::to_string(stats.orphan_replies) + "\n";
+      if (store_ != nullptr) {
+        out += "  store: payload_bytes_served=" + std::to_string(stats.payload_bytes_served) +
+               " payload_bytes_fetched=" + std::to_string(stats.payload_bytes_fetched) +
+               " degraded_started=" + std::to_string(stats.degraded_reads_started) +
+               " degraded_served=" + std::to_string(stats.degraded_reads_served) + "\n";
+      }
       break;
     }
     case DaemonRole::kCarpProxy: {
@@ -535,11 +619,20 @@ std::string NodeDaemon::stats_text() const {
              " local_hits=" + std::to_string(stats.local_hits) +
              " forwards_to_owner=" + std::to_string(stats.forwards_to_owner) +
              " forwards_to_origin=" + std::to_string(stats.forwards_to_origin) + "\n";
+      if (store_ != nullptr) {
+        out += "  store: payload_bytes_served=" + std::to_string(stats.payload_bytes_served) +
+               " payload_bytes_fetched=" + std::to_string(stats.payload_bytes_fetched) +
+               " degraded_served=" + std::to_string(stats.degraded_reads_served) + "\n";
+      }
       break;
     }
     case DaemonRole::kOrigin: {
       const auto& origin = static_cast<const proxy::OriginServer&>(*node_);
-      out += "  requests_served=" + std::to_string(origin.requests_served()) + "\n";
+      out += "  requests_served=" + std::to_string(origin.requests_served());
+      if (store_ != nullptr) {
+        out += " bytes_served=" + std::to_string(origin.bytes_served());
+      }
+      out += "\n";
       break;
     }
   }

@@ -38,6 +38,7 @@
 #include "sim/metrics.h"
 #include "sim/node.h"
 #include "sim/transport.h"
+#include "store/payload.h"
 #include "util/rng.h"
 #include "util/types.h"
 
@@ -88,6 +89,15 @@ struct DaemonConfig {
   /// silent peer (even with no traffic in flight) or rebuilds the CARP
   /// owner map; a rejoin reverses it.
   membership::MembershipConfig membership;
+
+  /// Payload store (payload.enabled): the daemon derives the same synthetic
+  /// object sizes the simulator uses, serializes a body sample + checksum
+  /// into every payload-carrying frame, and verifies received bodies
+  /// against its own derivation.  `payload.seed` must be identical
+  /// cluster-wide or every received body reads as corrupt.  Proxy roles
+  /// additionally get byte-budgeted caches and (payload.erasure.enabled)
+  /// the degraded-read erasure tier over `proxy_ids`.
+  store::PayloadConfig payload;
 };
 
 struct DaemonStats {
@@ -99,6 +109,10 @@ struct DaemonStats {
   std::uint64_t drops_corrupt = 0;     // connections killed on bad frames
   std::uint64_t peer_resets = 0;       // connections lost to a hard reset / error
   std::uint64_t peer_closes = 0;       // connections closed in order
+  std::uint64_t bodies_verified = 0;   // payload samples matching our derivation
+  std::uint64_t body_verify_failures = 0;  // mismatched sample/checksum, frame dropped
+  std::uint64_t payload_bytes_out = 0;     // sum of payload_bytes over sent frames
+  std::uint64_t payload_bytes_in = 0;      // sum of payload_bytes over verified frames
 };
 
 class NodeDaemon final : public sim::Transport {
@@ -186,6 +200,16 @@ class NodeDaemon final : public sim::Transport {
   void on_member_joined(NodeId peer);
   void drive_membership();
 
+  /// Fills `wire.body`/`wire.checksum` for payload-carrying frame kinds
+  /// (replies get a body-pattern sample, chunk replies a chunk sample).
+  /// No-op with the store disabled or for body-less kinds.
+  void materialize_body(net::WireMessage& wire);
+
+  /// Verifies a received frame's body sample against the local derivation.
+  /// True (deliver) for body-less frames or with the store disabled; false
+  /// means the sample or checksum mismatched and the frame must be dropped.
+  bool verify_body(const net::WireMessage& wire);
+
   DaemonConfig config_;
   util::Rng rng_;
   std::chrono::steady_clock::time_point start_;
@@ -199,6 +223,8 @@ class NodeDaemon final : public sim::Transport {
   std::unique_ptr<membership::RepairScheduler> repair_;
   bool transition_pending_ = false;
   std::atomic<std::uint64_t> membership_epoch_{0};
+
+  store::PayloadStorePtr store_;  // null with the payload store disabled
 
   std::unique_ptr<sim::Node> node_;
   net::EventLoop loop_;

@@ -42,6 +42,14 @@ std::string LoadGenReport::text() const {
   if (duplicate_replies > 0) out << "dup replies: " << duplicate_replies << "\n";
   out << "mean hops:  " << mean_hops() << "\n";
   out << "throughput: " << throughput() << " req/s (" << wall_seconds << " s)\n";
+  if (bytes_completed > 0) {
+    out << "payload:    " << bytes_completed << " bytes, byte_hit_rate=" << byte_hit_rate()
+        << ", " << bytes_per_second() << " B/s";
+    if (degraded_reads > 0) {
+      out << ", degraded=" << degraded_reads << " (" << bytes_recovered << " bytes recovered)";
+    }
+    out << "\n";
+  }
   out << "latency:    p50=" << latency_p50_us << "us p95=" << latency_p95_us
       << "us p99=" << latency_p99_us << "us p99.9=" << latency_p999_us << "us\n";
   if (!entry_requests.empty()) {
@@ -56,6 +64,41 @@ std::string LoadGenReport::text() const {
     if (view.failure_streak > 0) out << "/" << view.failure_streak;
   }
   out << "\n";
+  return out.str();
+}
+
+std::string LoadGenReport::json(std::string_view workload) const {
+  std::ostringstream out;
+  out << "{\n";
+  out << "  \"workload\": \"" << workload << "\",\n";
+  out << "  \"issued\": " << issued << ",\n";
+  out << "  \"completed\": " << completed << ",\n";
+  out << "  \"failed\": " << failed << ",\n";
+  out << "  \"timed_out\": " << (timed_out ? "true" : "false") << ",\n";
+  out << "  \"hit_rate\": " << hit_rate() << ",\n";
+  out << "  \"mean_hops\": " << mean_hops() << ",\n";
+  out << "  \"throughput_rps\": " << throughput() << ",\n";
+  out << "  \"wall_seconds\": " << wall_seconds << ",\n";
+  out << "  \"bytes_completed\": " << bytes_completed << ",\n";
+  out << "  \"bytes_hit\": " << bytes_hit << ",\n";
+  out << "  \"bytes_recovered\": " << bytes_recovered << ",\n";
+  out << "  \"degraded_reads\": " << degraded_reads << ",\n";
+  out << "  \"byte_hit_rate\": " << byte_hit_rate() << ",\n";
+  out << "  \"bytes_per_second\": " << bytes_per_second() << ",\n";
+  out << "  \"latency_us\": {\"p50\": " << latency_p50_us << ", \"p95\": " << latency_p95_us
+      << ", \"p99\": " << latency_p99_us << ", \"p999\": " << latency_p999_us << "},\n";
+  out << "  \"entry_fairness\": " << entry_fairness() << ",\n";
+  out << "  \"entry_requests\": {";
+  bool first = true;
+  for (const auto& [entry, count] : entry_requests) {
+    if (!first) out << ", ";
+    first = false;
+    out << "\"" << entry << "\": " << count;
+  }
+  out << "},\n";
+  out << "  \"view_epoch\": " << view_epoch << ",\n";
+  out << "  \"conn_failures\": " << errors.total_conn_failures() << "\n";
+  out << "}\n";
   return out.str();
 }
 
@@ -215,6 +258,12 @@ void LoadGenerator::on_reply(const sim::Message& msg) {
   ++completed_;
   if (msg.proxy_hit) ++hits_;
   total_hops_ += static_cast<std::uint64_t>(msg.hops);
+  bytes_completed_ += msg.payload_bytes;
+  if (msg.proxy_hit) bytes_hit_ += msg.payload_bytes;
+  if (msg.degraded) {
+    ++degraded_reads_;
+    bytes_recovered_ += msg.payload_bytes;
+  }
   latency_us_.add(static_cast<double>(now_us() - msg.issued_at));
 }
 
@@ -287,6 +336,10 @@ LoadGenReport LoadGenerator::run(const std::vector<ObjectId>& objects) {
   duplicate_replies_ = 0;
   hits_ = 0;
   total_hops_ = 0;
+  bytes_completed_ = 0;
+  bytes_hit_ = 0;
+  bytes_recovered_ = 0;
+  degraded_reads_ = 0;
   entry_requests_.clear();
   latency_us_.clear();
   errors_ = LoadGenErrors{};
@@ -329,6 +382,10 @@ LoadGenReport LoadGenerator::run(const std::vector<ObjectId>& objects) {
   report.duplicate_replies = duplicate_replies_;
   report.hits = hits_;
   report.total_hops = total_hops_;
+  report.bytes_completed = bytes_completed_;
+  report.bytes_hit = bytes_hit_;
+  report.bytes_recovered = bytes_recovered_;
+  report.degraded_reads = degraded_reads_;
   report.wall_seconds = std::chrono::duration<double>(wall_end - wall_start).count();
   report.latency_p50_us = latency_us_.percentile(0.50);
   report.latency_p95_us = latency_us_.percentile(0.95);

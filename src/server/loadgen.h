@@ -20,6 +20,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -99,6 +100,16 @@ struct LoadGenReport {
   std::uint64_t duplicate_replies = 0;  // replies for already-resolved requests
   std::uint64_t hits = 0;
   std::uint64_t total_hops = 0;
+
+  /// Byte accounting from the reply stream (all zero while the cluster
+  /// runs without the payload store): payload bytes over completed
+  /// requests, the subset served from proxy caches, and the subset
+  /// reconstructed by degraded reads after a member death.
+  std::uint64_t bytes_completed = 0;
+  std::uint64_t bytes_hit = 0;
+  std::uint64_t bytes_recovered = 0;
+  std::uint64_t degraded_reads = 0;
+
   double wall_seconds = 0.0;
   double latency_p50_us = 0.0;
   double latency_p95_us = 0.0;
@@ -132,10 +143,23 @@ struct LoadGenReport {
   double throughput() const noexcept {
     return wall_seconds <= 0.0 ? 0.0 : static_cast<double>(completed) / wall_seconds;
   }
+  double byte_hit_rate() const noexcept {
+    return bytes_completed == 0
+               ? 0.0
+               : static_cast<double>(bytes_hit) / static_cast<double>(bytes_completed);
+  }
+  double bytes_per_second() const noexcept {
+    return wall_seconds <= 0.0 ? 0.0
+                               : static_cast<double>(bytes_completed) / wall_seconds;
+  }
   /// Max/min ratio over entry_requests (see sim::MetricsSummary).
   double entry_fairness() const noexcept;
 
   std::string text() const;
+
+  /// Machine-readable artifact: one flat JSON object whose header names
+  /// the workload that produced it, so a CI upload is self-describing.
+  std::string json(std::string_view workload) const;
 };
 
 class LoadGenerator {
@@ -193,6 +217,10 @@ class LoadGenerator {
   std::uint64_t duplicate_replies_ = 0;
   std::uint64_t hits_ = 0;
   std::uint64_t total_hops_ = 0;
+  std::uint64_t bytes_completed_ = 0;
+  std::uint64_t bytes_hit_ = 0;
+  std::uint64_t bytes_recovered_ = 0;
+  std::uint64_t degraded_reads_ = 0;
   std::map<NodeId, std::uint64_t> entry_requests_;
   sim::PercentileTracker latency_us_;
   LoadGenErrors errors_;

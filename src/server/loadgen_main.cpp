@@ -14,6 +14,7 @@
 // traffic) and diurnal (working-set rotation) — so the same adversarial
 // suite the simulator benches run can be replayed against a live cluster.
 #include <csignal>
+#include <fstream>
 #include <iostream>
 #include <string>
 
@@ -49,6 +50,7 @@ int main(int argc, char** argv) {
       .option("idle-timeout", "30000", "abort after this many ms without a reply (0 = never)")
       .option("request-timeout", "0",
               "per-request deadline in ms; expired requests count as failed (0 = off)")
+      .option("json", "", "also write the report as a JSON artifact to this path")
       .multi_option("peer", "entry proxy as id=host:port");
   std::string error;
   if (!cli.parse(argc, argv, &error)) {
@@ -165,5 +167,20 @@ int main(int argc, char** argv) {
   std::cout << "replaying " << objects.size() << " requests...\n";
   const server::LoadGenReport report = loadgen.run(objects);
   std::cout << report.text();
+
+  const std::string json_path = options.get_string("json", "");
+  if (!json_path.empty()) {
+    // The artifact's header names its workload: a replayed trace file
+    // reports as "trace", generated workloads by their generator name.
+    const std::string workload_name =
+        trace_path.empty() ? options.get_string("workload", "polygraph") : "trace";
+    std::ofstream json_out(json_path);
+    if (!json_out) {
+      std::cerr << "cannot write JSON report to " << json_path << '\n';
+      return 1;
+    }
+    json_out << report.json(workload_name);
+    std::cout << "json report: " << json_path << "\n";
+  }
   return report.timed_out ? 1 : 0;
 }

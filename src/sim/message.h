@@ -39,6 +39,15 @@ enum class MessageKind : std::uint8_t {
   // --- Anti-entropy repair of resolver opinions (AdcProxy) --------------
   kRepairOffer,  // "I believe `object` resolves at `resolver`, claim `claim`"
   kRepairReply,  // counter-opinion carrying a higher claim
+
+  // --- Erasure-coded payload tier (src/store/erasure_tier.h) ------------
+  // These reuse existing fields: `resolver` carries the stripe chunk
+  // index, `cached` on a chunk reply means "I hold that chunk", and
+  // `request_id` ties chunk traffic back to the client request being
+  // answered by a degraded read.
+  kStripeStore,   // "remember chunk `resolver` of `object` (payload_bytes each)"
+  kChunkRequest,  // "send me chunk `resolver` of `object` for `request_id`"
+  kChunkReply,    // chunk answer; `cached` = the chunk was actually held
 };
 
 /// True for the membership-layer control kinds that a MemberAgent or
@@ -50,6 +59,11 @@ constexpr bool is_swim_kind(MessageKind kind) noexcept {
 /// True for the anti-entropy kinds handled by core::AdcProxy.
 constexpr bool is_repair_kind(MessageKind kind) noexcept {
   return kind == MessageKind::kRepairOffer || kind == MessageKind::kRepairReply;
+}
+
+/// True for the erasure-tier kinds handled by store::ErasureTier.
+constexpr bool is_store_kind(MessageKind kind) noexcept {
+  return kind >= MessageKind::kStripeStore && kind <= MessageKind::kChunkReply;
 }
 
 struct Message {
@@ -107,6 +121,17 @@ struct Message {
 
   /// Simulated issue time, for latency accounting.
   SimTime issued_at = 0;
+
+  /// Size in bytes of the payload this message carries or describes
+  /// (replies and chunk traffic; 0 whenever the payload store is
+  /// disabled).  The simulator never materializes bodies — this field *is*
+  /// the byte accounting — while the live daemon additionally serializes a
+  /// verifiable sample of the pattern (src/store/payload.h).
+  std::uint64_t payload_bytes = 0;
+
+  /// True when this reply was reconstructed from surviving stripe chunks
+  /// (a degraded read) rather than served from a cache or the origin.
+  bool degraded = false;
 };
 
 }  // namespace adc::sim

@@ -148,7 +148,7 @@ MetricsCollector::MetricsCollector(std::size_t ma_window, std::uint64_t sample_e
       sample_every_(sample_every) {}
 
 void MetricsCollector::on_request_completed(bool proxy_hit, int hops, SimTime latency,
-                                             bool stale) {
+                                             bool stale, std::uint64_t bytes, bool degraded) {
   ++summary_.completed;
   if (proxy_hit) {
     ++summary_.hits;
@@ -156,6 +156,12 @@ void MetricsCollector::on_request_completed(bool proxy_hit, int hops, SimTime la
   }
   summary_.total_hops += static_cast<std::uint64_t>(hops);
   summary_.total_latency += latency;
+  summary_.bytes_completed += bytes;
+  if (proxy_hit) summary_.bytes_hit += bytes;
+  if (degraded) {
+    ++summary_.degraded_reads;
+    summary_.bytes_recovered += bytes;
+  }
 
   hit_ma_.add(proxy_hit ? 1.0 : 0.0);
   hops_ma_.add(static_cast<double>(hops));

@@ -156,6 +156,19 @@ struct MetricsSummary {
   std::uint64_t total_forwards = 0;
   SimTime total_latency = 0;
 
+  // --- Byte accounting (all 0 while the payload store is disabled) -------
+  /// Payload bytes of every completed request.
+  std::uint64_t bytes_completed = 0;
+  /// Bytes of completions a proxy resolved (cache hits + degraded reads);
+  /// the remainder was fetched from the origin.
+  std::uint64_t bytes_hit = 0;
+  /// Bytes answered by erasure-tier degraded reads (subset of bytes_hit).
+  std::uint64_t bytes_recovered = 0;
+  /// Completions flagged degraded.
+  std::uint64_t degraded_reads = 0;
+  /// Per-owner served payload bytes (parallel to owner_requests).
+  std::vector<std::uint64_t> owner_bytes;
+
   double hit_rate() const noexcept {
     return completed == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(completed);
   }
@@ -177,6 +190,17 @@ struct MetricsSummary {
     const std::uint64_t resolved = completed + failed;
     return resolved == 0 ? 0.0 : static_cast<double>(failed) / static_cast<double>(resolved);
   }
+
+  /// Fraction of completed *bytes* served by proxies rather than the
+  /// origin — the economics metric the request hit rate hides under
+  /// heavy-tailed sizes.
+  double byte_hit_rate() const noexcept {
+    return bytes_completed == 0
+               ? 0.0
+               : static_cast<double>(bytes_hit) / static_cast<double>(bytes_completed);
+  }
+  /// Bytes that had to come from the origin server.
+  std::uint64_t origin_bytes() const noexcept { return bytes_completed - bytes_hit; }
 
   /// Max/min fairness ratio over a per-owner counter vector: 1.0 is a
   /// perfectly balanced cluster, larger means more skew.  An owner with a
@@ -201,8 +225,11 @@ class MetricsCollector {
                             std::uint64_t sample_every = 5000);
 
   /// Called by the client when a reply arrives.  `stale` marks a hit that
-  /// served outdated data (ignored for misses).
-  void on_request_completed(bool proxy_hit, int hops, SimTime latency, bool stale = false);
+  /// served outdated data (ignored for misses).  `bytes` is the payload
+  /// size the reply carried (0 while the store is disabled) and `degraded`
+  /// marks an erasure-tier reconstruction.
+  void on_request_completed(bool proxy_hit, int hops, SimTime latency, bool stale = false,
+                            std::uint64_t bytes = 0, bool degraded = false);
 
   /// Called when a request's deadline expired with no reply (fault runs
   /// only).  Counts into summary().failed and nothing else.

@@ -1,0 +1,200 @@
+#include "store/erasure_tier.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/rng.h"
+
+namespace adc::store {
+namespace {
+
+/// Rendezvous score of (object, member): highest k+2 scores own the
+/// stripe.  Seeded by the payload seed so every node computes the same
+/// assignment without coordination.
+std::uint64_t stripe_score(ObjectId object, NodeId member, std::uint64_t seed) {
+  std::uint64_t state = seed ^ (object * 0x9e3779b97f4a7c15ULL) ^
+                        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(member)) << 32);
+  return util::splitmix64(state);
+}
+
+}  // namespace
+
+ErasureTier::ErasureTier(NodeId self, PayloadStorePtr store, std::vector<NodeId> members)
+    : self_(self), store_(std::move(store)), members_(std::move(members)) {
+  std::sort(members_.begin(), members_.end());
+  enabled_ = store_->config().erasure.enabled &&
+             static_cast<int>(members_.size()) >= stripe_width();
+}
+
+std::vector<NodeId> ErasureTier::stripe_peers(ObjectId object) const {
+  if (!enabled_) return {};
+  const std::size_t width = static_cast<std::size_t>(stripe_width());
+  std::vector<std::pair<std::uint64_t, NodeId>> scored;
+  scored.reserve(members_.size());
+  for (const NodeId m : members_) {
+    scored.emplace_back(stripe_score(object, m, store_->config().seed), m);
+  }
+  std::sort(scored.begin(), scored.end(), [](const auto& a, const auto& b) {
+    return a.first != b.first ? a.first > b.first : a.second < b.second;
+  });
+  std::vector<NodeId> peers;
+  peers.reserve(width);
+  for (std::size_t i = 0; i < width; ++i) peers.push_back(scored[i].second);
+  return peers;
+}
+
+void ErasureTier::stripe_object(sim::Transport& net, ObjectId object) {
+  if (!enabled_ || striped_.count(object) != 0) return;
+  const std::vector<NodeId> peers = stripe_peers(object);
+  if (peers.empty()) return;
+  striped_.insert(object);
+  ++stats_.stripes_registered;
+  const std::uint64_t chunk = store_->chunk_size(object);
+  for (std::size_t i = 0; i < peers.size(); ++i) {
+    if (peers[i] == self_) {
+      record_chunk(object, static_cast<int>(i), chunk);
+      continue;
+    }
+    sim::Message store_msg;
+    store_msg.kind = sim::MessageKind::kStripeStore;
+    store_msg.object = object;
+    store_msg.sender = self_;
+    store_msg.target = peers[i];
+    store_msg.resolver = static_cast<NodeId>(i);  // chunk index
+    store_msg.payload_bytes = chunk;
+    net.send(store_msg);
+  }
+}
+
+void ErasureTier::record_chunk(ObjectId object, int index, std::uint64_t bytes) {
+  auto it = directory_.find(object);
+  if (it != directory_.end()) {
+    // Re-registration (e.g. a new owner re-striped after churn): refresh.
+    directory_bytes_ -= it->second.bytes;
+    lru_.erase(it->second.lru);
+    directory_.erase(it);
+  }
+  const std::uint64_t budget = store_->config().erasure.directory_budget;
+  if (budget > 0) {
+    while (directory_bytes_ + bytes > budget && !lru_.empty()) {
+      const ObjectId victim = lru_.back();
+      lru_.pop_back();
+      auto vit = directory_.find(victim);
+      directory_bytes_ -= vit->second.bytes;
+      directory_.erase(vit);
+      ++stats_.chunks_evicted;
+    }
+    if (directory_bytes_ + bytes > budget) return;  // bigger than the budget
+  }
+  lru_.push_front(object);
+  directory_.emplace(object, DirEntry{index, bytes, lru_.begin()});
+  directory_bytes_ += bytes;
+  ++stats_.chunks_stored;
+}
+
+void ErasureTier::on_stripe_store(const sim::Message& msg) {
+  if (!enabled_) return;
+  record_chunk(msg.object, static_cast<int>(msg.resolver), msg.payload_bytes);
+}
+
+void ErasureTier::on_chunk_request(sim::Transport& net, const sim::Message& msg) {
+  sim::Message reply;
+  reply.kind = sim::MessageKind::kChunkReply;
+  reply.request_id = msg.request_id;
+  reply.object = msg.object;
+  reply.sender = self_;
+  reply.target = msg.sender;
+  reply.client = msg.client;
+  reply.hops = msg.hops;
+  reply.resolver = msg.resolver;  // chunk index echoed back
+  const auto it = enabled_ ? directory_.find(msg.object) : directory_.end();
+  if (it != directory_.end()) {
+    // Touch the LRU: a chunk consulted by a recovery is worth keeping.
+    lru_.splice(lru_.begin(), lru_, it->second.lru);
+    reply.cached = true;
+    reply.payload_bytes = it->second.bytes;
+    ++stats_.chunk_replies_served;
+    stats_.chunk_bytes_sent += it->second.bytes;
+  } else {
+    reply.cached = false;
+    ++stats_.chunk_replies_missing;
+  }
+  net.send(reply);
+}
+
+bool ErasureTier::begin_recovery(sim::Transport& net, const sim::Message& msg) {
+  if (!enabled_ || recoveries_.count(msg.request_id) != 0) return false;
+  const std::vector<NodeId> peers = stripe_peers(msg.object);
+  if (peers.empty()) return false;
+
+  Recovery rec;
+  rec.request = msg;
+  std::vector<NodeId> ask;
+  for (std::size_t i = 0; i < peers.size(); ++i) {
+    if (peers[i] == self_) {
+      if (holds_chunk(msg.object)) ++rec.have;
+      continue;
+    }
+    if (dead_.count(peers[i]) != 0) continue;
+    ask.push_back(peers[i]);
+  }
+  const int k = store_->code().k();
+  if (rec.have + static_cast<int>(ask.size()) < k) return false;
+
+  for (std::size_t i = 0; i < peers.size(); ++i) {
+    const NodeId peer = peers[i];
+    if (peer == self_ || dead_.count(peer) != 0) continue;
+    sim::Message req;
+    req.kind = sim::MessageKind::kChunkRequest;
+    req.request_id = msg.request_id;
+    req.object = msg.object;
+    req.sender = self_;
+    req.target = peer;
+    req.client = msg.client;
+    req.hops = msg.hops;
+    req.resolver = static_cast<NodeId>(i);  // chunk index held by that peer
+    net.send(req);
+    ++rec.outstanding;
+    ++stats_.chunk_requests_sent;
+  }
+  ++stats_.degraded_started;
+  recoveries_.emplace(msg.request_id, std::move(rec));
+  return true;
+}
+
+ErasureTier::Resolution ErasureTier::on_chunk_reply(const sim::Message& msg) {
+  const auto it = recoveries_.find(msg.request_id);
+  if (it == recoveries_.end()) return {};
+  Recovery& rec = it->second;
+  --rec.outstanding;
+  if (msg.cached) ++rec.have;
+
+  const int k = store_->code().k();
+  if (rec.have >= k) {
+    Resolution out;
+    out.outcome = Outcome::kRecovered;
+    out.request = rec.request;
+    out.object_bytes = store_->size_of(msg.object);
+    ++stats_.degraded_recovered;
+    stats_.recovered_bytes += out.object_bytes;
+    recoveries_.erase(it);
+    return out;
+  }
+  if (rec.have + rec.outstanding < k) {
+    Resolution out;
+    out.outcome = Outcome::kFailed;
+    out.request = rec.request;
+    ++stats_.degraded_failed;
+    recoveries_.erase(it);
+    return out;
+  }
+  Resolution out;
+  out.outcome = Outcome::kPending;
+  return out;
+}
+
+void ErasureTier::handle_peer_dead(NodeId peer) { dead_.insert(peer); }
+
+void ErasureTier::handle_peer_joined(NodeId peer) { dead_.erase(peer); }
+
+}  // namespace adc::store

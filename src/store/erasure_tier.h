@@ -1,0 +1,143 @@
+// Erasure-coded payload tier: stripe registration, chunk directory, and
+// the degraded-read state machine.
+//
+// When a proxy fetches an object from the origin it *stripes* the payload:
+// the RDP stripe (k data chunks + row/diagonal parity, see rdp_coding.h)
+// is assigned to k + 2 peers chosen by rendezvous hashing over the startup
+// membership, and each peer records "I hold chunk i of object o" in its
+// chunk directory.  Chunk content is a pure function of (object, seed), so
+// the directory stores presence and byte accounting, never bytes — any
+// holder can rematerialize its chunk on demand (store::PayloadStore).
+//
+// After SWIM confirms a peer death, a request that would otherwise fall
+// back to the origin instead starts a *degraded read*: chunk requests go
+// to the surviving stripe peers, and once any k chunks are confirmed the
+// object is reconstructible and the proxy answers the client directly,
+// charging recovered bytes instead of origin bytes.  A shortfall (too few
+// survivors, chunks evicted from directories) falls back to the origin.
+//
+// The tier is deliberately passive between deaths: while every believed
+// member is alive it sends no chunk requests, so healthy runs carry only
+// the one-way stripe-registration traffic.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/message.h"
+#include "sim/transport.h"
+#include "store/payload.h"
+#include "util/types.h"
+
+namespace adc::store {
+
+struct ErasureStats {
+  std::uint64_t stripes_registered = 0;  // origin fetches striped by this node
+  std::uint64_t chunks_stored = 0;       // kStripeStore records accepted
+  std::uint64_t chunks_evicted = 0;      // directory-budget evictions
+  std::uint64_t chunk_requests_sent = 0;
+  std::uint64_t chunk_replies_served = 0;  // replies with the chunk present
+  std::uint64_t chunk_replies_missing = 0;
+  std::uint64_t chunk_bytes_sent = 0;  // bytes of chunks served to peers
+  std::uint64_t degraded_started = 0;
+  std::uint64_t degraded_recovered = 0;
+  std::uint64_t degraded_failed = 0;   // shortfall -> origin fallback
+  std::uint64_t recovered_bytes = 0;   // full object bytes answered degraded
+};
+
+class ErasureTier {
+ public:
+  /// `members` is the stripe universe (every proxy, sorted); stripes are
+  /// deterministic in it, so all nodes must pass the same list.
+  ErasureTier(NodeId self, PayloadStorePtr store, std::vector<NodeId> members);
+
+  bool enabled() const noexcept { return enabled_; }
+  int stripe_width() const noexcept { return store_->code().stripe_width(); }
+  const ErasureStats& stats() const noexcept { return stats_; }
+
+  /// True once any member has been reported dead and not rejoined —
+  /// the gate that keeps healthy runs free of recovery traffic.
+  bool has_dead_peer() const noexcept { return !dead_.empty(); }
+
+  /// The k+2 stripe peers of `object` in chunk-index order (rendezvous
+  /// over the startup membership).  Empty when the membership is smaller
+  /// than the stripe width.
+  std::vector<NodeId> stripe_peers(ObjectId object) const;
+
+  /// Registers the stripe for a freshly origin-fetched object: one
+  /// kStripeStore per remote peer, a local directory record when this node
+  /// is itself a stripe member.  Deduplicated per registrar.
+  void stripe_object(sim::Transport& net, ObjectId object);
+
+  /// Handles kStripeStore / kChunkRequest addressed to this node.
+  void on_stripe_store(const sim::Message& msg);
+  void on_chunk_request(sim::Transport& net, const sim::Message& msg);
+
+  /// Starts a degraded read for the client request `msg` (which was about
+  /// to be forwarded to the origin).  Returns false — and records nothing —
+  /// when the surviving stripe cannot possibly yield k chunks; the caller
+  /// then proceeds to the origin as before.
+  bool begin_recovery(sim::Transport& net, const sim::Message& msg);
+
+  enum class Outcome : std::uint8_t {
+    kNone,       // reply did not match an in-flight recovery (stale)
+    kPending,    // still waiting for chunks
+    kRecovered,  // >= k chunks confirmed: answer the client degraded
+    kFailed,     // shortfall: fall back to the origin
+  };
+  struct Resolution {
+    Outcome outcome = Outcome::kNone;
+    sim::Message request;            // the original client request
+    std::uint64_t object_bytes = 0;  // full payload size on kRecovered
+  };
+
+  /// Feeds a kChunkReply; on kRecovered/kFailed the recovery record is
+  /// retired and the original request returned to the caller.
+  Resolution on_chunk_reply(const sim::Message& msg);
+
+  /// Membership hooks (same events the proxies receive).  Recoveries
+  /// in flight toward a peer that dies unconfirmed resolve via the
+  /// client's request timeout, like any other lost message.
+  void handle_peer_dead(NodeId peer);
+  void handle_peer_joined(NodeId peer);
+
+  /// Directory introspection for tests and result collection.
+  bool holds_chunk(ObjectId object) const { return directory_.count(object) != 0; }
+  std::uint64_t directory_bytes() const noexcept { return directory_bytes_; }
+  std::size_t directory_entries() const noexcept { return directory_.size(); }
+
+ private:
+  struct Recovery {
+    sim::Message request;
+    int have = 0;         // chunks confirmed (local + replied)
+    int outstanding = 0;  // chunk requests not yet answered
+  };
+
+  void record_chunk(ObjectId object, int index, std::uint64_t bytes);
+
+  NodeId self_;
+  PayloadStorePtr store_;
+  std::vector<NodeId> members_;
+  bool enabled_;
+
+  std::unordered_set<NodeId> dead_;
+  std::unordered_set<ObjectId> striped_;  // stripes this node registered
+
+  // Chunk directory with LRU byte budget: list front = most recent.
+  struct DirEntry {
+    int index;
+    std::uint64_t bytes;
+    std::list<ObjectId>::iterator lru;
+  };
+  std::unordered_map<ObjectId, DirEntry> directory_;
+  std::list<ObjectId> lru_;
+  std::uint64_t directory_bytes_ = 0;
+
+  std::unordered_map<RequestId, Recovery> recoveries_;
+  ErasureStats stats_;
+};
+
+}  // namespace adc::store

@@ -30,6 +30,8 @@ sim::Message random_message(util::Rng& rng) {
   msg.version = rng.next();
   msg.claim = rng.next();
   msg.issued_at = static_cast<SimTime>(rng.next() >> 1);
+  msg.payload_bytes = rng.next();
+  msg.degraded = rng.chance(0.5);
   return msg;
 }
 
@@ -40,6 +42,12 @@ std::vector<NodeId> random_path(util::Rng& rng, std::size_t length) {
     path.push_back(static_cast<NodeId>(rng.range(0, 1 << 16)));
   }
   return path;
+}
+
+std::vector<std::uint8_t> random_body(util::Rng& rng, std::size_t length) {
+  std::vector<std::uint8_t> body(length);
+  for (auto& byte : body) byte = static_cast<std::uint8_t>(rng.next());
+  return body;
 }
 
 void expect_equal(const WireMessage& a, const WireMessage& b) {
@@ -57,6 +65,10 @@ void expect_equal(const WireMessage& a, const WireMessage& b) {
   EXPECT_EQ(a.msg.version, b.msg.version);
   EXPECT_EQ(a.msg.claim, b.msg.claim);
   EXPECT_EQ(a.msg.issued_at, b.msg.issued_at);
+  EXPECT_EQ(a.msg.payload_bytes, b.msg.payload_bytes);
+  EXPECT_EQ(a.msg.degraded, b.msg.degraded);
+  EXPECT_EQ(a.body, b.body);
+  EXPECT_EQ(a.checksum, b.checksum);
   EXPECT_EQ(a.path, b.path);
 }
 
@@ -115,16 +127,16 @@ TEST(Wire, ClaimExtremeValuesRoundTrip) {
 }
 
 TEST(Wire, ClaimByteLayoutIsPinned) {
-  // claim occupies payload bytes [50, 58) little-endian (wire.h); a codec
-  // change that shifts it would silently corrupt claims between old and
-  // new daemons, so the offset is pinned here.
+  // claim occupies payload bytes [51, 59) little-endian (wire.h v2); a
+  // codec change that shifts it would silently corrupt claims between old
+  // and new daemons, so the offset is pinned here.
   WireMessage original;
   original.msg.kind = sim::MessageKind::kRequest;
   original.msg.claim = 0x0123456789ABCDEFULL;
   std::vector<std::uint8_t> bytes;
   encode_message(original, &bytes);
 
-  const std::size_t claim_offset = kLengthPrefixBytes + 50;
+  const std::size_t claim_offset = kLengthPrefixBytes + 51;
   const std::uint8_t expected[8] = {0xEF, 0xCD, 0xAB, 0x89, 0x67, 0x45, 0x23, 0x01};
   for (std::size_t i = 0; i < 8; ++i) {
     EXPECT_EQ(bytes[claim_offset + i], expected[i]) << "byte " << i;
@@ -208,6 +220,8 @@ TEST(Wire, FuzzRoundTripRandomMessages) {
     WireMessage original;
     original.msg = random_message(rng);
     original.path = random_path(rng, rng.index(32));
+    original.body = random_body(rng, rng.index(kMaxBodyBytes + 1));
+    original.checksum = rng.next();
 
     std::vector<std::uint8_t> bytes;
     encode_message(original, &bytes);
@@ -349,7 +363,7 @@ TEST(Wire, PathLengthPayloadMismatchIsCorrupt) {
   std::vector<std::uint8_t> bytes;
   encode_message(original, &bytes);
   // Claim a longer path than the payload carries.
-  const std::size_t path_len_offset = kLengthPrefixBytes + 66;
+  const std::size_t path_len_offset = kLengthPrefixBytes + 85;
   bytes[path_len_offset] = 200;
   Frame decoded;
   std::size_t consumed = 0;
@@ -363,11 +377,144 @@ TEST(Wire, UnknownFlagBitsAreCorrupt) {
   WireMessage original;
   std::vector<std::uint8_t> bytes;
   encode_message(original, &bytes);
-  const std::size_t flags_offset = kLengthPrefixBytes + 41;
+  const std::size_t flags_offset = kLengthPrefixBytes + 42;
   bytes[flags_offset] = 0x80;
   Frame decoded;
   std::size_t consumed = 0;
   EXPECT_EQ(decode_frame(bytes.data(), bytes.size(), &consumed, &decoded),
+            DecodeResult::kCorrupt);
+}
+
+TEST(Wire, VersionMismatchIsRejectedNotGuessed) {
+  // The v1 protocol had no version byte: the request_id started where the
+  // version now sits, so any v1 frame reads as a version mismatch and a
+  // mixed-version cluster fails deterministically at the first frame.
+  util::Rng rng(21);
+  WireMessage original;
+  original.msg = random_message(rng);
+  std::vector<std::uint8_t> bytes;
+  encode_message(original, &bytes);
+
+  const std::size_t version_offset = kLengthPrefixBytes + 1;
+  ASSERT_EQ(bytes[version_offset], kWireVersion);
+  for (const std::uint8_t wrong : {std::uint8_t{1}, std::uint8_t{3}, std::uint8_t{0xff}}) {
+    std::vector<std::uint8_t> mutated = bytes;
+    mutated[version_offset] = wrong;
+    Frame decoded;
+    std::size_t consumed = 0;
+    std::string error;
+    EXPECT_EQ(decode_frame(mutated.data(), mutated.size(), &consumed, &decoded, &error),
+              DecodeResult::kCorrupt)
+        << "version " << int{wrong};
+    EXPECT_NE(error.find("unsupported wire version"), std::string::npos);
+  }
+}
+
+TEST(Wire, HelloVersionMismatchIsRejected) {
+  std::vector<std::uint8_t> bytes;
+  encode_hello(Hello{3, sim::NodeKind::kProxy}, &bytes);
+  const std::size_t version_offset = kLengthPrefixBytes + 1;
+  ASSERT_EQ(bytes[version_offset], kWireVersion);
+  bytes[version_offset] = 1;
+  Frame decoded;
+  std::size_t consumed = 0;
+  std::string error;
+  EXPECT_EQ(decode_frame(bytes.data(), bytes.size(), &consumed, &decoded, &error),
+            DecodeResult::kCorrupt);
+  EXPECT_NE(error.find("unsupported wire version"), std::string::npos);
+}
+
+TEST(Wire, PayloadByteExtremesRoundTrip) {
+  // The payload-bytes field must survive at every magnitude: zero (store
+  // disabled), one, the largest configurable object, and all-ones.
+  for (const std::uint64_t payload :
+       {std::uint64_t{0}, std::uint64_t{1}, std::uint64_t{256} * 1024,
+        std::uint64_t{0x8000000000000000ULL}, ~std::uint64_t{0}}) {
+    WireMessage original;
+    original.msg.kind = sim::MessageKind::kReply;
+    original.msg.request_id = make_request_id(2, 5);
+    original.msg.payload_bytes = payload;
+    original.msg.degraded = payload % 2 == 1;
+    original.checksum = ~payload;
+    std::vector<std::uint8_t> bytes;
+    encode_message(original, &bytes);
+    Frame decoded;
+    std::size_t consumed = 0;
+    ASSERT_EQ(decode_frame(bytes.data(), bytes.size(), &consumed, &decoded),
+              DecodeResult::kFrame);
+    EXPECT_EQ(decoded.message.msg.payload_bytes, payload);
+    EXPECT_EQ(decoded.message.msg.degraded, original.msg.degraded);
+    EXPECT_EQ(decoded.message.checksum, ~payload);
+  }
+}
+
+TEST(Wire, BodySampleRoundTripsAndOversizeIsTruncated) {
+  util::Rng rng(33);
+  // Exact max size round-trips bit-for-bit.
+  WireMessage original;
+  original.msg = random_message(rng);
+  original.body = random_body(rng, kMaxBodyBytes);
+  std::vector<std::uint8_t> bytes;
+  encode_message(original, &bytes);
+  Frame decoded;
+  std::size_t consumed = 0;
+  ASSERT_EQ(decode_frame(bytes.data(), bytes.size(), &consumed, &decoded), DecodeResult::kFrame);
+  EXPECT_EQ(decoded.message.body, original.body);
+
+  // Oversize bodies are clipped to the first kMaxBodyBytes on encode.
+  WireMessage oversize;
+  oversize.msg = random_message(rng);
+  oversize.body = random_body(rng, kMaxBodyBytes + 57);
+  bytes.clear();
+  encode_message(oversize, &bytes);
+  ASSERT_EQ(decode_frame(bytes.data(), bytes.size(), &consumed, &decoded), DecodeResult::kFrame);
+  ASSERT_EQ(decoded.message.body.size(), kMaxBodyBytes);
+  const std::vector<std::uint8_t> expected(oversize.body.begin(),
+                                           oversize.body.begin() + kMaxBodyBytes);
+  EXPECT_EQ(decoded.message.body, expected);
+}
+
+TEST(Wire, StoreFrameKindsRoundTrip) {
+  // Erasure-tier traffic rides the same payload shape; the chunk-index
+  // (resolver), presence (cached) and size (payload_bytes) reuses must
+  // survive the codec for all three kinds.
+  const sim::MessageKind kinds[] = {
+      sim::MessageKind::kStripeStore,
+      sim::MessageKind::kChunkRequest,
+      sim::MessageKind::kChunkReply,
+  };
+  util::Rng rng(55);
+  for (const sim::MessageKind kind : kinds) {
+    WireMessage original;
+    original.msg = random_message(rng);
+    original.msg.kind = kind;
+    std::vector<std::uint8_t> bytes;
+    encode_message(original, &bytes);
+    Frame decoded;
+    std::size_t consumed = 0;
+    ASSERT_EQ(decode_frame(bytes.data(), bytes.size(), &consumed, &decoded),
+              DecodeResult::kFrame);
+    EXPECT_EQ(decoded.type, frame_type_for(kind));
+    EXPECT_EQ(kind_for(decoded.type), kind);
+    expect_equal(decoded.message, original);
+  }
+}
+
+TEST(Wire, BodyLengthPayloadMismatchIsCorrupt) {
+  util::Rng rng(61);
+  WireMessage original;
+  original.msg = random_message(rng);
+  original.body = random_body(rng, 16);
+  std::vector<std::uint8_t> bytes;
+  encode_message(original, &bytes);
+  // Claim a longer body than the payload carries (body_len u16 at payload
+  // offset 83).
+  const std::size_t body_len_offset = kLengthPrefixBytes + 83;
+  bytes[body_len_offset] = 200;
+  Frame decoded;
+  std::size_t consumed = 0;
+  std::string error;
+  EXPECT_EQ(decode_frame(bytes.data(), bytes.size(), &consumed, &decoded, &error),
             DecodeResult::kCorrupt);
 }
 

@@ -112,6 +112,12 @@ class AdcProxy final : public sim::Node {
 
   const store::ErasureTier* erasure() const noexcept { return erasure_.get(); }
 
+  /// Wires a link-load oracle into the hosted erasure tier (no-op while no
+  /// tier exists).  Must run after enable_store.
+  void set_erasure_load_probe(store::ErasureTier::LoadProbe probe) {
+    if (erasure_ != nullptr) erasure_->set_load_probe(std::move(probe));
+  }
+
  private:
   void receive_request(sim::Transport& net, const sim::Message& msg);
   void receive_reply(sim::Transport& net, const sim::Message& msg);

@@ -7,6 +7,7 @@
 
 #include "fault/faulty_network.h"
 #include "hash/carp.h"
+#include "link/transfer_scheduler.h"
 #include "hash/consistent_hash.h"
 #include "hash/rendezvous.h"
 #include "proxy/coordinator.h"
@@ -78,6 +79,7 @@ void collect_erasure(ExperimentResult::StoreSummary& out, const store::ErasureTi
   out.degraded_recovered += s.degraded_recovered;
   out.degraded_failed += s.degraded_failed;
   out.recovered_bytes += s.recovered_bytes;
+  out.chunk_requests_skipped += s.chunk_requests_skipped;
   out.directory_entries += tier->directory_entries();
   out.directory_bytes += tier->directory_bytes();
 }
@@ -349,6 +351,42 @@ ExperimentResult run_experiment(const ExperimentConfig& config, const workload::
   }
   client.set_request_timeout(config.request_timeout);
 
+  // Bandwidth model: the TransferScheduler owns delivery timing for every
+  // send over a finite-capacity link (installed before the first request
+  // so t=0 traffic is modeled too).  With the payload store on, degraded
+  // reads additionally steer chunk requests toward stripe peers with the
+  // lightest egress backlog.
+  std::unique_ptr<link::TransferScheduler> link_sched;
+  if (config.link.enabled) {
+    link_sched =
+        std::make_unique<link::TransferScheduler>(sim, link::LinkModel(config.link, origin_id));
+    sim.set_link_hook(link_sched.get());
+    if (payload_store != nullptr) {
+      link::TransferScheduler* sched = link_sched.get();
+      const store::ErasureTier::LoadProbe probe = [sched](NodeId peer) {
+        return sched->backlog_bytes(peer);
+      };
+      for (int i = 0; i < p; ++i) {
+        sim::Node* registered = &sim.node(proxy_ids[static_cast<std::size_t>(i)]);
+        sim::Node* node =
+            membership_on ? &static_cast<membership::MemberAgent*>(registered)->inner()
+                          : registered;
+        switch (config.scheme) {
+          case Scheme::kAdc:
+            static_cast<core::AdcProxy*>(node)->set_erasure_load_probe(probe);
+            break;
+          case Scheme::kCarp:
+          case Scheme::kConsistent:
+          case Scheme::kRendezvous:
+            static_cast<proxy::HashingProxy*>(node)->set_erasure_load_probe(probe);
+            break;
+          default:
+            break;  // the other schemes host no erasure tier
+        }
+      }
+    }
+  }
+
   client.start(sim);
 
   // Membership tick: one recurring event drives every member agent's
@@ -397,6 +435,35 @@ ExperimentResult run_experiment(const ExperimentConfig& config, const workload::
   if (chaos != nullptr) result.faults = chaos->counters();
   result.faults.timeouts += client.failed();
   result.faults.entries_invalidated += *purged_entries;
+
+  // Per-link-class traffic totals (message + byte counters kept by the
+  // network on every send).
+  {
+    const sim::Network& net = sim.network();
+    sim::TrafficTotals& traffic = result.summary.traffic;
+    traffic.request_messages = net.class_messages(sim::LinkClass::kRequest);
+    traffic.reply_messages = net.class_messages(sim::LinkClass::kReply);
+    traffic.control_messages = net.class_messages(sim::LinkClass::kControl);
+    traffic.store_messages = net.class_messages(sim::LinkClass::kStore);
+    traffic.request_bytes = net.class_bytes(sim::LinkClass::kRequest);
+    traffic.reply_bytes = net.class_bytes(sim::LinkClass::kReply);
+    traffic.control_bytes = net.class_bytes(sim::LinkClass::kControl);
+    traffic.store_bytes = net.class_bytes(sim::LinkClass::kStore);
+  }
+
+  if (link_sched != nullptr) {
+    const link::TransferStats& ls = link_sched->stats();
+    result.link.transfers = ls.transfers;
+    result.link.passthrough = ls.passthrough;
+    result.link.queued = ls.queued;
+    result.link.bursts = ls.bursts;
+    result.link.bytes = ls.bytes;
+    result.link.max_backlog_bytes = ls.max_backlog_bytes;
+    result.link.max_wait = ls.max_wait;
+    result.link.wait_p50 = link_sched->wait_tracker().percentile(0.50);
+    result.link.wait_p99 = link_sched->wait_tracker().percentile(0.99);
+    result.link.wait_p999 = link_sched->wait_tracker().percentile(0.999);
+  }
 
   // A crashed member's own detector keeps ticking into isolation — it ends
   // up declaring everyone *else* dead and rebuilding an owner map of just

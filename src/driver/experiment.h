@@ -13,6 +13,7 @@
 #include "core/adc_config.h"
 #include "core/adc_proxy.h"
 #include "fault/fault_plan.h"
+#include "link/link_model.h"
 #include "membership/member_agent.h"
 #include "proxy/client.h"
 #include "sim/metrics.h"
@@ -127,6 +128,14 @@ struct ExperimentConfig {
   /// scheme except kSoap (whose category tables predate the store).
   store::PayloadConfig payload;
 
+  /// Bandwidth model (link.enabled): every send over a finite-capacity
+  /// link becomes a queued transfer scheduled by a link::TransferScheduler
+  /// (serialization + queueing + DRR fairness between destinations sharing
+  /// an egress), and — with the payload store on — degraded reads prefer
+  /// stripe peers with the lightest egress backlog.  Disabled (the
+  /// default) the run is bit-identical to a link-free build.
+  link::LinkConfig link;
+
   proxy::EntryPolicy entry_policy = proxy::EntryPolicy::kRandom;
 
   /// Closed-loop request streams kept in flight by the client.
@@ -226,10 +235,28 @@ struct ExperimentResult {
     std::uint64_t degraded_recovered = 0;
     std::uint64_t degraded_failed = 0;
     std::uint64_t recovered_bytes = 0;
+    std::uint64_t chunk_requests_skipped = 0;  // recovery load steering
     std::uint64_t directory_entries = 0;  // chunk-directory totals at run end
     std::uint64_t directory_bytes = 0;
   };
   StoreSummary store;
+
+  /// Link-layer transfer accounting (all zero unless config.link.enabled).
+  /// Wait percentiles are ticks from enqueue to first burst, read off the
+  /// scheduler's deterministic PercentileTracker.
+  struct LinkSummary {
+    std::uint64_t transfers = 0;
+    std::uint64_t passthrough = 0;
+    std::uint64_t queued = 0;
+    std::uint64_t bursts = 0;
+    std::uint64_t bytes = 0;
+    std::uint64_t max_backlog_bytes = 0;
+    double wait_p50 = 0.0;
+    double wait_p99 = 0.0;
+    double wait_p999 = 0.0;
+    SimTime max_wait = 0;
+  };
+  LinkSummary link;
 };
 
 /// Adapts a workload::Trace to the client's pull interface.

@@ -1,0 +1,44 @@
+#include "link/link_model.h"
+
+#include <algorithm>
+
+namespace adc::link {
+
+void LinkModel::set_pair_rate(NodeId from, NodeId to, std::uint64_t bytes_per_sec) {
+  pair_rates_[{from, to}] = bytes_per_sec;
+}
+
+std::uint64_t LinkModel::egress_rate(NodeId node) const noexcept {
+  if (node == origin_) return config_.origin_egress_bytes_per_sec;
+  return config_.node_egress_bytes_per_sec;
+}
+
+std::uint64_t LinkModel::pair_rate(NodeId from, NodeId to) const noexcept {
+  const auto it = pair_rates_.find({from, to});
+  if (it != pair_rates_.end()) return it->second;
+  return config_.pair_bytes_per_sec;
+}
+
+std::uint64_t LinkModel::transfer_rate(NodeId from, NodeId to) const noexcept {
+  const std::uint64_t pair = pair_rate(from, to);
+  const std::uint64_t egress = egress_rate(from);
+  if (pair == 0) return egress;
+  if (egress == 0) return pair;
+  return std::min(pair, egress);
+}
+
+std::uint64_t LinkModel::transfer_bytes(const sim::Message& msg) const noexcept {
+  return std::max<std::uint64_t>({msg.payload_bytes, config_.control_bytes, 1});
+}
+
+SimTime LinkModel::serialization_ticks(std::uint64_t bytes,
+                                       std::uint64_t bytes_per_sec) const noexcept {
+  if (bytes_per_sec == 0 || bytes == 0) return 0;
+  // 128-bit intermediate: bytes * ticks_per_second overflows 64 bits for
+  // multi-gigabyte transfers at fine tick resolutions.
+  const unsigned __int128 num =
+      static_cast<unsigned __int128>(bytes) * config_.ticks_per_second + bytes_per_sec - 1;
+  return static_cast<SimTime>(num / bytes_per_sec);
+}
+
+}  // namespace adc::link

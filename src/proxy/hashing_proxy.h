@@ -123,6 +123,12 @@ class HashingProxy final : public sim::Node {
 
   const store::ErasureTier* erasure() const noexcept { return erasure_.get(); }
 
+  /// Wires a link-load oracle into the hosted erasure tier (no-op while no
+  /// tier exists).  Must run after enable_store.
+  void set_erasure_load_probe(store::ErasureTier::LoadProbe probe) {
+    if (erasure_ != nullptr) erasure_->set_load_probe(std::move(probe));
+  }
+
   /// Fault injection: drops every cached object (cold restart; in-flight
   /// fetch routes survive).  Stripe-chunk *presence* survives a flush —
   /// chunk bytes are regenerable from the deterministic store, so the

@@ -62,6 +62,10 @@ int main(int argc, char** argv) {
       .option("erasure", "0", "1 = enable the erasure tier (needs --payload 1)")
       .option("erasure-k", "3", "erasure data chunks per stripe (RDP k)")
       .option("erasure-dir-budget", "0", "chunk-directory byte budget (0 = unlimited)")
+      .option("egress-bytes-per-sec", "0",
+              "token-bucket egress cap in accounted bytes/sec (0 = unpaced)")
+      .option("egress-burst-bytes", "0",
+              "egress bucket capacity in bytes (0 = rate/20, floor 8 KiB)")
       .multi_option("peer", "cluster member as id=host:port; the origin too");
   std::string error;
   if (!cli.parse(argc, argv, &error)) {
@@ -111,6 +115,11 @@ int main(int argc, char** argv) {
     std::cerr << "--erasure 1 needs --payload 1\n";
     return 1;
   }
+
+  config.egress_bytes_per_sec =
+      static_cast<std::uint64_t>(options.get_int("egress-bytes-per-sec", 0));
+  config.egress_burst_bytes =
+      static_cast<std::uint64_t>(options.get_int("egress-burst-bytes", 0));
 
   if (options.get_int("membership", 0) != 0) {
     // The daemon's clock runs in microseconds; flags are milliseconds at

@@ -159,10 +159,14 @@ std::uint16_t NodeDaemon::bind(std::string* error) {
 void NodeDaemon::run() {
   // With the detector on, the poll timeout bounds how late a probe or
   // suspicion timeout can fire; 100ms is comfortably finer than the
-  // live-scale SWIM intervals (seconds).
-  const int poll_ms = detector_ != nullptr ? 100 : 500;
+  // live-scale SWIM intervals (seconds).  With frames waiting on the
+  // egress bucket the timeout drops to 5ms so paced drains track the
+  // configured rate instead of the poll cadence.
+  const int idle_poll_ms = detector_ != nullptr ? 100 : 500;
   while (!loop_.stopped()) {
+    const int poll_ms = egress_q_.empty() ? idle_poll_ms : 5;
     if (loop_.poll_once(poll_ms) < 0) break;
+    drain_egress();
     drive_membership();
     if (tick_) tick_();
   }
@@ -487,12 +491,76 @@ void NodeDaemon::send(sim::Message msg) {
   wire.path = current_path_;
   materialize_body(wire);
   net::encode_message(wire, &bytes);
-  net::Conn& conn = *conns_.at(fd);
+
+  // A frame's accounted cost is the larger of its wire size and its
+  // payload_bytes: the body on the wire is only a bounded sample, so
+  // charging wire bytes alone would let a 256 KiB object slip through the
+  // bucket for the price of one frame.  This keeps the live ceiling
+  // comparable to the simulator's link model and the loadgen's bytes/s.
+  const std::uint64_t cost = std::max<std::uint64_t>(bytes.size(), msg.payload_bytes);
+  const bool pace = config_.egress_bytes_per_sec > 0 && !sim::is_swim_kind(msg.kind);
   for (int copy = 0; copy <= duplicates; ++copy) {
-    conn.queue(bytes);
-    ++stats_.frames_out;
+    if (pace) {
+      egress_refill();
+      // FIFO: once anything waits, everything paced waits behind it.
+      if (!egress_q_.empty() || egress_tokens_ < 0.0) {
+        egress_q_.push_back(PendingFrame{msg.target, bytes, cost});
+        egress_queued_bytes_ += cost;
+        ++stats_.egress_paced_frames;
+        stats_.egress_paced_bytes += cost;
+        continue;
+      }
+      // Debt semantics: a frame goes out whenever the bucket is
+      // non-negative and may overdraw it, so frames larger than the
+      // bucket capacity still pass (and repay before the next one).
+      egress_tokens_ -= static_cast<double>(cost);
+    }
+    queue_to_wire(msg.target, fd, bytes, cost);
+    const auto it = conns_.find(fd);
+    if (it == conns_.end()) return;  // flush inside queue_to_wire dropped it
   }
-  flush_conn(fd, conn);
+}
+
+std::uint64_t NodeDaemon::egress_burst() const noexcept {
+  if (config_.egress_burst_bytes > 0) return config_.egress_burst_bytes;
+  return std::max<std::uint64_t>(config_.egress_bytes_per_sec / 20, 8 * 1024);
+}
+
+void NodeDaemon::egress_refill() {
+  const SimTime t = now();
+  const double dt = static_cast<double>(t - egress_last_refill_) / 1e6;
+  egress_last_refill_ = t;
+  egress_tokens_ =
+      std::min(egress_tokens_ + dt * static_cast<double>(config_.egress_bytes_per_sec),
+               static_cast<double>(egress_burst()));
+}
+
+void NodeDaemon::queue_to_wire(NodeId target, int fd, const std::vector<std::uint8_t>& bytes,
+                               std::uint64_t cost) {
+  net::Conn& conn = *conns_.at(fd);
+  conn.queue(bytes);
+  ++stats_.frames_out;
+  peer_bytes_out_[target] += cost;
+  flush_conn(fd, conn);  // may drop the conn on error
+}
+
+void NodeDaemon::drain_egress() {
+  if (egress_q_.empty()) return;
+  egress_refill();
+  while (!egress_q_.empty() && egress_tokens_ >= 0.0) {
+    PendingFrame frame = std::move(egress_q_.front());
+    egress_q_.pop_front();
+    egress_queued_bytes_ -= frame.cost;
+    // Re-resolve the route: the peer may have died while the frame waited.
+    const int fd = fd_for(frame.target);
+    if (fd < 0) {
+      ++stats_.drops_unroutable;
+      ++stats_.egress_dropped_frames;
+      continue;
+    }
+    egress_tokens_ -= static_cast<double>(frame.cost);
+    queue_to_wire(frame.target, fd, frame.bytes, frame.cost);
+  }
 }
 
 void NodeDaemon::materialize_body(net::WireMessage& wire) {
@@ -537,6 +605,7 @@ bool NodeDaemon::verify_body(const net::WireMessage& wire) {
   }
   ++stats_.bodies_verified;
   stats_.payload_bytes_in += msg.payload_bytes;
+  peer_bytes_in_[msg.sender] += msg.payload_bytes;
   return true;
 }
 
@@ -570,6 +639,28 @@ std::string NodeDaemon::stats_text() const {
            " bytes_in=" + std::to_string(stats_.payload_bytes_in) +
            " bodies_verified=" + std::to_string(stats_.bodies_verified) +
            " verify_failures=" + std::to_string(stats_.body_verify_failures) + "\n";
+  }
+  if (config_.egress_bytes_per_sec > 0) {
+    out += "  egress: rate=" + std::to_string(config_.egress_bytes_per_sec) +
+           " burst=" + std::to_string(egress_burst()) +
+           " tokens=" + std::to_string(static_cast<long long>(egress_tokens_)) +
+           " queue_frames=" + std::to_string(egress_q_.size()) +
+           " queue_bytes=" + std::to_string(egress_queued_bytes_) +
+           " paced_frames=" + std::to_string(stats_.egress_paced_frames) +
+           " paced_bytes=" + std::to_string(stats_.egress_paced_bytes) +
+           " dropped=" + std::to_string(stats_.egress_dropped_frames) + "\n";
+  }
+  if (!peer_bytes_out_.empty() || !peer_bytes_in_.empty()) {
+    out += "  peer_bytes:";
+    // Union of both maps, in peer order (both are std::map).
+    std::map<NodeId, std::pair<std::uint64_t, std::uint64_t>> merged;
+    for (const auto& [peer, bytes] : peer_bytes_out_) merged[peer].first = bytes;
+    for (const auto& [peer, bytes] : peer_bytes_in_) merged[peer].second = bytes;
+    for (const auto& [peer, io] : merged) {
+      out += " " + std::to_string(peer) + ":out=" + std::to_string(io.first) +
+             ",in=" + std::to_string(io.second);
+    }
+    out += "\n";
   }
   const std::vector<NodeId> down = health_.down_peers();
   if (!down.empty()) {

@@ -98,6 +98,21 @@ struct DaemonConfig {
   /// additionally get byte-budgeted caches and (payload.erasure.enabled)
   /// the degraded-read erasure tier over `proxy_ids`.
   store::PayloadConfig payload;
+
+  /// Token-bucket egress pacing (0 = off): outbound frames are charged
+  /// their *accounted* bytes — the larger of the frame's wire size and its
+  /// payload_bytes, matching the byte accounting the simulator's link
+  /// model and the loadgen's bytes/s both use — and queue behind the
+  /// bucket when it runs dry.  SWIM frames bypass the queue: failure
+  /// detection must not starve behind a payload backlog.  The live mirror
+  /// of the sim's LinkConfig egress caps.
+  std::uint64_t egress_bytes_per_sec = 0;
+
+  /// Bucket capacity in bytes (0 = derived: egress_bytes_per_sec / 20,
+  /// floor 8 KiB — 50ms of credit).  One oversized frame may overdraw the
+  /// bucket into debt, so the cap bounds burstiness without blocking
+  /// frames larger than the capacity.
+  std::uint64_t egress_burst_bytes = 0;
 };
 
 struct DaemonStats {
@@ -113,6 +128,9 @@ struct DaemonStats {
   std::uint64_t body_verify_failures = 0;  // mismatched sample/checksum, frame dropped
   std::uint64_t payload_bytes_out = 0;     // sum of payload_bytes over sent frames
   std::uint64_t payload_bytes_in = 0;      // sum of payload_bytes over verified frames
+  std::uint64_t egress_paced_frames = 0;   // frames that waited in the egress queue
+  std::uint64_t egress_paced_bytes = 0;    // accounted bytes of those frames
+  std::uint64_t egress_dropped_frames = 0; // paced frames whose target died queued
 };
 
 class NodeDaemon final : public sim::Transport {
@@ -165,6 +183,20 @@ class NodeDaemon final : public sim::Transport {
   /// safe to read from the loop thread (or after run() returned).
   const membership::SwimDetector* detector() const noexcept { return detector_.get(); }
 
+  /// Egress-pacing introspection (loop thread only, like the stats).
+  std::size_t egress_queue_depth() const noexcept { return egress_q_.size(); }
+  std::uint64_t egress_queue_bytes() const noexcept { return egress_queued_bytes_; }
+  double egress_tokens() const noexcept { return egress_tokens_; }
+
+  /// Accounted bytes exchanged per peer (out: charged at queue-to-wire
+  /// time; in: payload bytes of verified frames by sender).
+  const std::map<NodeId, std::uint64_t>& peer_bytes_out() const noexcept {
+    return peer_bytes_out_;
+  }
+  const std::map<NodeId, std::uint64_t>& peer_bytes_in() const noexcept {
+    return peer_bytes_in_;
+  }
+
   // --- sim::Transport ----------------------------------------------------
   void send(sim::Message msg) override;
   util::Rng& rng() noexcept override { return rng_; }
@@ -210,6 +242,14 @@ class NodeDaemon final : public sim::Transport {
   /// means the sample or checksum mismatched and the frame must be dropped.
   bool verify_body(const net::WireMessage& wire);
 
+  /// Token bucket: refills from wall time, hands a frame to its
+  /// connection, and drains the pending queue while credit lasts.
+  void egress_refill();
+  void queue_to_wire(NodeId target, int fd, const std::vector<std::uint8_t>& bytes,
+                     std::uint64_t cost);
+  void drain_egress();
+  std::uint64_t egress_burst() const noexcept;
+
   DaemonConfig config_;
   util::Rng rng_;
   std::chrono::steady_clock::time_point start_;
@@ -240,6 +280,22 @@ class NodeDaemon final : public sim::Transport {
   /// Journey path of the delivery currently executing; stamped onto every
   /// frame that delivery sends.
   std::vector<NodeId> current_path_;
+
+  /// Egress pacing: frames the token bucket could not cover yet, in send
+  /// order.  Targets are re-resolved at drain time (the peer may have died
+  /// while the frame waited).
+  struct PendingFrame {
+    NodeId target = kInvalidNode;
+    std::vector<std::uint8_t> bytes;
+    std::uint64_t cost = 0;  // accounted bytes charged to the bucket
+  };
+  std::deque<PendingFrame> egress_q_;
+  std::uint64_t egress_queued_bytes_ = 0;
+  double egress_tokens_ = 0.0;
+  SimTime egress_last_refill_ = 0;  // microseconds, transport clock
+
+  std::map<NodeId, std::uint64_t> peer_bytes_out_;
+  std::map<NodeId, std::uint64_t> peer_bytes_in_;
 
   std::function<void()> tick_;
   DaemonStats stats_;

@@ -57,6 +57,11 @@ std::string LoadGenReport::text() const {
     for (const auto& [entry, count] : entry_requests) out << " " << entry << ":" << count;
     out << "\n";
   }
+  if (!entry_bytes.empty()) {
+    out << "entry bytes:";
+    for (const auto& [entry, bytes] : entry_bytes) out << " " << entry << ":" << bytes;
+    out << "\n";
+  }
   out << "conn errors: " << errors.text() << "\n";
   out << "membership: view_epoch=" << view_epoch << " entries:";
   for (const EntryView& view : entry_views) {
@@ -94,6 +99,23 @@ std::string LoadGenReport::json(std::string_view workload) const {
     if (!first) out << ", ";
     first = false;
     out << "\"" << entry << "\": " << count;
+  }
+  out << "},\n";
+  out << "  \"entry_bytes\": {";
+  first = true;
+  for (const auto& [entry, bytes] : entry_bytes) {
+    if (!first) out << ", ";
+    first = false;
+    out << "\"" << entry << "\": " << bytes;
+  }
+  out << "},\n";
+  out << "  \"entry_bytes_per_second\": {";
+  first = true;
+  for (const auto& [entry, bytes] : entry_bytes) {
+    if (!first) out << ", ";
+    first = false;
+    out << "\"" << entry << "\": "
+        << (wall_seconds <= 0.0 ? 0.0 : static_cast<double>(bytes) / wall_seconds);
   }
   out << "},\n";
   out << "  \"view_epoch\": " << view_epoch << ",\n";
@@ -212,10 +234,12 @@ bool LoadGenerator::issue_next() {
   request.issued_at = now_us();
   ++issued_;
   ++entry_requests_[target];
-  outstanding_.emplace(request.request_id,
-                       config_.request_timeout_ms > 0
-                           ? request.issued_at + std::int64_t{config_.request_timeout_ms} * 1000
-                           : std::numeric_limits<std::int64_t>::max());
+  outstanding_.emplace(
+      request.request_id,
+      Outstanding{config_.request_timeout_ms > 0
+                      ? request.issued_at + std::int64_t{config_.request_timeout_ms} * 1000
+                      : std::numeric_limits<std::int64_t>::max(),
+                  target});
 
   std::vector<std::uint8_t> bytes;
   net::encode_message(net::WireMessage{request, {}}, &bytes);
@@ -235,7 +259,7 @@ void LoadGenerator::expire_overdue() {
   if (config_.request_timeout_ms <= 0 || outstanding_.empty()) return;
   const std::int64_t now = now_us();
   for (auto it = outstanding_.begin(); it != outstanding_.end();) {
-    if (it->second <= now) {
+    if (it->second.deadline <= now) {
       it = outstanding_.erase(it);
       ++failed_requests_;
     } else {
@@ -249,16 +273,20 @@ void LoadGenerator::on_reply(const sim::Message& msg) {
     ADC_LOG_WARN << "loadgen: unexpected message for node " << msg.client;
     return;
   }
-  if (outstanding_.erase(msg.request_id) == 0) {
+  const auto it = outstanding_.find(msg.request_id);
+  if (it == outstanding_.end()) {
     // Chaos duplicated the reply, or it lost the race against its
     // deadline; either way this request already resolved.
     ++duplicate_replies_;
     return;
   }
+  const NodeId entry = it->second.entry;
+  outstanding_.erase(it);
   ++completed_;
   if (msg.proxy_hit) ++hits_;
   total_hops_ += static_cast<std::uint64_t>(msg.hops);
   bytes_completed_ += msg.payload_bytes;
+  if (msg.payload_bytes > 0) entry_bytes_[entry] += msg.payload_bytes;
   if (msg.proxy_hit) bytes_hit_ += msg.payload_bytes;
   if (msg.degraded) {
     ++degraded_reads_;
@@ -341,6 +369,7 @@ LoadGenReport LoadGenerator::run(const std::vector<ObjectId>& objects) {
   bytes_recovered_ = 0;
   degraded_reads_ = 0;
   entry_requests_.clear();
+  entry_bytes_.clear();
   latency_us_.clear();
   errors_ = LoadGenErrors{};
   view_epoch_ = 0;
@@ -394,6 +423,7 @@ LoadGenReport LoadGenerator::run(const std::vector<ObjectId>& objects) {
   report.timed_out = timed_out;
   report.errors = errors_;
   report.entry_requests = entry_requests_;
+  report.entry_bytes = entry_bytes_;
   for (const NodeId entry : entries_) {
     report.entry_views.push_back(EntryView{entry, health_.failure_streak(entry)});
   }

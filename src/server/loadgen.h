@@ -123,6 +123,12 @@ struct LoadGenReport {
   /// with CARP direct replies, one owner) absorbing most of the traffic.
   std::map<NodeId, std::uint64_t> entry_requests;
 
+  /// Payload bytes of completed requests, attributed to the entry proxy
+  /// each request was issued through (empty while the store is off).
+  /// json() derives per-entry bytes/s from these and wall_seconds — the
+  /// observable an egress-paced cluster caps.
+  std::map<NodeId, std::uint64_t> entry_bytes;
+
   /// Entry proxies graded by observed health, plus the count of up/down
   /// transitions this run saw — the client-side analogue of a membership
   /// epoch.
@@ -222,13 +228,19 @@ class LoadGenerator {
   std::uint64_t bytes_recovered_ = 0;
   std::uint64_t degraded_reads_ = 0;
   std::map<NodeId, std::uint64_t> entry_requests_;
+  std::map<NodeId, std::uint64_t> entry_bytes_;
   sim::PercentileTracker latency_us_;
   LoadGenErrors errors_;
   std::uint64_t view_epoch_ = 0;  // entry up/down transitions this run
 
-  /// In-flight requests: id -> deadline (microsecond steady-clock stamp;
-  /// INT64_MAX when the per-request timeout is off).
-  std::unordered_map<RequestId, std::int64_t> outstanding_;
+  /// In-flight requests: deadline is a microsecond steady-clock stamp
+  /// (INT64_MAX when the per-request timeout is off); entry is the proxy
+  /// the request was issued through, for per-entry byte attribution.
+  struct Outstanding {
+    std::int64_t deadline = 0;
+    NodeId entry = kInvalidNode;
+  };
+  std::unordered_map<RequestId, Outstanding> outstanding_;
 };
 
 }  // namespace adc::server

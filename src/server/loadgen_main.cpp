@@ -17,6 +17,7 @@
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "server/loadgen.h"
 #include "util/cli.h"
@@ -62,6 +63,49 @@ int main(int argc, char** argv) {
     return 0;
   }
   const auto& options = cli.config();
+
+  // Flag hygiene: a workload-specific tuning flag paired with a workload
+  // that ignores it is almost always a mistyped experiment, so fail loudly
+  // instead of silently running something else.
+  {
+    const bool have_trace = !options.get_string("trace", "").empty();
+    const std::string workload = options.get_string("workload", "polygraph");
+    struct FlagGroup {
+      const char* owner;  // the workload whose generator reads these flags
+      std::vector<const char*> flags;
+    };
+    const std::vector<FlagGroup> groups = {
+        {"flood", {"flood-scheme", "flood-victim", "flood-fraction", "flood-keys"}},
+        {"flash", {"flash-peak", "flash-begin", "flash-window"}},
+        {"diurnal", {"diurnal-populations", "diurnal-cycles"}},
+    };
+    for (const FlagGroup& group : groups) {
+      for (const char* flag : group.flags) {
+        if (!cli.given(flag)) continue;
+        if (have_trace) {
+          std::cerr << "--" << flag << " is a --workload " << group.owner
+                    << " flag; it conflicts with --trace (a replayed trace file is "
+                       "never regenerated)\n";
+          return 1;
+        }
+        if (workload != group.owner) {
+          std::cerr << "--" << flag << " only applies to --workload " << group.owner
+                    << " (got --workload " << workload << ")\n";
+          return 1;
+        }
+      }
+    }
+    if (have_trace && cli.given("workload")) {
+      std::cerr << "--trace and --workload are mutually exclusive: a trace file "
+                   "replays as-is\n";
+      return 1;
+    }
+    if (have_trace && (cli.given("scale") || cli.given("trace-seed"))) {
+      std::cerr << "--scale/--trace-seed configure the generator; they conflict "
+                   "with --trace\n";
+      return 1;
+    }
+  }
 
   server::LoadGenConfig config;
   config.client_id = static_cast<NodeId>(options.get_int("client-id", 6));

@@ -128,6 +128,38 @@ struct SeriesPoint {
   double latency = 0.0;         // moving-average simulated latency
 };
 
+/// Per-link-class traffic totals, filled by the experiment driver from
+/// sim::Network's class counters at run end.  Messages count transfers;
+/// bytes count the payload each transfer carried (0 while the payload
+/// store is disabled — requests and control traffic carry none), so the
+/// control-plane overhead of SWIM, anti-entropy and chunk lookups is
+/// separable from payload traffic in EXPERIMENTS tables.
+struct TrafficTotals {
+  std::uint64_t request_messages = 0;
+  std::uint64_t reply_messages = 0;
+  std::uint64_t control_messages = 0;  // SWIM probes/gossip + anti-entropy
+  std::uint64_t store_messages = 0;    // stripe registration + chunk traffic
+  std::uint64_t request_bytes = 0;
+  std::uint64_t reply_bytes = 0;
+  std::uint64_t control_bytes = 0;
+  std::uint64_t store_bytes = 0;
+
+  std::uint64_t total_messages() const noexcept {
+    return request_messages + reply_messages + control_messages + store_messages;
+  }
+  std::uint64_t total_bytes() const noexcept {
+    return request_bytes + reply_bytes + control_bytes + store_bytes;
+  }
+  /// Fraction of all transfers that were control-plane (SWIM/anti-entropy
+  /// plus erasure-tier bookkeeping) rather than the request/reply path.
+  double overhead_message_share() const noexcept {
+    const std::uint64_t total = total_messages();
+    return total == 0 ? 0.0
+                      : static_cast<double>(control_messages + store_messages) /
+                            static_cast<double>(total);
+  }
+};
+
 struct MetricsSummary {
   std::uint64_t completed = 0;
   std::uint64_t hits = 0;
@@ -168,6 +200,10 @@ struct MetricsSummary {
   std::uint64_t degraded_reads = 0;
   /// Per-owner served payload bytes (parallel to owner_requests).
   std::vector<std::uint64_t> owner_bytes;
+
+  /// Per-link-class message/byte totals (driver-filled; all zero when a
+  /// collector is used without a deployment).
+  TrafficTotals traffic;
 
   double hit_rate() const noexcept {
     return completed == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(completed);

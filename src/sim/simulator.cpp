@@ -23,7 +23,7 @@ void Simulator::send(Message msg) {
   assert(msg.target >= 0 && static_cast<std::size_t>(msg.target) < nodes_.size());
 
   msg.hops += 1;
-  network_.count_message();
+  network_.count_message(msg.kind, msg.payload_bytes);
   if (observer_) observer_(msg, now_);
 
   FaultDecision fate;
@@ -40,11 +40,26 @@ void Simulator::send(Message msg) {
                 << " kind=" << (msg.kind == MessageKind::kRequest ? "REQ" : "RPL")
                 << " hops=" << msg.hops;
   // Duplicates land one tick apart so delivery order stays well-defined.
+  // A fault-injected copy is a retransmission artifact, not a second
+  // payload transfer, so copies bypass the link model and ride on the
+  // plain latency.
   for (int copy = 1; copy <= fate.duplicates; ++copy) {
     queue_.schedule(now_ + delay + copy, [this, msg, target]() {
       ++messages_delivered_;
       nodes_[static_cast<std::size_t>(target)]->on_message(*this, msg);
     });
+  }
+  if (link_ != nullptr && !self_message) {
+    LinkHook::Deliver deliver = [this, msg, target](SimTime at) {
+      queue_.schedule(at, [this, msg, target]() {
+        ++messages_delivered_;
+        nodes_[static_cast<std::size_t>(target)]->on_message(*this, msg);
+      });
+    };
+    if (link_->on_send(msg, node(msg.sender).kind(), node(target).kind(), now_, delay,
+                       std::move(deliver))) {
+      return;
+    }
   }
   queue_.schedule(now_ + delay, [this, msg = std::move(msg), target]() {
     ++messages_delivered_;

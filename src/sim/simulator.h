@@ -15,6 +15,7 @@
 
 #include "sim/event_queue.h"
 #include "sim/fault_hook.h"
+#include "sim/link_hook.h"
 #include "sim/message.h"
 #include "sim/metrics.h"
 #include "sim/network.h"
@@ -70,6 +71,15 @@ class Simulator final : public Transport {
   void set_fault_hook(FaultHook* hook) noexcept { fault_ = hook; }
   FaultHook* fault_hook() const noexcept { return fault_; }
 
+  /// Installs a link hook (non-owning; must outlive the simulation, or be
+  /// cleared with nullptr).  Consulted after the fault hook on every
+  /// non-self transfer: the hook may take ownership of delivery timing to
+  /// model serialization and queueing on finite-capacity links.  With no
+  /// hook — or a hook that declines every transfer — delivery is
+  /// bit-identical to the plain simulator.
+  void set_link_hook(LinkHook* hook) noexcept { link_ = hook; }
+  LinkHook* link_hook() const noexcept { return link_; }
+
   /// Observes every message at send time (after hop accounting), e.g. to
   /// reconstruct journeys for protocol-level assertions or visualization.
   /// Pass nullptr to disable.  The observer must not send messages.
@@ -87,6 +97,7 @@ class Simulator final : public Transport {
   MetricsCollector metrics_;
   MessageObserver observer_;
   FaultHook* fault_ = nullptr;
+  LinkHook* link_ = nullptr;
   std::uint64_t messages_delivered_ = 0;
 };
 

@@ -129,30 +129,50 @@ bool ErasureTier::begin_recovery(sim::Transport& net, const sim::Message& msg) {
 
   Recovery rec;
   rec.request = msg;
-  std::vector<NodeId> ask;
+  struct Candidate {
+    std::size_t index;  // chunk index the peer holds
+    NodeId peer;
+    std::uint64_t load = 0;
+  };
+  std::vector<Candidate> ask;
   for (std::size_t i = 0; i < peers.size(); ++i) {
     if (peers[i] == self_) {
       if (holds_chunk(msg.object)) ++rec.have;
       continue;
     }
     if (dead_.count(peers[i]) != 0) continue;
-    ask.push_back(peers[i]);
+    ask.push_back(Candidate{i, peers[i], 0});
   }
   const int k = store_->code().k();
   if (rec.have + static_cast<int>(ask.size()) < k) return false;
 
-  for (std::size_t i = 0; i < peers.size(); ++i) {
-    const NodeId peer = peers[i];
-    if (peer == self_ || dead_.count(peer) != 0) continue;
+  // Placement is deterministic, recovery is free: with a load probe the
+  // tier asks only the k - have lightest-loaded survivors plus one spare
+  // (insurance against a directory eviction) instead of every survivor.
+  // Without a probe it asks all survivors — the original behaviour,
+  // bit for bit.
+  if (load_probe_) {
+    for (Candidate& c : ask) c.load = load_probe_(c.peer);
+    std::stable_sort(ask.begin(), ask.end(), [](const Candidate& a, const Candidate& b) {
+      return a.load != b.load ? a.load < b.load : a.peer < b.peer;
+    });
+    const auto want = static_cast<std::size_t>(k - rec.have) + 1;
+    if (ask.size() > want) {
+      stats_.chunk_requests_skipped += ask.size() - want;
+      ask.resize(want);
+    }
+  }
+
+  for (const Candidate& c : ask) {
     sim::Message req;
     req.kind = sim::MessageKind::kChunkRequest;
     req.request_id = msg.request_id;
     req.object = msg.object;
     req.sender = self_;
-    req.target = peer;
+    req.target = c.peer;
     req.client = msg.client;
     req.hops = msg.hops;
-    req.resolver = static_cast<NodeId>(i);  // chunk index held by that peer
+    req.resolver = static_cast<NodeId>(c.index);  // chunk index held by that peer
     net.send(req);
     ++rec.outstanding;
     ++stats_.chunk_requests_sent;

@@ -22,6 +22,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <unordered_map>
 #include <unordered_set>
@@ -46,6 +47,8 @@ struct ErasureStats {
   std::uint64_t degraded_recovered = 0;
   std::uint64_t degraded_failed = 0;   // shortfall -> origin fallback
   std::uint64_t recovered_bytes = 0;   // full object bytes answered degraded
+  std::uint64_t chunk_requests_skipped = 0;  // survivors not asked because the
+                                             // load probe preferred lighter peers
 };
 
 class ErasureTier {
@@ -64,8 +67,21 @@ class ErasureTier {
 
   /// The k+2 stripe peers of `object` in chunk-index order (rendezvous
   /// over the startup membership).  Empty when the membership is smaller
-  /// than the stripe width.
+  /// than the stripe width.  Placement is *always* deterministic — every
+  /// node must compute the same stripe without coordination — so link-load
+  /// feedback only steers the recovery side (see set_load_probe), never
+  /// where chunks live.
   std::vector<NodeId> stripe_peers(ObjectId object) const;
+
+  /// Egress-load oracle for degraded reads: returns the current transfer
+  /// backlog (bytes queued at `peer`'s uplink; src/link supplies it in the
+  /// sim).  With a probe installed, begin_recovery asks only the k - have
+  /// lightest-loaded survivors plus one spare instead of every survivor,
+  /// so recovery traffic lands on lightly loaded stripe peers.  With no
+  /// probe (the default) recovery is bit-identical to the probe-free tier.
+  using LoadProbe = std::function<std::uint64_t(NodeId peer)>;
+  void set_load_probe(LoadProbe probe) { load_probe_ = std::move(probe); }
+  bool has_load_probe() const noexcept { return static_cast<bool>(load_probe_); }
 
   /// Registers the stripe for a freshly origin-fetched object: one
   /// kStripeStore per remote peer, a local directory record when this node
@@ -122,6 +138,7 @@ class ErasureTier {
   PayloadStorePtr store_;
   std::vector<NodeId> members_;
   bool enabled_;
+  LoadProbe load_probe_;
 
   std::unordered_set<NodeId> dead_;
   std::unordered_set<ObjectId> striped_;  // stripes this node registered

@@ -28,6 +28,13 @@ const std::vector<std::string>& CliParser::values(std::string_view key) const no
   return it == multi_values_.end() ? kEmpty : it->second;
 }
 
+bool CliParser::given(std::string_view key) const noexcept {
+  for (const auto& seen : given_) {
+    if (seen == key) return true;
+  }
+  return false;
+}
+
 const CliParser::Option* CliParser::find(std::string_view key) const noexcept {
   for (const auto& opt : options_) {
     if (opt.key == key) return &opt;
@@ -61,6 +68,7 @@ bool CliParser::parse(int argc, const char* const* argv, std::string* error) {
       if (error) *error = "unknown option --" + std::string(key);
       return false;
     }
+    if (!given(opt->key)) given_.push_back(opt->key);
     if (opt->is_flag) {
       if (has_value) {
         config_.set(key, value);

@@ -40,6 +40,12 @@ class CliParser {
 
   bool help_requested() const noexcept { return help_requested_; }
 
+  /// True when the user explicitly passed `--key` (in any form) on the
+  /// command line, as opposed to the option resting on its default.  Lets
+  /// binaries reject contradictory flag combinations without treating a
+  /// default value as an expressed intent.
+  bool given(std::string_view key) const noexcept;
+
   /// Usage text listing every registered option with its default.
   std::string help_text() const;
 
@@ -64,6 +70,7 @@ class CliParser {
   std::vector<Option> options_;
   Config config_;
   std::map<std::string, std::vector<std::string>, std::less<>> multi_values_;
+  std::vector<std::string> given_;  // keys the command line actually set
   std::vector<std::string> positional_;
   bool help_requested_ = false;
 };

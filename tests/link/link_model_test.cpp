@@ -1,0 +1,83 @@
+#include "link/link_model.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+namespace adc::link {
+namespace {
+
+LinkConfig base_config() {
+  LinkConfig config;
+  config.enabled = true;
+  config.ticks_per_second = 1000;
+  return config;
+}
+
+TEST(LinkModel, SerializationTicksRoundsUpAndIsNeverZeroForBytes) {
+  LinkModel model(base_config(), /*origin=*/9);
+  // 1000 bytes at 1MB/s is exactly one 1ms tick.
+  EXPECT_EQ(model.serialization_ticks(1000, 1'000'000), 1);
+  // One byte more rounds up, never down.
+  EXPECT_EQ(model.serialization_ticks(1001, 1'000'000), 2);
+  // Even a single byte costs a tick on a finite link.
+  EXPECT_EQ(model.serialization_ticks(1, 1'000'000), 1);
+  // The paper-scale case: 256KB through a 1MB/s WAN link ~ 263 ticks,
+  // dwarfing the 10-tick origin propagation delay.
+  EXPECT_EQ(model.serialization_ticks(256 * 1024, 1'000'000), 263);
+  // Unlimited rate or empty transfer costs nothing.
+  EXPECT_EQ(model.serialization_ticks(1000, 0), 0);
+  EXPECT_EQ(model.serialization_ticks(0, 1'000'000), 0);
+}
+
+TEST(LinkModel, SerializationTicksSurvivesLargeProducts) {
+  LinkModel model(base_config(), 9);
+  // bytes * ticks_per_second overflows 64 bits; the model must not.
+  const std::uint64_t bytes = std::uint64_t{1} << 40;
+  EXPECT_EQ(model.serialization_ticks(bytes, 1'000'000),
+            static_cast<SimTime>((bytes + 999) / 1000));
+}
+
+TEST(LinkModel, TransferRateIsTheBottleneckOfPairAndEgress) {
+  LinkConfig config = base_config();
+  config.pair_bytes_per_sec = 2'000'000;
+  config.node_egress_bytes_per_sec = 1'000'000;
+  config.origin_egress_bytes_per_sec = 500'000;
+  LinkModel model(config, /*origin=*/9);
+
+  // Non-origin sender: egress (1MB/s) is tighter than the pair (2MB/s).
+  EXPECT_EQ(model.transfer_rate(0, 1), 1'000'000u);
+  // Origin sender gets its own egress knob.
+  EXPECT_EQ(model.transfer_rate(9, 1), 500'000u);
+  EXPECT_EQ(model.egress_rate(9), 500'000u);
+  EXPECT_EQ(model.egress_rate(3), 1'000'000u);
+}
+
+TEST(LinkModel, PairOverrideWinsAndZeroMeansUnlimited) {
+  LinkConfig config = base_config();
+  config.pair_bytes_per_sec = 2'000'000;
+  LinkModel model(config, 9);
+  model.set_pair_rate(0, 1, 100'000);
+  EXPECT_EQ(model.pair_rate(0, 1), 100'000u);
+  EXPECT_EQ(model.pair_rate(1, 0), 2'000'000u);  // overrides are directional
+  // No egress cap configured: the pair link is the whole bottleneck.
+  EXPECT_EQ(model.transfer_rate(0, 1), 100'000u);
+  // Nothing configured at all = unlimited end to end.
+  LinkModel open(base_config(), 9);
+  EXPECT_EQ(open.transfer_rate(0, 1), 0u);
+}
+
+TEST(LinkModel, TransferBytesChargesControlFramesAndPayloads) {
+  LinkModel model(base_config(), 9);
+  sim::Message msg;
+  msg.kind = sim::MessageKind::kRequest;
+  msg.payload_bytes = 0;
+  // A payload-less frame still occupies the wire for control_bytes.
+  EXPECT_EQ(model.transfer_bytes(msg), model.config().control_bytes);
+  msg.kind = sim::MessageKind::kReply;
+  msg.payload_bytes = 50'000;
+  EXPECT_EQ(model.transfer_bytes(msg), 50'000u);
+}
+
+}  // namespace
+}  // namespace adc::link

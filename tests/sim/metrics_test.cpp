@@ -184,6 +184,44 @@ TEST(PercentileTracker, OrderIndependentBelowCap) {
   }
 }
 
+TEST(PercentileTracker, SingleSampleAnswersEveryQuantile) {
+  PercentileTracker tracker;
+  tracker.add(7.0);
+  // With one sample every rank clamps to it — tails included.
+  for (const double q : {0.0, 0.5, 0.95, 0.99, 0.999, 1.0}) {
+    EXPECT_EQ(tracker.percentile(q), 7.0) << q;
+  }
+}
+
+TEST(PercentileTracker, TailQuantilesBelowHundredSamplesHitTheMaximum) {
+  // Nearest-rank with n < 100: ceil(0.99 * n) == n, so p99 and p99.9 must
+  // return the maximum, never interpolate past it or fall a rank short.
+  for (const int n : {2, 10, 50, 99}) {
+    PercentileTracker tracker;
+    for (int v = 1; v <= n; ++v) tracker.add(static_cast<double>(v));
+    EXPECT_EQ(tracker.percentile(0.99), static_cast<double>(n)) << n;
+    EXPECT_EQ(tracker.percentile(0.999), static_cast<double>(n)) << n;
+  }
+  // At exactly n == 100, p99 steps off the maximum onto rank 99.
+  PercentileTracker hundred;
+  for (int v = 1; v <= 100; ++v) hundred.add(static_cast<double>(v));
+  EXPECT_EQ(hundred.percentile(0.99), 99.0);
+  EXPECT_EQ(hundred.percentile(0.999), 100.0);
+}
+
+TEST(PercentileTracker, TiedSamplesKeepNearestRankSemantics) {
+  PercentileTracker tracker;
+  tracker.add(1.0);
+  tracker.add(1.0);
+  tracker.add(1.0);
+  tracker.add(5.0);
+  // Ranks 1..3 are the tie; only the top rank sees the outlier.
+  EXPECT_EQ(tracker.percentile(0.50), 1.0);
+  EXPECT_EQ(tracker.percentile(0.75), 1.0);
+  EXPECT_EQ(tracker.percentile(0.99), 5.0);
+  EXPECT_EQ(tracker.percentile(1.0), 5.0);
+}
+
 TEST(PercentileTracker, DecimationBoundsMemoryAndStaysDeterministic) {
   PercentileTracker a(64);
   PercentileTracker b(64);

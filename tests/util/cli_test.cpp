@@ -147,5 +147,26 @@ TEST(Cli, HelpTextMarksRepeatableOptions) {
   EXPECT_NE(cli.help_text().find("(repeatable)"), std::string::npos);
 }
 
+TEST(Cli, GivenDistinguishesExplicitFlagsFromDefaults) {
+  CliParser cli("test");
+  cli.option("n", "5", "a number").option("m", "7", "another number");
+  ASSERT_TRUE(run(cli, {"--n", "5"}));
+  // --n was typed (even with its default value); --m rests on its default.
+  EXPECT_TRUE(cli.given("n"));
+  EXPECT_FALSE(cli.given("m"));
+  EXPECT_FALSE(cli.given("nonexistent"));
+}
+
+TEST(Cli, GivenCoversEveryFlagForm) {
+  CliParser cli("test");
+  cli.option("n", "5", "a number")
+      .option("verbose", "", "talk more", /*is_flag=*/true)
+      .multi_option("peer", "cluster member");
+  ASSERT_TRUE(run(cli, {"--n=9", "--verbose", "--peer", "0=h:1", "--peer", "1=h:2"}));
+  EXPECT_TRUE(cli.given("n"));
+  EXPECT_TRUE(cli.given("verbose"));
+  EXPECT_TRUE(cli.given("peer"));  // recorded once despite repetition
+}
+
 }  // namespace
 }  // namespace adc::util

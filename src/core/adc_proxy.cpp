@@ -163,6 +163,12 @@ void AdcProxy::on_message(Transport& net, const Message& msg) {
     case MessageKind::kChunkReply:
       if (erasure_ != nullptr) handle_chunk_reply(net, msg);
       break;
+    case MessageKind::kRestripeOffer:
+      if (erasure_ != nullptr) erasure_->on_restripe_offer(net, msg);
+      break;
+    case MessageKind::kRestripeAck:
+      if (erasure_ != nullptr) erasure_->on_restripe_ack(msg);
+      break;
     default:
       // SWIM kinds are routed to the failure detector by the hosting
       // MemberAgent / NodeDaemon before reaching the agent.

@@ -112,6 +112,10 @@ class AdcProxy final : public sim::Node {
 
   const store::ErasureTier* erasure() const noexcept { return erasure_.get(); }
 
+  /// Mutable tier access for the hosts that drive background repair
+  /// rounds (membership hooks, the live daemon).  Null while no tier.
+  store::ErasureTier* erasure_tier() noexcept { return erasure_.get(); }
+
   /// Wires a link-load oracle into the hosted erasure tier (no-op while no
   /// tier exists).  Must run after enable_store.
   void set_erasure_load_probe(store::ErasureTier::LoadProbe probe) {

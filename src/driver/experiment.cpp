@@ -4,6 +4,8 @@
 #include <cassert>
 #include <chrono>
 #include <memory>
+#include <unordered_map>
+#include <unordered_set>
 
 #include "fault/faulty_network.h"
 #include "hash/carp.h"
@@ -82,6 +84,17 @@ void collect_erasure(ExperimentResult::StoreSummary& out, const store::ErasureTi
   out.chunk_requests_skipped += s.chunk_requests_skipped;
   out.directory_entries += tier->directory_entries();
   out.directory_bytes += tier->directory_bytes();
+  out.stripes_healed += s.stripes_healed;
+  out.repair_adopted += s.restripe_adopted;
+  out.repair_handbacks += s.restripe_handbacks;
+  const store::RestripeStats& r = tier->restripe_stats();
+  out.repair_offers += r.offers_sent;
+  out.repair_retries += r.retries;
+  out.repair_rounds += r.rounds;
+  out.repair_bytes += r.repair_bytes;
+  out.repair_abandoned += r.items_abandoned;
+  out.repair_cancelled += r.items_cancelled;
+  out.repair_round_bytes_max = std::max(out.repair_round_bytes_max, r.round_bytes_max);
 }
 
 }  // namespace
@@ -153,6 +166,9 @@ ExperimentResult run_experiment(const ExperimentConfig& config, const workload::
   const bool membership_on =
       config.membership.swim.enabled && membership_supported(config.scheme);
   std::vector<membership::MemberAgent*> agents;
+  // Erasure tiers hosted by membership-wrapped proxies: the tick loop
+  // keeps running while any of them still has re-stripe repair queued.
+  std::vector<const store::ErasureTier*> repair_tiers;
   // ADC entries purged by confirmed deaths (the silent-peer cleanup);
   // folded into faults.entries_invalidated alongside the reactive path.
   auto purged_entries = std::make_shared<std::uint64_t>(0);
@@ -177,6 +193,12 @@ ExperimentResult run_experiment(const ExperimentConfig& config, const workload::
     membership::MemberAgent::Hooks hooks;
     hooks.peer_dead = [hp](NodeId peer) { hp->handle_peer_dead(peer); };
     hooks.peer_joined = [hp](NodeId peer) { hp->handle_peer_joined(peer); };
+    if (store::ErasureTier* tier = hp->erasure_tier();
+        tier != nullptr && tier->restripe_enabled()) {
+      hooks.send_restripe = [tier](sim::Transport& net) { tier->restripe_round(net); };
+      hooks.restripe_pending = [tier] { return tier->restripe_pending(); };
+      repair_tiers.push_back(tier);
+    }
     agent->set_hooks(std::move(hooks));
     agents.push_back(agent.get());
     sim.add_node(std::move(agent));
@@ -204,6 +226,12 @@ ExperimentResult run_experiment(const ExperimentConfig& config, const workload::
         hooks.send_repair = [adc](sim::Transport& net, NodeId peer, std::size_t batch) {
           adc->send_anti_entropy(net, peer, batch);
         };
+        if (store::ErasureTier* tier = adc->erasure_tier();
+            tier != nullptr && tier->restripe_enabled()) {
+          hooks.send_restripe = [tier](sim::Transport& net) { tier->restripe_round(net); };
+          hooks.restripe_pending = [tier] { return tier->restripe_pending(); };
+          repair_tiers.push_back(tier);
+        }
         agent->set_hooks(std::move(hooks));
         agents.push_back(agent.get());
         sim.add_node(std::move(agent));
@@ -395,9 +423,21 @@ ExperimentResult run_experiment(const ExperimentConfig& config, const workload::
   std::function<void()> membership_tick;
   if (!agents.empty()) {
     const SimTime tick_every = std::max<SimTime>(1, config.membership.tick_every);
-    membership_tick = [&sim, &client, &agents, &membership_tick, tick_every]() {
+    // Re-arm while the client has work OR re-stripe repair is still
+    // queued: background healing may outlive the trace, and every queued
+    // item eventually acks or abandons, so the extension is bounded.
+    const auto restripe_pending = [&repair_tiers] {
+      for (const store::ErasureTier* tier : repair_tiers) {
+        if (tier->restripe_pending()) return true;
+      }
+      return false;
+    };
+    membership_tick = [&sim, &client, &agents, &membership_tick, restripe_pending,
+                       tick_every]() {
       for (membership::MemberAgent* agent : agents) agent->tick(sim, sim.now());
-      if (!client.drained()) sim.schedule_after(tick_every, membership_tick);
+      if (!client.drained() || restripe_pending()) {
+        sim.schedule_after(tick_every, membership_tick);
+      }
     };
     sim.schedule_after(tick_every, membership_tick);
   }
@@ -578,6 +618,53 @@ ExperimentResult run_experiment(const ExperimentConfig& config, const workload::
     result.summary.owner_hits.push_back(snapshot.local_hits);
     result.summary.owner_bytes.push_back(snapshot.payload_bytes_served);
     result.proxies.push_back(std::move(snapshot));
+  }
+
+  // Post-run stripe census: union the chunk directories of every proxy
+  // still standing at sim end (crash windows that never restarted exclude
+  // their victim) and count the objects that can no longer gather k
+  // distinct chunk indexes — the set one more unavailability strands.
+  // With proactive repair this shrinks back toward zero as stripes heal.
+  if (payload_store != nullptr && payload_store->config().erasure.enabled) {
+    std::unordered_set<NodeId> down;
+    for (const fault::CrashWindow& window : config.fault_plan.crashes) {
+      if (window.at <= result.sim_end_time && window.restart > result.sim_end_time) {
+        down.insert(window.node);
+      }
+    }
+    std::unordered_map<ObjectId, std::uint64_t> index_mask;
+    for (int i = 0; i < p; ++i) {
+      const NodeId proxy_id = proxy_ids[static_cast<std::size_t>(i)];
+      if (down.count(proxy_id) != 0) continue;
+      const sim::Node* registered = &sim.node(proxy_id);
+      if (membership_on) {
+        registered = &static_cast<const membership::MemberAgent*>(registered)->inner();
+      }
+      const store::ErasureTier* tier = nullptr;
+      switch (config.scheme) {
+        case Scheme::kAdc:
+          tier = static_cast<const core::AdcProxy*>(registered)->erasure();
+          break;
+        case Scheme::kCarp:
+        case Scheme::kConsistent:
+        case Scheme::kRendezvous:
+          tier = static_cast<const proxy::HashingProxy*>(registered)->erasure();
+          break;
+        default:
+          break;  // the other schemes host no erasure tier
+      }
+      if (tier == nullptr) continue;
+      tier->for_each_chunk([&index_mask](ObjectId object, int index, std::uint64_t) {
+        if (index >= 0 && index < 64) index_mask[object] |= 1ULL << index;
+      });
+    }
+    const int k = payload_store->code().k();
+    for (const auto& entry : index_mask) {
+      ++result.store.stripe_objects_tracked;
+      int held = 0;
+      for (std::uint64_t m = entry.second; m != 0; m &= m - 1) ++held;
+      if (held < k) ++result.store.stripes_stranded;
+    }
   }
 
   return result;

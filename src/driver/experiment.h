@@ -238,6 +238,26 @@ struct ExperimentResult {
     std::uint64_t chunk_requests_skipped = 0;  // recovery load steering
     std::uint64_t directory_entries = 0;  // chunk-directory totals at run end
     std::uint64_t directory_bytes = 0;
+
+    // Proactive re-stripe repair (all zero unless payload.erasure.restripe).
+    std::uint64_t stripes_healed = 0;      // repair offers acked, leader side
+    std::uint64_t repair_offers = 0;       // kRestripeOffer messages sent
+    std::uint64_t repair_retries = 0;      // offers re-sent after unacked rounds
+    std::uint64_t repair_rounds = 0;       // planner rounds that sent >= 1 offer
+    std::uint64_t repair_bytes = 0;        // chunk bytes offered (budget-charged)
+    std::uint64_t repair_abandoned = 0;    // items that exhausted their retries
+    std::uint64_t repair_cancelled = 0;    // items mooted by a rejoin
+    std::uint64_t repair_handbacks = 0;    // rejoin hand-backs completed
+    std::uint64_t repair_adopted = 0;      // offers recorded by replacements
+    std::uint64_t repair_round_bytes_max = 0;  // largest single round anywhere
+
+    // Post-run stripe census over the proxies still standing at sim end
+    // (permanently crashed nodes excluded): objects with at least one
+    // surviving chunk, and among them the ones no longer reconstructible
+    // (fewer than k distinct chunk indexes alive) — the set a second
+    // death strands without proactive repair.
+    std::uint64_t stripe_objects_tracked = 0;
+    std::uint64_t stripes_stranded = 0;
   };
   StoreSummary store;
 

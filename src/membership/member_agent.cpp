@@ -47,10 +47,20 @@ void MemberAgent::tick(sim::Transport& net, SimTime now) {
     repair_.note_transition(now);
     transition_pending_ = false;
   }
-  if (repair_.next_round(now) && hooks_.send_repair) {
-    for (const NodeId peer : detector_.alive_peers()) {
-      hooks_.send_repair(net, peer, config_.repair.batch);
+  if (repair_.next_round(now)) {
+    if (hooks_.send_repair) {
+      for (const NodeId peer : detector_.alive_peers()) {
+        hooks_.send_repair(net, peer, config_.repair.batch);
+      }
     }
+    if (hooks_.send_restripe) hooks_.send_restripe(net);
+  }
+  // Re-stripe work outlives the fixed per-transition round budget (a big
+  // directory takes many byte-budgeted rounds to re-home), so keep the
+  // scheduler armed while any repair item is queued.  Termination is
+  // guaranteed: every item either acks or abandons after its retries.
+  if (!repair_.armed() && hooks_.restripe_pending && hooks_.restripe_pending()) {
+    repair_.note_transition(now);
   }
 }
 

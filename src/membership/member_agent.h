@@ -46,6 +46,15 @@ class MemberAgent final : public sim::Node {
     /// core::AdcProxy::send_anti_entropy for the ADC scheme, absent for
     /// schemes with no resolver tables).
     std::function<void(sim::Transport&, NodeId, std::size_t)> send_repair;
+
+    /// Fire one proactive re-stripe repair round (wired to
+    /// store::ErasureTier::restripe_round; absent when the erasure tier or
+    /// its repair is off).  Rides the same transition-gated cadence as
+    /// send_repair, and `restripe_pending` keeps the scheduler re-armed
+    /// while repair work remains queued — bounded, because queued items
+    /// abandon after their retry budget.
+    std::function<void(sim::Transport&)> send_restripe;
+    std::function<bool()> restripe_pending;
   };
 
   /// `peers` is the candidate membership this node watches (its own id is

@@ -102,6 +102,10 @@ FrameType frame_type_for(sim::MessageKind kind) noexcept {
       return FrameType::kChunkRequest;
     case sim::MessageKind::kChunkReply:
       return FrameType::kChunkReply;
+    case sim::MessageKind::kRestripeOffer:
+      return FrameType::kRestripeOffer;
+    case sim::MessageKind::kRestripeAck:
+      return FrameType::kRestripeAck;
   }
   return FrameType::kRequest;
 }
@@ -135,6 +139,10 @@ sim::MessageKind kind_for(FrameType type) noexcept {
       return sim::MessageKind::kChunkRequest;
     case FrameType::kChunkReply:
       return sim::MessageKind::kChunkReply;
+    case FrameType::kRestripeOffer:
+      return sim::MessageKind::kRestripeOffer;
+    case FrameType::kRestripeAck:
+      return sim::MessageKind::kRestripeAck;
   }
   return sim::MessageKind::kRequest;
 }
@@ -220,7 +228,9 @@ DecodeResult decode_frame(const std::uint8_t* data, std::size_t size, std::size_
     case static_cast<std::uint8_t>(FrameType::kRepairReply):
     case static_cast<std::uint8_t>(FrameType::kStripeStore):
     case static_cast<std::uint8_t>(FrameType::kChunkRequest):
-    case static_cast<std::uint8_t>(FrameType::kChunkReply): {
+    case static_cast<std::uint8_t>(FrameType::kChunkReply):
+    case static_cast<std::uint8_t>(FrameType::kRestripeOffer):
+    case static_cast<std::uint8_t>(FrameType::kRestripeAck): {
       if (payload_len < kMessageFixedBytes) return fail(error, "message payload too short");
       if (get_u8(p + 1) != kWireVersion) return fail(error, "unsupported wire version");
       const std::uint16_t body_len = get_u16(p + kMessageFixedBytes - 4);

@@ -18,6 +18,7 @@
 //                                     10..11=anti-entropy (offer, reply)
 //                                     12..14=erasure tier (stripe-store,
 //                                     chunk-request, chunk-reply)
+//                                     15..16=re-stripe repair (offer, ack)
 //   u8   wire_version                 must equal kWireVersion
 //
 // Version 2 added the payload-byte fields (payload_bytes, checksum, body
@@ -107,6 +108,8 @@ enum class FrameType : std::uint8_t {
   kStripeStore = 12,
   kChunkRequest = 13,
   kChunkReply = 14,
+  kRestripeOffer = 15,
+  kRestripeAck = 16,
 };
 
 /// Frame type carrying a given message kind (every kind is encodable).

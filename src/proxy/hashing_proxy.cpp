@@ -49,6 +49,12 @@ void HashingProxy::on_message(Transport& net, const Message& msg) {
       case MessageKind::kChunkReply:
         handle_chunk_reply(net, msg);
         break;
+      case MessageKind::kRestripeOffer:
+        erasure_->on_restripe_offer(net, msg);
+        break;
+      case MessageKind::kRestripeAck:
+        erasure_->on_restripe_ack(msg);
+        break;
       default:
         break;
     }

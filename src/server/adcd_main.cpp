@@ -62,6 +62,14 @@ int main(int argc, char** argv) {
       .option("erasure", "0", "1 = enable the erasure tier (needs --payload 1)")
       .option("erasure-k", "3", "erasure data chunks per stripe (RDP k)")
       .option("erasure-dir-budget", "0", "chunk-directory byte budget (0 = unlimited)")
+      .option("restripe", "0",
+              "1 = proactive re-stripe repair after confirmed deaths (needs "
+              "--erasure 1 and --membership 1)")
+      .option("repair-budget-bytes", "262144",
+              "chunk bytes a repair leader may offer per anti-entropy round "
+              "(0 = unlimited)")
+      .option("repair-max-attempts", "5",
+              "offers per repair item before it is abandoned")
       .option("egress-bytes-per-sec", "0",
               "token-bucket egress cap in accounted bytes/sec (0 = unpaced)")
       .option("egress-burst-bytes", "0",
@@ -110,9 +118,21 @@ int main(int argc, char** argv) {
       config.payload.erasure.data_chunks = static_cast<int>(options.get_int("erasure-k", 3));
       config.payload.erasure.directory_budget =
           static_cast<std::uint64_t>(options.get_int("erasure-dir-budget", 0));
+      config.payload.erasure.restripe = options.get_int("restripe", 0) != 0;
+      config.payload.erasure.repair_bytes_per_round =
+          static_cast<std::uint64_t>(options.get_int("repair-budget-bytes", 256 * 1024));
+      config.payload.erasure.repair_max_attempts =
+          static_cast<int>(options.get_int("repair-max-attempts", 5));
+    } else if (options.get_int("restripe", 0) != 0) {
+      std::cerr << "--restripe 1 needs --erasure 1\n";
+      return 1;
     }
   } else if (options.get_int("erasure", 0) != 0) {
     std::cerr << "--erasure 1 needs --payload 1\n";
+    return 1;
+  }
+  if (options.get_int("restripe", 0) != 0 && options.get_int("membership", 0) == 0) {
+    std::cerr << "--restripe 1 needs --membership 1 (deaths come from SWIM)\n";
     return 1;
   }
 

@@ -217,6 +217,18 @@ void NodeDaemon::on_member_joined(NodeId peer) {
                << " rejoined (epoch " << detector_->epoch() << ")";
 }
 
+store::ErasureTier* NodeDaemon::hosted_tier() noexcept {
+  switch (config_.role) {
+    case DaemonRole::kAdcProxy:
+      return static_cast<core::AdcProxy&>(*node_).erasure_tier();
+    case DaemonRole::kCarpProxy:
+      return static_cast<proxy::HashingProxy&>(*node_).erasure_tier();
+    case DaemonRole::kOrigin:
+      return nullptr;
+  }
+  return nullptr;
+}
+
 void NodeDaemon::drive_membership() {
   if (detector_ == nullptr) return;
   current_path_.clear();  // control traffic carries no journey path
@@ -226,11 +238,32 @@ void NodeDaemon::drive_membership() {
     repair_->note_transition(t);
     transition_pending_ = false;
   }
-  if (repair_->next_round(t) && config_.role == DaemonRole::kAdcProxy) {
-    auto& adc = static_cast<core::AdcProxy&>(*node_);
-    for (const NodeId peer : detector_->alive_peers()) {
-      adc.send_anti_entropy(*this, peer, config_.membership.repair.batch);
+  if (repair_->next_round(t)) {
+    if (config_.role == DaemonRole::kAdcProxy) {
+      auto& adc = static_cast<core::AdcProxy&>(*node_);
+      for (const NodeId peer : detector_->alive_peers()) {
+        adc.send_anti_entropy(*this, peer, config_.membership.repair.batch);
+      }
     }
+    // Re-stripe repair rides the same transition-gated cadence on every
+    // proxy role that hosts a tier; offers are egress-paced like any
+    // payload frame (they are not SWIM kinds), so background healing
+    // cannot starve foreground traffic under a byte ceiling.
+    if (store::ErasureTier* tier = hosted_tier();
+        tier != nullptr && tier->restripe_enabled()) {
+      tier->restripe_round(*this);
+    }
+  }
+  // Repair queues outlive the fixed per-transition round budget; keep the
+  // scheduler armed while items remain (bounded: each acks or abandons).
+  if (!repair_->armed()) {
+    if (const store::ErasureTier* tier = hosted_tier();
+        tier != nullptr && tier->restripe_pending()) {
+      repair_->note_transition(t);
+    }
+  }
+  if (const store::ErasureTier* tier = hosted_tier(); tier != nullptr) {
+    restripe_backlog_.store(tier->restripe_queued(), std::memory_order_release);
   }
 }
 
@@ -566,15 +599,26 @@ void NodeDaemon::drain_egress() {
 void NodeDaemon::materialize_body(net::WireMessage& wire) {
   if (store_ == nullptr || wire.msg.payload_bytes == 0) return;
   const bool chunk = wire.msg.kind == sim::MessageKind::kChunkReply;
-  if (wire.msg.kind != sim::MessageKind::kReply && !chunk) return;
+  const bool restripe = wire.msg.kind == sim::MessageKind::kRestripeOffer;
+  if (wire.msg.kind != sim::MessageKind::kReply && !chunk && !restripe) return;
   wire.body.resize(static_cast<std::size_t>(
       std::min<std::uint64_t>(wire.msg.payload_bytes, store::kMaxBodySample)));
   // A chunk reply's resolver field carries the stripe chunk index; the
-  // body is genuine chunk bytes (pattern slice or real RDP parity).
-  const std::size_t n =
-      chunk ? store_->fill_chunk(wire.msg.object, static_cast<int>(wire.msg.resolver),
-                                 wire.body.data(), wire.body.size())
-            : store_->fill_body(wire.msg.object, wire.body.data(), wire.body.size());
+  // body is genuine chunk bytes (pattern slice or real RDP parity).  A
+  // re-stripe offer carries the *reconstructed* chunk — the repair leader
+  // rebuilds the dead peer's chunk by RDP equation peeling over the other
+  // k + 1, so every live repair exercises the erasure math end to end
+  // (the receiver verifies the sample against its own fill_chunk).
+  std::size_t n = 0;
+  if (restripe) {
+    n = store_->reconstruct_chunk(wire.msg.object, static_cast<int>(wire.msg.resolver),
+                                  wire.body.data(), wire.body.size());
+  } else if (chunk) {
+    n = store_->fill_chunk(wire.msg.object, static_cast<int>(wire.msg.resolver),
+                           wire.body.data(), wire.body.size());
+  } else {
+    n = store_->fill_body(wire.msg.object, wire.body.data(), wire.body.size());
+  }
   wire.body.resize(n);
   wire.checksum = store_->checksum(wire.msg.object, wire.msg.payload_bytes,
                                    wire.body.data(), wire.body.size());
@@ -584,7 +628,11 @@ void NodeDaemon::materialize_body(net::WireMessage& wire) {
 bool NodeDaemon::verify_body(const net::WireMessage& wire) {
   if (store_ == nullptr) return true;
   const sim::Message& msg = wire.msg;
-  const bool chunk = msg.kind == sim::MessageKind::kChunkReply;
+  // A re-stripe offer's body is the leader's *reconstructed* chunk;
+  // verify_chunk regenerates the same bytes directly, so any peeling bug
+  // surfaces as a verification failure at the replacement.
+  const bool chunk = msg.kind == sim::MessageKind::kChunkReply ||
+                     msg.kind == sim::MessageKind::kRestripeOffer;
   if (msg.kind != sim::MessageKind::kReply && !chunk) return true;
   if (msg.payload_bytes == 0) return true;  // reply from a store-unaware sender
   bool ok = !wire.body.empty();  // a nonzero payload always carries a sample
@@ -682,6 +730,22 @@ std::string NodeDaemon::stats_text() const {
            " deaths=" + std::to_string(swim.deaths) +
            " joins=" + std::to_string(swim.joins) +
            " repair_rounds=" + std::to_string(repair_->rounds_fired()) + "\n";
+  }
+  if (const store::ErasureTier* tier = hosted_tier();
+      tier != nullptr && tier->restripe_enabled()) {
+    const store::RestripeStats& r = tier->restripe_stats();
+    const store::ErasureStats& es = tier->stats();
+    out += "  restripe: stripes_healed=" + std::to_string(es.stripes_healed) +
+           " adopted=" + std::to_string(es.restripe_adopted) +
+           " handbacks=" + std::to_string(es.restripe_handbacks) +
+           " offers=" + std::to_string(r.offers_sent) +
+           " retries=" + std::to_string(r.retries) +
+           " rounds=" + std::to_string(r.rounds) + "\n";
+    out += "  restripe: repair_bytes=" + std::to_string(r.repair_bytes) +
+           " round_bytes_max=" + std::to_string(r.round_bytes_max) +
+           " queued=" + std::to_string(tier->restripe_queued()) +
+           " abandoned=" + std::to_string(r.items_abandoned) +
+           " cancelled=" + std::to_string(r.items_cancelled) + "\n";
   }
   switch (config_.role) {
     case DaemonRole::kAdcProxy: {

@@ -42,6 +42,10 @@
 #include "util/rng.h"
 #include "util/types.h"
 
+namespace adc::store {
+class ErasureTier;
+}
+
 namespace adc::server {
 
 enum class DaemonRole : std::uint8_t {
@@ -166,6 +170,13 @@ class NodeDaemon final : public sim::Transport {
   NodeId node_id() const noexcept { return config_.node_id; }
   sim::Node& hosted() noexcept { return *node_; }
 
+  /// The hosted proxy's erasure tier, or nullptr (origin role, store or
+  /// erasure disabled).  Loop thread only, like the stats.
+  store::ErasureTier* hosted_tier() noexcept;
+  const store::ErasureTier* hosted_tier() const noexcept {
+    return const_cast<NodeDaemon*>(this)->hosted_tier();
+  }
+
   /// Resilience counters (retries/reconnects/degraded fetches/table
   /// invalidations) merged with the injection side when a fault plan is
   /// active.
@@ -177,6 +188,14 @@ class NodeDaemon final : public sim::Transport {
   /// an epoch bump without racing the loop thread.
   std::uint64_t membership_epoch() const noexcept {
     return membership_epoch_.load(std::memory_order_acquire);
+  }
+
+  /// Re-stripe repair items still queued on the hosted tier, snapshotted
+  /// by the loop every membership drive.  Atomic for the same reason as
+  /// membership_epoch: a harness can await repair quiescence (backlog 0
+  /// after a death was confirmed) without racing the loop thread.
+  std::uint64_t restripe_backlog() const noexcept {
+    return restripe_backlog_.load(std::memory_order_acquire);
   }
 
   /// The failure detector, or nullptr when membership is disabled.  Only
@@ -263,6 +282,7 @@ class NodeDaemon final : public sim::Transport {
   std::unique_ptr<membership::RepairScheduler> repair_;
   bool transition_pending_ = false;
   std::atomic<std::uint64_t> membership_epoch_{0};
+  std::atomic<std::uint64_t> restripe_backlog_{0};
 
   store::PayloadStorePtr store_;  // null with the payload store disabled
 

@@ -50,6 +50,10 @@ std::string LoadGenReport::text() const {
     }
     out << "\n";
   }
+  if (stripes_healed > 0 || repair_bytes > 0 || repair_rounds > 0) {
+    out << "restripe:   healed=" << stripes_healed << " bytes=" << repair_bytes
+        << " rounds=" << repair_rounds << "\n";
+  }
   out << "latency:    p50=" << latency_p50_us << "us p95=" << latency_p95_us
       << "us p99=" << latency_p99_us << "us p99.9=" << latency_p999_us << "us\n";
   if (!entry_requests.empty()) {
@@ -119,6 +123,9 @@ std::string LoadGenReport::json(std::string_view workload) const {
   }
   out << "},\n";
   out << "  \"view_epoch\": " << view_epoch << ",\n";
+  out << "  \"stripes_healed\": " << stripes_healed << ",\n";
+  out << "  \"repair_bytes\": " << repair_bytes << ",\n";
+  out << "  \"repair_rounds\": " << repair_rounds << ",\n";
   out << "  \"conn_failures\": " << errors.total_conn_failures() << "\n";
   out << "}\n";
   return out.str();

@@ -110,6 +110,14 @@ struct LoadGenReport {
   std::uint64_t bytes_recovered = 0;
   std::uint64_t degraded_reads = 0;
 
+  /// Proactive re-stripe repair progress, summed over the cluster by the
+  /// harness that owns the daemons (the generator itself sees only the
+  /// request stream, so a standalone adc_loadgen reports zeros; cluster
+  /// tests fill these from NodeDaemon::hosted_tier()).
+  std::uint64_t stripes_healed = 0;
+  std::uint64_t repair_bytes = 0;
+  std::uint64_t repair_rounds = 0;
+
   double wall_seconds = 0.0;
   double latency_p50_us = 0.0;
   double latency_p95_us = 0.0;

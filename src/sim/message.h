@@ -48,6 +48,15 @@ enum class MessageKind : std::uint8_t {
   kStripeStore,   // "remember chunk `resolver` of `object` (payload_bytes each)"
   kChunkRequest,  // "send me chunk `resolver` of `object` for `request_id`"
   kChunkReply,    // chunk answer; `cached` = the chunk was actually held
+
+  // --- Proactive re-stripe repair (src/store/restripe.h) ----------------
+  // After a confirmed death the stripe's repair leader re-homes the lost
+  // chunk: an offer asks the rendezvous-chosen replacement to adopt chunk
+  // `resolver` of `object` (payload_bytes = chunk size; the live daemon
+  // carries a sample of the chunk reconstructed by RDP equation peeling),
+  // and the ack — control-sized — retires the leader's repair work item.
+  kRestripeOffer,  // "adopt chunk `resolver` of `object` (repair / rejoin hand-back)"
+  kRestripeAck,    // "adopted; stop re-offering"
 };
 
 /// True for the membership-layer control kinds that a MemberAgent or
@@ -61,9 +70,10 @@ constexpr bool is_repair_kind(MessageKind kind) noexcept {
   return kind == MessageKind::kRepairOffer || kind == MessageKind::kRepairReply;
 }
 
-/// True for the erasure-tier kinds handled by store::ErasureTier.
+/// True for the erasure-tier kinds handled by store::ErasureTier
+/// (stripe registration, degraded-read chunk traffic, re-stripe repair).
 constexpr bool is_store_kind(MessageKind kind) noexcept {
-  return kind >= MessageKind::kStripeStore && kind <= MessageKind::kChunkReply;
+  return kind >= MessageKind::kStripeStore && kind <= MessageKind::kRestripeAck;
 }
 
 struct Message {

@@ -17,13 +17,29 @@ std::uint64_t stripe_score(ObjectId object, NodeId member, std::uint64_t seed) {
   return util::splitmix64(state);
 }
 
+/// Secondary rendezvous for replacement owners: scores (object, chunk
+/// index, member) so each lost index elects its own replacement, again
+/// without coordination.  Independent of stripe_score — a member's rank
+/// for adopting chunk i carries no information about its stripe rank.
+std::uint64_t replacement_score(ObjectId object, int index, NodeId member, std::uint64_t seed) {
+  std::uint64_t state = seed ^ (object * 0x9e3779b97f4a7c15ULL) ^
+                        (static_cast<std::uint64_t>(index + 1) * 0x517cc1b727220a95ULL) ^
+                        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(member)) << 32);
+  return util::splitmix64(state);
+}
+
 }  // namespace
 
 ErasureTier::ErasureTier(NodeId self, PayloadStorePtr store, std::vector<NodeId> members)
-    : self_(self), store_(std::move(store)), members_(std::move(members)) {
+    : self_(self),
+      store_(std::move(store)),
+      members_(std::move(members)),
+      repair_(store_->config().erasure.repair_bytes_per_round,
+              store_->config().erasure.repair_max_attempts) {
   std::sort(members_.begin(), members_.end());
   enabled_ = store_->config().erasure.enabled &&
              static_cast<int>(members_.size()) >= stripe_width();
+  restripe_enabled_ = enabled_ && store_->config().erasure.restripe;
 }
 
 std::vector<NodeId> ErasureTier::stripe_peers(ObjectId object) const {
@@ -43,15 +59,47 @@ std::vector<NodeId> ErasureTier::stripe_peers(ObjectId object) const {
   return peers;
 }
 
+std::vector<NodeId> ErasureTier::effective_owners(ObjectId object) const {
+  std::vector<NodeId> owners = stripe_peers(object);
+  if (owners.empty() || dead_.empty()) return owners;
+  const std::unordered_set<NodeId> in_stripe(owners.begin(), owners.end());
+  std::unordered_set<NodeId> taken;  // replacements already assigned (one chunk per node)
+  for (std::size_t i = 0; i < owners.size(); ++i) {
+    if (dead_.count(owners[i]) == 0) continue;
+    NodeId best = kInvalidNode;
+    std::uint64_t best_score = 0;
+    for (const NodeId m : members_) {
+      if (in_stripe.count(m) != 0 || dead_.count(m) != 0 || taken.count(m) != 0) continue;
+      const std::uint64_t score =
+          replacement_score(object, static_cast<int>(i), m, store_->config().seed);
+      // members_ is sorted ascending, so the first holder of the max score
+      // is also the smallest id — ties break deterministically for free.
+      if (best == kInvalidNode || score > best_score) {
+        best = m;
+        best_score = score;
+      }
+    }
+    owners[i] = best;
+    if (best != kInvalidNode) taken.insert(best);
+  }
+  return owners;
+}
+
 void ErasureTier::stripe_object(sim::Transport& net, ObjectId object) {
   if (!enabled_ || striped_.count(object) != 0) return;
   const std::vector<NodeId> peers = stripe_peers(object);
   if (peers.empty()) return;
   striped_.insert(object);
   ++stats_.stripes_registered;
+  // With repair on and deaths believed, dead owners' chunks go straight to
+  // their replacements: stripes registered mid-outage are born full-width
+  // instead of inheriting the hole.
+  const std::vector<NodeId> owners =
+      (restripe_enabled_ && !dead_.empty()) ? effective_owners(object) : peers;
   const std::uint64_t chunk = store_->chunk_size(object);
-  for (std::size_t i = 0; i < peers.size(); ++i) {
-    if (peers[i] == self_) {
+  for (std::size_t i = 0; i < owners.size(); ++i) {
+    if (owners[i] == kInvalidNode) continue;
+    if (owners[i] == self_) {
       record_chunk(object, static_cast<int>(i), chunk);
       continue;
     }
@@ -59,14 +107,14 @@ void ErasureTier::stripe_object(sim::Transport& net, ObjectId object) {
     store_msg.kind = sim::MessageKind::kStripeStore;
     store_msg.object = object;
     store_msg.sender = self_;
-    store_msg.target = peers[i];
+    store_msg.target = owners[i];
     store_msg.resolver = static_cast<NodeId>(i);  // chunk index
     store_msg.payload_bytes = chunk;
     net.send(store_msg);
   }
 }
 
-void ErasureTier::record_chunk(ObjectId object, int index, std::uint64_t bytes) {
+bool ErasureTier::record_chunk(ObjectId object, int index, std::uint64_t bytes) {
   auto it = directory_.find(object);
   if (it != directory_.end()) {
     // Re-registration (e.g. a new owner re-striped after churn): refresh.
@@ -84,12 +132,21 @@ void ErasureTier::record_chunk(ObjectId object, int index, std::uint64_t bytes) 
       directory_.erase(vit);
       ++stats_.chunks_evicted;
     }
-    if (directory_bytes_ + bytes > budget) return;  // bigger than the budget
+    if (directory_bytes_ + bytes > budget) return false;  // bigger than the budget
   }
   lru_.push_front(object);
   directory_.emplace(object, DirEntry{index, bytes, lru_.begin()});
   directory_bytes_ += bytes;
   ++stats_.chunks_stored;
+  return true;
+}
+
+void ErasureTier::drop_chunk(ObjectId object) {
+  const auto it = directory_.find(object);
+  if (it == directory_.end()) return;
+  directory_bytes_ -= it->second.bytes;
+  lru_.erase(it->second.lru);
+  directory_.erase(it);
 }
 
 void ErasureTier::on_stripe_store(const sim::Message& msg) {
@@ -108,7 +165,11 @@ void ErasureTier::on_chunk_request(sim::Transport& net, const sim::Message& msg)
   reply.hops = msg.hops;
   reply.resolver = msg.resolver;  // chunk index echoed back
   const auto it = enabled_ ? directory_.find(msg.object) : directory_.end();
-  if (it != directory_.end()) {
+  // The entry must cover the *requested* index: once repair re-homes
+  // chunks, a node can hold a different chunk of the object than the one
+  // the reader expects, and claiming it would corrupt the recovery count.
+  // (Without repair the held index always matches the requested one.)
+  if (it != directory_.end() && it->second.index == static_cast<int>(msg.resolver)) {
     // Touch the LRU: a chunk consulted by a recovery is worth keeping.
     lru_.splice(lru_.begin(), lru_, it->second.lru);
     reply.cached = true;
@@ -126,6 +187,10 @@ bool ErasureTier::begin_recovery(sim::Transport& net, const sim::Message& msg) {
   if (!enabled_ || recoveries_.count(msg.request_id) != 0) return false;
   const std::vector<NodeId> peers = stripe_peers(msg.object);
   if (peers.empty()) return false;
+  // With repair on, read from the healed layout: replacements answer for
+  // the indices they adopted, so a stripe that lost two original members
+  // but was re-homed in between still yields k chunks.
+  const std::vector<NodeId> owners = restripe_enabled_ ? effective_owners(msg.object) : peers;
 
   Recovery rec;
   rec.request = msg;
@@ -135,13 +200,15 @@ bool ErasureTier::begin_recovery(sim::Transport& net, const sim::Message& msg) {
     std::uint64_t load = 0;
   };
   std::vector<Candidate> ask;
-  for (std::size_t i = 0; i < peers.size(); ++i) {
-    if (peers[i] == self_) {
-      if (holds_chunk(msg.object)) ++rec.have;
+  for (std::size_t i = 0; i < owners.size(); ++i) {
+    if (owners[i] == kInvalidNode) continue;
+    if (owners[i] == self_) {
+      const auto it = directory_.find(msg.object);
+      if (it != directory_.end() && it->second.index == static_cast<int>(i)) ++rec.have;
       continue;
     }
-    if (dead_.count(peers[i]) != 0) continue;
-    ask.push_back(Candidate{i, peers[i], 0});
+    if (dead_.count(owners[i]) != 0) continue;
+    ask.push_back(Candidate{i, owners[i], 0});
   }
   const int k = store_->code().k();
   if (rec.have + static_cast<int>(ask.size()) < k) return false;
@@ -213,8 +280,124 @@ ErasureTier::Resolution ErasureTier::on_chunk_reply(const sim::Message& msg) {
   return out;
 }
 
-void ErasureTier::handle_peer_dead(NodeId peer) { dead_.insert(peer); }
+void ErasureTier::enqueue_repair_for(ObjectId object) {
+  const std::vector<NodeId> peers = stripe_peers(object);
+  if (peers.empty()) return;
+  // The repair leader is the first *alive* member of the original stripe
+  // in chunk-index order — every survivor computes the same leader from
+  // its own believed dead set, so exactly one node drives each stripe's
+  // repair (modulo transient disagreement, which idempotent offers absorb).
+  NodeId leader = kInvalidNode;
+  for (const NodeId p : peers) {
+    if (dead_.count(p) == 0) {
+      leader = p;
+      break;
+    }
+  }
+  if (leader != self_) return;
+  const std::vector<NodeId> owners = effective_owners(object);
+  const std::uint64_t chunk = store_->chunk_size(object);
+  for (std::size_t i = 0; i < peers.size(); ++i) {
+    if (dead_.count(peers[i]) == 0) continue;  // original owner still alive
+    if (owners[i] == kInvalidNode) continue;   // no eligible replacement
+    RepairItem item;
+    item.object = object;
+    item.index = static_cast<int>(i);
+    item.target = owners[i];
+    item.dead_owner = peers[i];
+    item.bytes = chunk;
+    repair_.enqueue(item);
+  }
+}
 
-void ErasureTier::handle_peer_joined(NodeId peer) { dead_.erase(peer); }
+void ErasureTier::restripe_round(sim::Transport& net) {
+  if (!restripe_enabled_) return;
+  repair_.next_round([&](const RepairItem& item) {
+    sim::Message offer;
+    offer.kind = sim::MessageKind::kRestripeOffer;
+    offer.object = item.object;
+    offer.sender = self_;
+    offer.target = item.target;
+    offer.resolver = static_cast<NodeId>(item.index);  // chunk index to adopt
+    offer.payload_bytes = item.bytes;
+    net.send(offer);
+  });
+}
+
+void ErasureTier::on_restripe_offer(sim::Transport& net, const sim::Message& msg) {
+  if (!enabled_) return;
+  if (record_chunk(msg.object, static_cast<int>(msg.resolver), msg.payload_bytes)) {
+    ++stats_.restripe_adopted;
+  }
+  // Ack even when the directory budget refused the chunk: re-offering the
+  // same oversized chunk every round until abandonment helps nobody, and
+  // the post-run stripe census reports reality either way.
+  sim::Message ack;
+  ack.kind = sim::MessageKind::kRestripeAck;
+  ack.object = msg.object;
+  ack.sender = self_;
+  ack.target = msg.sender;
+  ack.resolver = msg.resolver;  // chunk index echoed back
+  net.send(ack);
+}
+
+void ErasureTier::on_restripe_ack(const sim::Message& msg) {
+  if (!restripe_enabled_) return;
+  RepairItem item;
+  if (!repair_.acked(msg.object, static_cast<int>(msg.resolver), &item)) return;
+  if (item.hand_back) {
+    // The original owner holds its chunk again; drop the foster copy
+    // (unless the slot was since reused for a different index).
+    const auto it = directory_.find(msg.object);
+    if (it != directory_.end() && it->second.index == item.index) drop_chunk(msg.object);
+    ++stats_.restripe_handbacks;
+  } else {
+    ++stats_.stripes_healed;
+  }
+}
+
+void ErasureTier::handle_peer_dead(NodeId peer) {
+  dead_.insert(peer);
+  if (!restripe_enabled_) return;
+  // Prospective-leader scan over the local directory, in LRU order (a
+  // std::list, so the scan — and therefore the repair queue — is
+  // deterministic).  Every dead-owned index of every held object is
+  // (re-)enqueued: a second death that reassigns replacements simply
+  // retargets the queued item.
+  for (const ObjectId object : lru_) enqueue_repair_for(object);
+}
+
+void ErasureTier::handle_peer_joined(NodeId peer) {
+  dead_.erase(peer);
+  if (!restripe_enabled_) return;
+  // Repair work created by this peer's death is moot — it holds its
+  // chunks again (its directory survived, only our belief changed).
+  repair_.cancel_for_dead_owner(peer);
+  // Hand adopted chunks back: any directory entry whose index belongs to
+  // the rejoiner in the *original* stripe is a foster copy we took on its
+  // behalf — offer it back and drop ours once the owner acks.
+  for (const ObjectId object : lru_) {
+    const auto it = directory_.find(object);
+    const int idx = it->second.index;
+    const std::vector<NodeId> peers = stripe_peers(object);
+    if (idx < 0 || static_cast<std::size_t>(idx) >= peers.size()) continue;
+    if (peers[static_cast<std::size_t>(idx)] != peer) continue;
+    RepairItem item;
+    item.object = object;
+    item.index = idx;
+    item.target = peer;
+    item.bytes = it->second.bytes;
+    item.hand_back = true;
+    repair_.enqueue(item);
+  }
+}
+
+void ErasureTier::for_each_chunk(
+    const std::function<void(ObjectId, int, std::uint64_t)>& fn) const {
+  for (const ObjectId object : lru_) {
+    const auto it = directory_.find(object);
+    fn(object, it->second.index, it->second.bytes);
+  }
+}
 
 }  // namespace adc::store

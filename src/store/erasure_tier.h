@@ -16,9 +16,18 @@
 // charging recovered bytes instead of origin bytes.  A shortfall (too few
 // survivors, chunks evicted from directories) falls back to the origin.
 //
-// The tier is deliberately passive between deaths: while every believed
-// member is alive it sends no chunk requests, so healthy runs carry only
-// the one-way stripe-registration traffic.
+// With proactive re-stripe repair enabled (ErasureConfig::restripe) the
+// tier additionally *heals* after a death instead of running degraded
+// forever: the first surviving peer of each affected stripe (the repair
+// leader — deterministic, no coordination) offers the dead peer's chunk to
+// a replacement owner chosen by rendezvous over the members outside the
+// stripe, in byte-budgeted rounds driven by membership anti-entropy
+// (src/store/restripe.h).  Once the replacement acks, the stripe is back
+// at full k + 2 width and a *second* death no longer erases the two-loss
+// safety margin.  A rejoin cancels repair work it moots and hands adopted
+// chunks back to the original owner, so heal-then-rejoin converges to
+// exactly one holder per chunk.  Repair off (the default) keeps the tier
+// bit-identical to the repair-free build.
 #pragma once
 
 #include <cstdint>
@@ -31,6 +40,7 @@
 #include "sim/message.h"
 #include "sim/transport.h"
 #include "store/payload.h"
+#include "store/restripe.h"
 #include "util/types.h"
 
 namespace adc::store {
@@ -49,6 +59,12 @@ struct ErasureStats {
   std::uint64_t recovered_bytes = 0;   // full object bytes answered degraded
   std::uint64_t chunk_requests_skipped = 0;  // survivors not asked because the
                                              // load probe preferred lighter peers
+
+  // --- Proactive re-stripe repair (leaders and replacements) ------------
+  std::uint64_t stripes_healed = 0;      // repair offers acked (leader side)
+  std::uint64_t restripe_adopted = 0;    // offers accepted into the directory
+  std::uint64_t restripe_handbacks = 0;  // rejoin hand-backs completed (foster
+                                         // copy dropped after the owner acked)
 };
 
 class ErasureTier {
@@ -59,6 +75,7 @@ class ErasureTier {
 
   bool enabled() const noexcept { return enabled_; }
   int stripe_width() const noexcept { return store_->code().stripe_width(); }
+  int data_chunks() const noexcept { return store_->code().k(); }
   const ErasureStats& stats() const noexcept { return stats_; }
 
   /// True once any member has been reported dead and not rejoined —
@@ -73,6 +90,16 @@ class ErasureTier {
   /// where chunks live.
   std::vector<NodeId> stripe_peers(ObjectId object) const;
 
+  /// Current owner per chunk index under the believed dead set: the
+  /// original stripe peer while it is alive, else the replacement chosen
+  /// by a secondary rendezvous over the alive members *outside* the
+  /// stripe (greedy in index order, so no member is assigned two chunks
+  /// of one object — the chunk directory is keyed by object).  An index
+  /// with no eligible replacement maps to kInvalidNode.  Deterministic in
+  /// (object, dead set): leaders, replacements and recovering readers all
+  /// agree without coordination.
+  std::vector<NodeId> effective_owners(ObjectId object) const;
+
   /// Egress-load oracle for degraded reads: returns the current transfer
   /// backlog (bytes queued at `peer`'s uplink; src/link supplies it in the
   /// sim).  With a probe installed, begin_recovery asks only the k - have
@@ -85,7 +112,9 @@ class ErasureTier {
 
   /// Registers the stripe for a freshly origin-fetched object: one
   /// kStripeStore per remote peer, a local directory record when this node
-  /// is itself a stripe member.  Deduplicated per registrar.
+  /// is itself a stripe member.  Deduplicated per registrar.  With repair
+  /// enabled and peers believed dead, dead owners' chunks go to their
+  /// effective replacements instead, so new stripes are born full-width.
   void stripe_object(sim::Transport& net, ObjectId object);
 
   /// Handles kStripeStore / kChunkRequest addressed to this node.
@@ -116,14 +145,42 @@ class ErasureTier {
 
   /// Membership hooks (same events the proxies receive).  Recoveries
   /// in flight toward a peer that dies unconfirmed resolve via the
-  /// client's request timeout, like any other lost message.
+  /// client's request timeout, like any other lost message.  With repair
+  /// enabled, a death makes this node scan its directory as prospective
+  /// repair leader, and a rejoin cancels mooted work and queues hand-back
+  /// offers for chunks adopted on the rejoiner's behalf.
   void handle_peer_dead(NodeId peer);
   void handle_peer_joined(NodeId peer);
+
+  // --- Proactive re-stripe repair ---------------------------------------
+
+  /// True when the config enables background repair (and the tier itself
+  /// is enabled).
+  bool restripe_enabled() const noexcept { return restripe_enabled_; }
+
+  /// Repair work still queued or awaiting acks on this node — drives the
+  /// membership layer's decision to keep anti-entropy rounds armed.
+  bool restripe_pending() const noexcept { return repair_.pending(); }
+  std::size_t restripe_queued() const noexcept { return repair_.queued(); }
+  const RestripeStats& restripe_stats() const noexcept { return repair_.stats(); }
+
+  /// One byte-budgeted repair round: sends a kRestripeOffer per popped
+  /// work item.  Called from the membership layer's anti-entropy cadence.
+  void restripe_round(sim::Transport& net);
+
+  /// Handles kRestripeOffer / kRestripeAck addressed to this node.
+  void on_restripe_offer(sim::Transport& net, const sim::Message& msg);
+  void on_restripe_ack(const sim::Message& msg);
 
   /// Directory introspection for tests and result collection.
   bool holds_chunk(ObjectId object) const { return directory_.count(object) != 0; }
   std::uint64_t directory_bytes() const noexcept { return directory_bytes_; }
   std::size_t directory_entries() const noexcept { return directory_.size(); }
+
+  /// Visits every directory entry as (object, chunk index, bytes) — the
+  /// driver's post-run stripe census walks these across all proxies.
+  void for_each_chunk(
+      const std::function<void(ObjectId, int, std::uint64_t)>& fn) const;
 
  private:
   struct Recovery {
@@ -132,12 +189,20 @@ class ErasureTier {
     int outstanding = 0;  // chunk requests not yet answered
   };
 
-  void record_chunk(ObjectId object, int index, std::uint64_t bytes);
+  bool record_chunk(ObjectId object, int index, std::uint64_t bytes);
+  void drop_chunk(ObjectId object);
+
+  /// Enqueues repair work for every dead-owned chunk index of `object`
+  /// when this node is the stripe's repair leader (first alive member in
+  /// chunk-index order).  Idempotent: re-enqueueing retargets in place.
+  void enqueue_repair_for(ObjectId object);
 
   NodeId self_;
   PayloadStorePtr store_;
   std::vector<NodeId> members_;
+  RestripePlanner repair_;
   bool enabled_;
+  bool restripe_enabled_;
   LoadProbe load_probe_;
 
   std::unordered_set<NodeId> dead_;

@@ -145,6 +145,29 @@ std::size_t PayloadStore::fill_chunk(ObjectId object, int index, std::uint8_t* o
   return n;
 }
 
+std::size_t PayloadStore::reconstruct_chunk(ObjectId object, int lost_index, std::uint8_t* out,
+                                            std::size_t max_len) const {
+  const int width = code_.stripe_width();
+  const std::uint64_t chunk = chunk_size(object);
+  if (lost_index < 0 || lost_index >= width || chunk == 0) return 0;
+  const std::size_t padded = code_.padded_chunk_size(static_cast<std::size_t>(chunk));
+  std::vector<std::vector<std::uint8_t>> chunks(static_cast<std::size_t>(width));
+  for (int i = 0; i < width; ++i) {
+    if (i == lost_index) continue;  // the erasure being repaired
+    auto& c = chunks[static_cast<std::size_t>(i)];
+    c.assign(padded, 0);  // data chunks stay zero-padded past the object end
+    fill_chunk(object, i, c.data(), c.size());
+  }
+  if (!code_.reconstruct(&chunks)) return 0;
+  const auto& rebuilt = chunks[static_cast<std::size_t>(lost_index)];
+  // Chunks are accounted (and sampled on the wire) at chunk_size bytes;
+  // the padding past it is representation, not payload.
+  const std::size_t n = std::min(
+      max_len, std::min(rebuilt.size(), static_cast<std::size_t>(chunk)));
+  std::copy(rebuilt.begin(), rebuilt.begin() + static_cast<std::ptrdiff_t>(n), out);
+  return n;
+}
+
 std::uint64_t PayloadStore::checksum(ObjectId object, std::uint64_t payload_bytes,
                                      const std::uint8_t* body, std::size_t body_len) const {
   const std::uint64_t h = fnv1a(kFnvOffset, body, body_len);

@@ -41,6 +41,24 @@ struct ErasureConfig {
   /// Byte budget for the per-proxy chunk directory; oldest chunks are
   /// forgotten beyond it.  0 = unlimited.
   std::uint64_t directory_budget = 0;
+
+  /// Proactive re-stripe repair (src/store/restripe.h): after a confirmed
+  /// death, surviving stripe leaders re-home the lost chunk onto the
+  /// rendezvous-chosen replacement during anti-entropy rounds, restoring
+  /// every affected stripe to full k + 2 width.  Off (the default) the
+  /// tier behaves exactly like the repair-free build.
+  bool restripe = false;
+
+  /// Chunk bytes a repair leader may offer per anti-entropy round
+  /// (0 = unlimited).  Bounds background repair traffic so it never
+  /// starves foreground transfers; one oversized chunk still goes out
+  /// alone rather than wedging the queue.
+  std::uint64_t repair_bytes_per_round = 256 * 1024;
+
+  /// Offers retried this many times (one per round) before the work item
+  /// is abandoned — an unreachable replacement must not keep the repair
+  /// scheduler armed forever.
+  int repair_max_attempts = 5;
 };
 
 /// Payload universe parameters.  `seed` must be identical cluster-wide —
@@ -121,6 +139,15 @@ class PayloadStore {
   bool verify_chunk(ObjectId object, int index, std::uint64_t payload_bytes,
                     const std::uint8_t* body, std::size_t body_len,
                     std::uint64_t claimed_checksum) const;
+
+  /// Rebuilds chunk `lost_index` by RDP equation peeling over the other
+  /// k + 1 chunks (the re-stripe repair path: the leader reconstructs the
+  /// dead peer's chunk instead of re-deriving it, so the erasure math is
+  /// exercised on every live repair and verifiable against fill_chunk).
+  /// Writes up to max_len bytes of the reconstructed chunk; returns bytes
+  /// written, or 0 when the index is out of range or peeling fails.
+  std::size_t reconstruct_chunk(ObjectId object, int lost_index, std::uint8_t* out,
+                                std::size_t max_len) const;
 
  private:
   std::uint64_t compute_size(ObjectId object) const;

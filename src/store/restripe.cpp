@@ -1,0 +1,74 @@
+#include "store/restripe.h"
+
+namespace adc::store {
+
+void RestripePlanner::enqueue(const RepairItem& item) {
+  const std::uint64_t k = key(item.object, item.index);
+  const auto it = by_key_.find(k);
+  if (it != by_key_.end()) {
+    // Already queued: refresh the target (a later death may have moved
+    // the replacement) but keep the queue position and attempt count.
+    it->second->target = item.target;
+    it->second->dead_owner = item.dead_owner;
+    it->second->hand_back = item.hand_back;
+    return;
+  }
+  queue_.push_back(item);
+  by_key_.emplace(k, std::prev(queue_.end()));
+  ++stats_.items_enqueued;
+}
+
+void RestripePlanner::cancel_for_dead_owner(NodeId dead_owner) {
+  for (auto it = queue_.begin(); it != queue_.end();) {
+    if (it->dead_owner == dead_owner) {
+      by_key_.erase(key(it->object, it->index));
+      it = queue_.erase(it);
+      ++stats_.items_cancelled;
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::uint64_t RestripePlanner::next_round(const std::function<void(const RepairItem&)>& offer) {
+  std::uint64_t sent_bytes = 0;
+  std::size_t sent = 0;
+  // Walk at most the items present when the round started: offered items
+  // cycle to the back and must not be re-visited within one round.
+  std::size_t budget_items = queue_.size();
+  while (budget_items-- > 0 && !queue_.empty()) {
+    auto it = queue_.begin();
+    if (bytes_per_round_ > 0 && sent > 0 && sent_bytes + it->bytes > bytes_per_round_) break;
+    if (it->attempts >= max_attempts_) {
+      by_key_.erase(key(it->object, it->index));
+      queue_.erase(it);
+      ++stats_.items_abandoned;
+      ++budget_items;  // abandoning costs no budget; keep scanning
+      continue;
+    }
+    if (it->attempts > 0) ++stats_.retries;
+    ++it->attempts;
+    sent_bytes += it->bytes;
+    ++sent;
+    ++stats_.offers_sent;
+    stats_.repair_bytes += it->bytes;
+    offer(*it);
+    queue_.splice(queue_.end(), queue_, it);  // await the ack at the back
+  }
+  if (sent > 0) {
+    ++stats_.rounds;
+    if (sent_bytes > stats_.round_bytes_max) stats_.round_bytes_max = sent_bytes;
+  }
+  return sent_bytes;
+}
+
+bool RestripePlanner::acked(ObjectId object, int index, RepairItem* out) {
+  const auto it = by_key_.find(key(object, index));
+  if (it == by_key_.end()) return false;
+  if (out != nullptr) *out = *it->second;
+  queue_.erase(it->second);
+  by_key_.erase(it);
+  return true;
+}
+
+}  // namespace adc::store

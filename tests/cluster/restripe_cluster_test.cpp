@@ -1,0 +1,287 @@
+// Live-cluster proactive re-stripe repair (ctest label: tier2-net).
+//
+// The two-death drill on real sockets: an eight-proxy CARP cluster warms
+// up, loses one daemon, SWIM confirms the death and the survivors re-home
+// the dead member's chunks onto replacement owners in byte-budgeted
+// rounds (every offer materialized by genuine RDP reconstruction and
+// checksum-verified on receipt).  Then a SECOND daemon dies.  Because the
+// stripes were healed back to full k + 2 width in between, the survivors
+// still hold at least k chunks of everything: the dead members' objects
+// keep coming back as degraded reads, not origin refetches — the window
+// that would have been fatal without repair stayed closed.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "hash/carp.h"
+#include "net/socket.h"
+#include "proxy/hashing_proxy.h"
+#include "server/daemon.h"
+#include "server/loadgen.h"
+#include "workload/polygraph.h"
+#include "workload/trace.h"
+
+namespace adc {
+namespace {
+
+constexpr int kProxies = 8;  // k = 3 stripes (width 5) leave 3 spare homes
+constexpr NodeId kOriginId = 8;
+constexpr NodeId kClientId = 9;
+constexpr NodeId kVictimA = 2;
+constexpr NodeId kVictimB = 5;
+constexpr std::uint64_t kRepairBudget = 96 * 1024;  // > the largest chunk
+
+membership::MembershipConfig fast_membership(std::uint64_t seed) {
+  membership::MembershipConfig config;
+  config.swim.enabled = true;
+  config.swim.ping_interval = 100'000;
+  config.swim.ack_timeout = 40'000;
+  config.swim.indirect_timeout = 40'000;
+  config.swim.suspect_timeout = 300'000;
+  config.swim.dead_probe_interval = 600'000;
+  config.swim.seed = seed;
+  config.repair.interval = 200'000;
+  return config;
+}
+
+class RepairCluster {
+ public:
+  explicit RepairCluster(std::vector<server::DaemonConfig> configs)
+      : configs_(std::move(configs)) {
+    daemons_.resize(configs_.size());
+    threads_.resize(configs_.size());
+    for (std::size_t i = 0; i < configs_.size(); ++i) {
+      configs_[i].listen = net::Endpoint{"127.0.0.1", 0};
+      daemons_[i] = std::make_unique<server::NodeDaemon>(configs_[i]);
+      std::string error;
+      const std::uint16_t port = daemons_[i]->bind(&error);
+      EXPECT_NE(port, 0) << error;
+      configs_[i].listen.port = port;
+      endpoints_[configs_[i].node_id] = net::Endpoint{"127.0.0.1", port};
+    }
+    for (std::size_t i = 0; i < daemons_.size(); ++i) {
+      daemons_[i]->set_peers(endpoints_);
+      threads_[i] = std::thread([daemon = daemons_[i].get()]() { daemon->run(); });
+    }
+  }
+
+  ~RepairCluster() { shutdown(); }
+
+  void kill(std::size_t i) {
+    daemons_[i]->stop();
+    threads_[i].join();
+    daemons_[i].reset();
+  }
+
+  void shutdown() {
+    for (std::size_t i = 0; i < daemons_.size(); ++i) {
+      if (daemons_[i] == nullptr) continue;
+      daemons_[i]->stop();
+      if (threads_[i].joinable()) threads_[i].join();
+    }
+  }
+
+  server::NodeDaemon& daemon(std::size_t i) { return *daemons_[i]; }
+  bool alive(std::size_t i) const { return daemons_[i] != nullptr; }
+
+  bool await_epoch(std::uint64_t want, std::chrono::seconds deadline) {
+    const auto until = std::chrono::steady_clock::now() + deadline;
+    while (std::chrono::steady_clock::now() < until) {
+      bool all = true;
+      for (const auto& daemon : daemons_) {
+        if (daemon == nullptr || daemon->detector() == nullptr) continue;
+        if (daemon->membership_epoch() < want) all = false;
+      }
+      if (all) return true;
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    return false;
+  }
+
+  /// Waits until no surviving proxy has re-stripe work queued.  The
+  /// backlog is the loop's atomic snapshot, so this never races the
+  /// daemon threads.
+  bool await_repair_drained(std::chrono::seconds deadline) {
+    // Give the death a couple of anti-entropy intervals to turn into
+    // queued work before trusting an all-zero backlog.
+    std::this_thread::sleep_for(std::chrono::milliseconds(500));
+    const auto until = std::chrono::steady_clock::now() + deadline;
+    while (std::chrono::steady_clock::now() < until) {
+      bool drained = true;
+      for (const auto& daemon : daemons_) {
+        if (daemon == nullptr) continue;
+        if (daemon->restripe_backlog() != 0) drained = false;
+      }
+      if (drained) return true;
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    return false;
+  }
+
+  std::map<NodeId, net::Endpoint> proxy_endpoints(
+      const std::set<NodeId>& exclude) const {
+    std::map<NodeId, net::Endpoint> out;
+    for (const auto& [id, endpoint] : endpoints_) {
+      if (id == kOriginId || exclude.count(id) != 0) continue;
+      out[id] = endpoint;
+    }
+    return out;
+  }
+
+ private:
+  std::vector<server::DaemonConfig> configs_;
+  std::vector<std::unique_ptr<server::NodeDaemon>> daemons_;
+  std::vector<std::thread> threads_;
+  std::map<NodeId, net::Endpoint> endpoints_;
+};
+
+std::vector<server::DaemonConfig> repair_configs() {
+  store::PayloadConfig payload;
+  payload.enabled = true;
+  payload.seed = 97;
+  payload.erasure.enabled = true;
+  payload.erasure.data_chunks = 3;
+  payload.erasure.restripe = true;
+  payload.erasure.repair_bytes_per_round = kRepairBudget;
+
+  std::vector<server::DaemonConfig> configs;
+  for (NodeId id = 0; id <= kOriginId; ++id) {
+    server::DaemonConfig config;
+    config.node_id = id;
+    config.role = id == kOriginId ? server::DaemonRole::kOrigin
+                                  : server::DaemonRole::kCarpProxy;
+    config.proxy_ids = {0, 1, 2, 3, 4, 5, 6, 7};
+    config.origin_id = kOriginId;
+    config.adc.caching_table_size = 1000;
+    config.carp_cache_capacity = 1000;
+    config.seed = 1;
+    config.payload = payload;
+    config.membership = fast_membership(/*seed=*/7);
+    configs.push_back(std::move(config));
+  }
+  return configs;
+}
+
+server::LoadGenConfig loadgen_config(std::map<NodeId, net::Endpoint> proxies,
+                                     int concurrency) {
+  server::LoadGenConfig lg;
+  lg.client_id = kClientId;
+  lg.proxies = std::move(proxies);
+  lg.concurrency = concurrency;
+  lg.entry = server::EntryChoice::kRoundRobin;
+  lg.idle_timeout_ms = 30000;
+  lg.request_timeout_ms = 2000;
+  lg.health.max_backoff_us = 250'000;
+  return lg;
+}
+
+TEST(RestripeCluster, SecondDeathSurvivesBecauseRepairClosedTheWindow) {
+  auto poly = workload::PolygraphConfig::scaled(0.004);  // ~16k requests
+  poly.seed = 42;
+  const std::vector<ObjectId> objects =
+      workload::generate_polygraph_trace(poly).requests();
+  const std::size_t warm_until = objects.size() * 6 / 10;
+
+  RepairCluster cluster(repair_configs());
+
+  // Warm across all 8 members: every fetched object is striped full-width.
+  {
+    server::LoadGenerator warmup(loadgen_config(cluster.proxy_endpoints({}), 4));
+    std::string error;
+    ASSERT_TRUE(warmup.connect(&error)) << error;
+    const auto warm = warmup.run(
+        {objects.begin(), objects.begin() + static_cast<std::ptrdiff_t>(warm_until)});
+    ASSERT_FALSE(warm.timed_out);
+    EXPECT_EQ(warm.completed + warm.failed, static_cast<std::uint64_t>(warm_until));
+  }
+
+  // Death one: confirm, then let the background repair drain completely —
+  // every stripe that lost a chunk is re-homed onto a replacement owner.
+  cluster.kill(kVictimA);
+  ASSERT_TRUE(cluster.await_epoch(1, std::chrono::seconds(10)))
+      << "survivors never confirmed the first death";
+  ASSERT_TRUE(cluster.await_repair_drained(std::chrono::seconds(60)))
+      << "re-stripe repair never drained after the first death";
+
+  // Death two: without the heal this would leave some stripes at k - 1.
+  cluster.kill(kVictimB);
+  ASSERT_TRUE(cluster.await_epoch(2, std::chrono::seconds(10)))
+      << "survivors never confirmed the second death";
+  ASSERT_TRUE(cluster.await_repair_drained(std::chrono::seconds(60)))
+      << "re-stripe repair never drained after the second death";
+
+  // Request each dead member's warmed objects exactly once through the six
+  // survivors: everything must still resolve, overwhelmingly as degraded
+  // reads served from (healed) stripe chunks.
+  std::vector<hash::CarpArray::Member> members;
+  for (NodeId id = 0; id < kProxies; ++id) {
+    members.push_back({"proxy[" + std::to_string(id) + "]", id, 1.0});
+  }
+  const hash::CarpArray owners{std::move(members)};
+  std::vector<ObjectId> victims;
+  std::set<ObjectId> seen;
+  for (std::size_t i = 0; i < warm_until; ++i) {
+    const ObjectId object = objects[i];
+    const NodeId owner = owners.owner(object);
+    if ((owner == kVictimA || owner == kVictimB) && seen.insert(object).second) {
+      victims.push_back(object);
+    }
+  }
+  ASSERT_GT(victims.size(), 100u) << "victims owned too little of the trace";
+
+  server::LoadGenerator loadgen(
+      loadgen_config(cluster.proxy_endpoints({kVictimA, kVictimB}), 4));
+  std::string error;
+  ASSERT_TRUE(loadgen.connect(&error)) << error;
+  auto measured = loadgen.run(victims);
+  ASSERT_FALSE(measured.timed_out);
+  cluster.shutdown();
+
+  // Zero objects lost to the second death: every request resolved, and
+  // the overwhelming share came back as chunk-reconstructed reads.
+  EXPECT_EQ(measured.completed + measured.failed,
+            static_cast<std::uint64_t>(victims.size()));
+  ASSERT_GT(measured.completed, 0u);
+  EXPECT_GE(static_cast<double>(measured.degraded_reads),
+            0.8 * static_cast<double>(measured.completed))
+      << measured.text();
+  EXPECT_GT(measured.bytes_recovered, 0u);
+
+  // The survivors did real repair work, inside the per-round byte budget,
+  // and every reconstructed offer body checksum-verified on receipt.
+  std::uint64_t healed = 0, adopted = 0, repair_bytes = 0, rounds = 0;
+  for (std::size_t i = 0; i < kProxies; ++i) {
+    if (i == kVictimA || i == kVictimB) continue;
+    const store::ErasureTier* tier = cluster.daemon(i).hosted_tier();
+    ASSERT_NE(tier, nullptr) << "daemon " << i;
+    healed += tier->stats().stripes_healed;
+    adopted += tier->stats().restripe_adopted;
+    repair_bytes += tier->restripe_stats().repair_bytes;
+    rounds += tier->restripe_stats().rounds;
+    EXPECT_LE(tier->restripe_stats().round_bytes_max, kRepairBudget) << "daemon " << i;
+    EXPECT_EQ(cluster.daemon(i).stats().body_verify_failures, 0u) << "daemon " << i;
+  }
+  EXPECT_GT(healed, 0u);
+  EXPECT_GT(adopted, 0u);
+  EXPECT_GT(repair_bytes, 0u);
+  EXPECT_GT(rounds, 0u);
+
+  // The harness-side report carries the cluster's repair counters into the
+  // JSON artifact CI uploads.
+  measured.stripes_healed = healed;
+  measured.repair_bytes = repair_bytes;
+  measured.repair_rounds = rounds;
+  const std::string json = measured.json("restripe-two-deaths");
+  EXPECT_NE(json.find("\"stripes_healed\": "), std::string::npos);
+  EXPECT_NE(json.find("\"repair_bytes\": "), std::string::npos);
+  EXPECT_NE(json.find("\"repair_rounds\": "), std::string::npos);
+}
+
+}  // namespace
+}  // namespace adc
